@@ -1,0 +1,158 @@
+"""Design-choice ablations called out in DESIGN.md.
+
+1. **Hash bucketing** (Section III-C.3): TiMR routes by ``hash(key) %
+   #partitions`` instead of one DSMS instance per key. Sweeping the
+   bucket count shows the tradeoff: too few buckets leaves machines
+   idle, many buckets are harmless because the CQ's own GroupApply does
+   the per-key work.
+2. **Pipelined M-R** (Section VII): with MapReduce-Online-style
+   pipelining, a multi-stage TiMR job costs about its slowest stage
+   rather than the sum of stages — the "TiMR can transparently take
+   advantage" claim, quantified on the two-stage GenTrainData plan.
+"""
+
+from repro.bt import BTConfig
+from repro.mapreduce import Cluster, CostModel, DistributedFileSystem
+from repro.temporal import Query
+from repro.timr import TiMR
+
+from _tables import print_table
+
+
+def _bot_query(cfg):
+    from repro.bt import bot_elimination_query
+
+    return bot_elimination_query(Query.source("logs"), cfg)
+
+
+def _two_stage_plan(cfg):
+    src = Query.source("logs")
+    keywords = src.where(lambda p: p["StreamId"] == 2)
+    return (
+        keywords.exchange("UserId", "KwAdId")
+        .group_apply(
+            ["UserId", "KwAdId"],
+            lambda g: g.window(cfg.ubp_window).count(into="Count"),
+        )
+        .exchange("UserId")
+        .group_apply("UserId", lambda g: g.max("Count", into="peak"))
+    )
+
+
+def _run(rows, query, num_partitions, job_name):
+    fs = DistributedFileSystem()
+    fs.write("logs", rows)
+    cluster = Cluster(fs=fs, cost_model=CostModel(num_machines=150))
+    result = TiMR(cluster).run(query, job_name=job_name, num_partitions=num_partitions)
+    return result, cluster.cost_model
+
+
+def test_hash_bucket_sweep(benchmark, bench_dataset, bt_config):
+    rows = bench_dataset.rows
+    query = _bot_query(bt_config)
+    results = []
+
+    def sweep():
+        for buckets in (1, 4, 16, 64, 150, 600):
+            res, model = _run(rows, query, buckets, f"b{buckets}")
+            results.append((buckets, res.report.simulated_seconds(model)))
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    baseline = dict(results)[1]
+    print_table(
+        "Ablation (III-C.3): hash bucket count for BotElim (150 machines)",
+        ["buckets", "sim seconds", "speedup vs 1 bucket"],
+        [[b, s, baseline / s] for b, s in results],
+    )
+    by_buckets = dict(results)
+    assert by_buckets[150] < by_buckets[1]  # bucketing buys parallelism
+    assert by_buckets[600] < by_buckets[4] * 2  # over-bucketing is benign
+
+
+def test_machine_scalability(benchmark, bench_dataset, bt_config):
+    """Figure-15 companion: 'performance scaled well with the number of
+    machines'. One measured BotElim run re-scheduled onto clusters of
+    different sizes (same per-partition work, different makespans)."""
+    rows = bench_dataset.rows
+    query = _bot_query(bt_config)
+
+    def run():
+        return _run(rows, query, 150, "scal")
+
+    result, _ = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = []
+    base = None
+    for machines in (1, 2, 4, 8, 16, 32, 64, 150):
+        model = CostModel(num_machines=machines)
+        seconds = result.report.simulated_seconds(model)
+        if base is None:
+            base = seconds
+        table.append([machines, seconds, base / seconds])
+    print_table(
+        "Scalability: BotElim simulated runtime vs cluster size",
+        ["machines", "sim seconds", "speedup"],
+        table,
+    )
+    speedups = [r[2] for r in table]
+    assert all(b >= a * 0.99 for a, b in zip(speedups, speedups[1:]))
+    assert speedups[-1] > 5  # scales well into the tens of machines
+
+
+def test_stragglers_and_speculation(benchmark, bench_dataset, bt_config):
+    """Dean & Ghemawat's backup tasks, on TiMR's measured stage work:
+    a few quarter-speed machines stretch the makespan; speculative
+    execution claws most of it back."""
+    rows = bench_dataset.rows
+    query = _bot_query(bt_config)
+
+    def run():
+        return _run(rows, query, 64, "strag")
+
+    result, _ = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    machines = 64
+    speeds = [0.25 if i % 16 == 0 else 1.0 for i in range(machines)]
+    healthy = CostModel(num_machines=machines)
+    straggling = CostModel(num_machines=machines, machine_speeds=speeds)
+    speculating = CostModel(
+        num_machines=machines, machine_speeds=speeds, speculative_execution=True
+    )
+    t_healthy = result.report.simulated_seconds(healthy)
+    t_straggling = result.report.simulated_seconds(straggling)
+    t_speculating = result.report.simulated_seconds(speculating)
+    print_table(
+        "Ablation: stragglers and speculative execution (64 machines, 4 slow)",
+        ["cluster", "sim seconds"],
+        [
+            ["healthy", t_healthy],
+            ["4 machines at 1/4 speed", t_straggling],
+            ["same + speculative execution", t_speculating],
+        ],
+    )
+    assert t_straggling > t_healthy
+    assert t_speculating <= t_straggling
+
+
+def test_pipelined_mr(benchmark, bench_dataset, bt_config):
+    rows = [r for r in bench_dataset.rows if r["StreamId"] == 2]
+    query = _two_stage_plan(bt_config)
+
+    def run():
+        return _run(rows, query, 64, "pipe")
+
+    result, model = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    sequential = result.report.simulated_seconds(model)
+    pipelined = result.report.simulated_seconds_pipelined(model)
+    print_table(
+        "Ablation (VII): pipelined M-R on the two-stage GenTrainData plan",
+        ["mode", "sim seconds"],
+        [
+            ["stage-at-a-time (vanilla M-R)", sequential],
+            ["pipelined (MapReduce Online)", pipelined],
+        ],
+    )
+    assert len(result.report.stages) >= 2
+    assert pipelined < sequential

@@ -1,0 +1,68 @@
+"""Figure 15: per-machine DSMS event throughput for each BT sub-query.
+
+Paper: per-machine event rates of the embedded StreamInsight instance
+for each BT sub-query (BotElim, GenTrainData, TotalCount, PerKWCount,
+CalcScore); all sub-queries are partitionable, so cluster throughput
+scales with machines. Here we measure events/second of the single-node
+engine per sub-query — the per-machine figure — and print the table.
+"""
+
+from repro.bt import (
+    BTConfig,
+    bot_elimination_query,
+    calc_score_query,
+    labeled_activity_query,
+    per_keyword_count_query,
+    total_count_query,
+    training_data_query,
+)
+from repro.temporal import Engine, Query
+from repro.temporal.time import days
+
+from _tables import print_table
+
+
+def _throughput(query, rows):
+    engine = Engine()
+    engine.run(query, {"logs": rows})
+    return engine.last_stats.events_per_second
+
+
+def test_fig15_throughput(benchmark, bench_dataset, clean_rows):
+    cfg = BTConfig()
+    src = Query.source("logs")
+    horizon = days(bench_dataset.config.duration_days) + days(1)
+
+    activity = labeled_activity_query(src, cfg)
+    train = training_data_query(src, cfg)
+    subqueries = [
+        ("BotElim", bot_elimination_query(src, cfg), bench_dataset.rows),
+        ("GenTrainData", train, clean_rows),
+        ("TotalCount", total_count_query(activity, cfg, horizon), clean_rows),
+        ("PerKWCount", per_keyword_count_query(train, cfg, horizon), clean_rows),
+        (
+            "CalcScore",
+            calc_score_query(
+                per_keyword_count_query(train, cfg, horizon),
+                total_count_query(activity, cfg, horizon),
+                cfg,
+            ),
+            clean_rows,
+        ),
+    ]
+
+    results = {}
+
+    def run_all():
+        for name, query, rows in subqueries:
+            results[name] = _throughput(query, rows)
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print_table(
+        "Figure 15: per-machine event throughput",
+        ["sub-query", "events/sec"],
+        [[name, f"{rate:,.0f}"] for name, rate in results.items()],
+    )
+
+    assert all(rate > 1000 for rate in results.values())

@@ -1,0 +1,61 @@
+"""Figures 17-19: top positive/negative z-score keywords per ad class.
+
+Paper: snapshots of retained keywords for the deodorant, laptop, and
+cellphone ad classes — icarly/celebrity/hannah positive for deodorant
+with jobless/credit negative; dell/laptops positive for laptop with
+vera/wang/dancing negative; blackberry/tmobile positive for cellphone.
+The generator plants those exact keyword sets, so the KE-z tables must
+surface them (ranks, not magnitudes, are the reproduction target).
+"""
+
+from repro.bt import KEZSelector, top_keywords
+from repro.data import NEGATIVE_KEYWORDS, POSITIVE_KEYWORDS
+
+from _tables import print_table
+
+AD_CLASSES = ["deodorant", "laptop", "cellphone"]
+
+
+def test_fig17_19_keyword_tables(benchmark, train_examples):
+    selector = KEZSelector(z_threshold=1.28)
+    result = benchmark.pedantic(
+        lambda: selector.fit(train_examples), rounds=1, iterations=1
+    )
+
+    for figure, ad in zip((17, 18, 19), AD_CLASSES):
+        pos, neg = top_keywords(result, ad, n=9)
+        width = max(len(pos), len(neg))
+        rows = []
+        for i in range(width):
+            p = f"{pos[i][0]} ({pos[i][1]:.1f})" if i < len(pos) else ""
+            n = f"{neg[i][0]} ({neg[i][1]:.1f})" if i < len(neg) else ""
+            rows.append([p, n])
+        print_table(
+            f"Figure {figure}: keywords for the {ad} ad",
+            ["highly positive (z)", "highly negative (z)"],
+            rows,
+        )
+
+        planted_pos = set(POSITIVE_KEYWORDS[ad])
+        top_pos_names = {k for k, _ in pos}
+        # the majority of the top positive keywords are the planted ones
+        assert len(top_pos_names & planted_pos) >= min(4, len(pos)), (
+            f"{ad}: planted positives missing from {top_pos_names}"
+        )
+        # every strongly-positive keyword really is planted-positive or the
+        # trend keyword (no popular-but-irrelevant intruders above z=6)
+        for k, z in pos:
+            if z > 6:
+                assert k in planted_pos, f"{ad}: unexpected strong keyword {k}"
+
+    # negative side: planted negatives surface (their statistical power is
+    # weaker than the positives' — matching the smaller |z| magnitudes the
+    # paper reports on the negative columns)
+    planted_neg_hits = 0
+    for ad in AD_CLASSES:
+        _, neg = top_keywords(result, ad, n=9)
+        hits = [k for k, _ in neg if k in set(NEGATIVE_KEYWORDS[ad])]
+        planted_neg_hits += len(hits)
+        # no planted positive may show up on the negative side
+        assert not set(k for k, _ in neg) & set(POSITIVE_KEYWORDS[ad])
+    assert planted_neg_hits >= 1

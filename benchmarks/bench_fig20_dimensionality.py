@@ -1,0 +1,63 @@
+"""Figure 20: dimensionality reduction — keywords kept vs z threshold.
+
+Paper: requiring support alone (z=0) already reduces the ~50M raw
+keywords dramatically; raising the z threshold cuts up to another order
+of magnitude. F-Ex is flat around ~2000 (the static hierarchy size).
+An extra ablation prints the sensitivity to the support threshold.
+"""
+
+from repro.bt import FExSelector, KEZSelector
+from repro.data.vocab import background_keyword
+
+from _tables import print_table
+
+Z_THRESHOLDS = [0.0, 1.28, 1.96, 2.56, 3.29]
+
+
+def _mean_dims(result):
+    dims = [len(v) for v in result.retained.values()]
+    return sum(dims) / len(dims) if dims else 0
+
+
+def test_fig20_dimensionality(benchmark, train_examples):
+    raw_keywords = len({kw for ex in train_examples for kw in ex.features})
+
+    results = {}
+
+    def sweep():
+        for z in Z_THRESHOLDS:
+            results[z] = KEZSelector(z_threshold=z).fit(train_examples)
+        results["F-Ex"] = FExSelector().fit(train_examples)
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [["raw keywords", raw_keywords, ""]]
+    for z in Z_THRESHOLDS:
+        rows.append([f"KE-{z:g}", f"{_mean_dims(results[z]):.1f}", "per ad (mean)"])
+    fex_dims = _mean_dims(results["F-Ex"])
+    rows.append(["F-Ex", f"{fex_dims:.0f}", "static hierarchy"])
+    print_table(
+        "Figure 20: dimensions retained vs reduction scheme",
+        ["scheme", "dimensions", "note"],
+        rows,
+    )
+
+    # support ablation (not in the paper's figure; sensitivity check)
+    support_rows = []
+    for support in (1, 3, 5, 10, 20):
+        r = KEZSelector(z_threshold=1.96, min_support=support).fit(train_examples)
+        support_rows.append([support, f"{_mean_dims(r):.1f}"])
+    print_table(
+        "Ablation: retained keywords vs click-support threshold (z=1.96)",
+        ["min support", "dimensions per ad"],
+        support_rows,
+    )
+
+    # paper's shape: support alone slashes dimensionality ...
+    assert _mean_dims(results[0.0]) < raw_keywords / 10
+    # ... higher thresholds reduce monotonically, up to ~an order of magnitude
+    dims = [_mean_dims(results[z]) for z in Z_THRESHOLDS]
+    assert all(a >= b for a, b in zip(dims, dims[1:]))
+    assert dims[-1] <= dims[0] / 2
+    # ... and the retained sets are small relative to F-Ex's fixed ~2000-cap space
+    assert _mean_dims(results[1.96]) < fex_dims

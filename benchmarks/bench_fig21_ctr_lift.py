@@ -1,0 +1,50 @@
+"""Figure 21: keyword elimination and CTR — example-set lift table.
+
+Paper: on test data, with keywords selected at |z| > 1.28 (80%
+confidence), example sets containing positive-score keywords show large
+positive CTR lift; sets with negative-score keywords show negative lift
+(only slightly negative overall because negative examples dominate).
+Reported for the laptop and cellphone ad classes.
+"""
+
+from repro.bt import KEZSelector, keyword_example_sets, split_by_ad
+
+from _tables import print_table
+
+AD_CLASSES = ["laptop", "cellphone"]
+
+
+def test_fig21_ctr_lift_table(benchmark, train_examples, test_examples):
+    selector = KEZSelector(z_threshold=1.28)
+    result = benchmark.pedantic(
+        lambda: selector.fit(train_examples), rounds=1, iterations=1
+    )
+
+    by_ad = split_by_ad(test_examples)
+    for ad in AD_CLASSES:
+        scores = result.scores.get(ad, {})
+        positive = {k for k, z in scores.items() if z > 1.28}
+        negative = {k for k, z in scores.items() if z < -1.28}
+        rows = keyword_example_sets(by_ad.get(ad, []), positive, negative)
+        print_table(
+            f"Figure 21: keyword sets and CTR lift — {ad} ad",
+            ["examples chosen", "#click", "#impr", "CTR", "lift (%)"],
+            [
+                [r.label, r.clicks, r.impressions, f"{r.ctr:.4f}", f"{r.lift_percent:+.0f}"]
+                for r in rows
+            ],
+        )
+
+        by_label = {r.label: r for r in rows}
+        # the paper's ordering: positive keyword sets lift CTR strongly,
+        # only-negative sets sit at or below the base CTR
+        assert by_label[">=1 pos kw"].lift_percent > 20
+        assert (
+            by_label["Only pos kws"].lift_percent
+            >= by_label[">=1 pos kw"].lift_percent * 0.5
+        )
+        if by_label["Only neg kws"].impressions > 50:
+            assert (
+                by_label["Only neg kws"].lift_percent
+                < by_label[">=1 pos kw"].lift_percent
+            )

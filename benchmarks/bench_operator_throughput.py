@@ -1,0 +1,73 @@
+"""Engine micro-benchmarks: per-operator throughput.
+
+Not a paper figure — a regression harness for the library itself. Each
+benchmark pushes a fixed synthetic stream through one operator shape and
+reports events/second (pytest-benchmark measures the run for real, with
+several rounds).
+"""
+
+import random
+
+from repro.temporal import Query, run_query
+
+N = 30_000
+
+
+def make_rows(n=N, seed=1):
+    rnd = random.Random(seed)
+    return [
+        {
+            "Time": i * 3 + rnd.randrange(3),
+            "k": f"k{rnd.randrange(50)}",
+            "v": rnd.randrange(1000),
+            "flag": rnd.randrange(2),
+        }
+        for i in range(n)
+    ]
+
+
+ROWS = make_rows()
+
+
+def _run(query):
+    return run_query(query, {"s": ROWS})
+
+
+def test_where_throughput(benchmark):
+    q = Query.source("s").where(lambda p: p["flag"] == 1)
+    out = benchmark(_run, q)
+    assert len(out) > N * 0.4
+
+
+def test_project_throughput(benchmark):
+    q = Query.source("s").project(lambda p: {"v2": p["v"] * 2}, columns=("v2",))
+    out = benchmark(_run, q)
+    assert len(out) == N
+
+
+def test_windowed_count_throughput(benchmark):
+    q = Query.source("s").window(500).count(into="n")
+    out = benchmark(_run, q)
+    assert out
+
+
+def test_grouped_count_throughput(benchmark):
+    q = Query.source("s").group_apply("k", lambda g: g.window(2000).count(into="n"))
+    out = benchmark(_run, q)
+    assert out
+
+
+def test_join_throughput(benchmark):
+    left = Query.source("s").where(lambda p: p["flag"] == 1)
+    right = Query.source("s").where(lambda p: p["flag"] == 0).window(100)
+    q = left.temporal_join(right, on="k", select=lambda l, r: {"k": l["k"]})
+    out = benchmark(_run, q)
+    assert out
+
+
+def test_session_window_throughput(benchmark):
+    q = Query.source("s").group_apply(
+        "k", lambda g: g.session_window(300).count(into="n")
+    )
+    out = benchmark(_run, q)
+    assert out

@@ -1,0 +1,56 @@
+"""Shared state for the benchmark suite.
+
+One standard dataset (seeded) is generated per session and the expensive
+intermediate products — bot-cleaned rows, train/test example sets — are
+computed once and shared by every figure's benchmark. Scale with
+``REPRO_BENCH_USERS`` (default 1500) if you want bigger runs.
+"""
+
+import os
+
+import pytest
+
+from repro.bt import BTConfig, BTPipeline, KEZSelector, build_examples
+from repro.data import GeneratorConfig, generate
+
+BENCH_USERS = int(os.environ.get("REPRO_BENCH_USERS", "1500"))
+BENCH_DAYS = float(os.environ.get("REPRO_BENCH_DAYS", "7"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "42"))
+
+
+@pytest.fixture(scope="session")
+def bench_dataset():
+    """The standard benchmark log (about a week, ~1500 users by default)."""
+    return generate(
+        GeneratorConfig(num_users=BENCH_USERS, duration_days=BENCH_DAYS, seed=BENCH_SEED)
+    )
+
+
+@pytest.fixture(scope="session")
+def bt_config():
+    return BTConfig()
+
+
+@pytest.fixture(scope="session")
+def clean_rows(bench_dataset, bt_config):
+    """Bot-eliminated unified rows (stage 1 output), shared by benches."""
+    return BTPipeline(config=bt_config).eliminate_bots(bench_dataset.rows)
+
+
+@pytest.fixture(scope="session")
+def train_test_rows(bench_dataset, clean_rows):
+    times = [r["Time"] for r in clean_rows]
+    split = (min(times) + max(times)) // 2
+    train = [r for r in clean_rows if r["Time"] < split]
+    test = [r for r in clean_rows if r["Time"] >= split]
+    return train, test
+
+
+@pytest.fixture(scope="session")
+def train_examples(train_test_rows, bt_config):
+    return build_examples(train_test_rows[0], bt_config)
+
+
+@pytest.fixture(scope="session")
+def test_examples(train_test_rows, bt_config):
+    return build_examples(train_test_rows[1], bt_config)

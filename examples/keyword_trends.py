@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Keyword trends (Example 2 of the paper).
+
+A new TV series ("icarly") airs mid-week and searches for it spike;
+those searches are strongly correlated with clicks on a deodorant ad.
+Because the BT stack is built from temporal queries, the correlation is
+detected *as data flows* — this example tracks the z-score of the trend
+keyword day by day and shows it emerging during the spike, which is
+exactly the "immediately start delivering deodorant ads to such users"
+opportunity the paper motivates.
+
+Run:  python examples/keyword_trends.py
+"""
+
+from repro.bt import BTConfig, KEZSelector, build_examples
+from repro.data import GeneratorConfig, generate
+from repro.temporal.time import days
+
+
+def main():
+    cfg = GeneratorConfig(num_users=900, duration_days=7, seed=13)
+    dataset = generate(cfg)
+    print(f"generated {len(dataset.rows):,} rows; trend keyword "
+          f"{cfg.trend_keyword!r} spikes on days "
+          f"{cfg.trend_start_day:g}-{cfg.trend_start_day + cfg.trend_duration_days:g}")
+
+    bt = BTConfig(min_support=3)
+    bots = dataset.truth.bots
+    clean = [r for r in dataset.rows if r["UserId"] not in bots]
+
+    print(f"\n{'day':>4}  {'searches':>9}  {'z(icarly, deodorant)':>22}")
+    for day in range(1, int(cfg.duration_days) + 1):
+        horizon = days(day)
+        prefix = [r for r in clean if r["Time"] < horizon]
+        searches = sum(
+            1
+            for r in prefix
+            if r["StreamId"] == 2 and r["KwAdId"] == cfg.trend_keyword
+        )
+        examples = build_examples(prefix, bt)
+        selector = KEZSelector(z_threshold=0.0, min_support=bt.min_support)
+        result = selector.fit(examples)
+        z = result.scores.get("deodorant", {}).get(cfg.trend_keyword)
+        z_str = f"{z:+.2f}" if z is not None else "(insufficient support)"
+        print(f"{day:>4}  {searches:>9}  {z_str:>22}")
+
+    print(
+        "\nThe z-score is flat/undetectable before the spike and jumps as the\n"
+        "trend lands — a static concept hierarchy (F-Ex) can never see this."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""Reproduction of *Temporal Analytics on Big Data for Web Advertising*
+(Chandramouli, Goldstein, Duan — ICDE 2012).
+
+Sub-packages:
+
+* :mod:`repro.temporal` — single-node temporal DSMS (events with
+  lifetimes, snapshot semantics, LINQ-like query builder, engine).
+* :mod:`repro.mapreduce` — simulated shared-nothing map-reduce cluster
+  (distributed file system, stages, cost model, failure injection).
+* :mod:`repro.timr` — the TiMR framework: compiles temporal CQ plans
+  into M-R stages with embedded DSMS reducers; annotation optimizer and
+  temporal partitioning.
+* :mod:`repro.bt` — the end-to-end Behavioral Targeting solution built
+  from temporal queries, plus baselines.
+* :mod:`repro.data` — synthetic advertising-log generator standing in
+  for the paper's proprietary logs.
+"""
+
+from .temporal import Engine, Event, Query, days, hours, minutes, run_query, seconds
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Query",
+    "days",
+    "hours",
+    "minutes",
+    "run_query",
+    "seconds",
+    "__version__",
+]

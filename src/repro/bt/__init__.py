@@ -1,0 +1,127 @@
+"""``repro.bt`` — the end-to-end Behavioral Targeting solution (Section IV).
+
+Temporal queries for every BT stage (bot elimination, training-data
+generation, z-test feature selection, model generation and scoring), the
+offline fast paths used by model building, baselines (F-Ex, KE-pop,
+custom hand-written reducers), and the pipeline/metrics used by the
+evaluation benchmarks.
+"""
+
+from .ad_classes import (
+    AdClassAssignment,
+    centered_click_vectors,
+    click_vectors,
+    derive_ad_classes,
+    remap_rows,
+)
+from .backtest import Backtester, BacktestReport, BacktestStep
+from .demographics import DemographicModel, DemographicPredictor, user_profiles
+from .examples import Example, assemble_examples, build_examples, split_by_ad
+from .incremental import IncrementalLogisticRegression, incremental_model_query
+from .stemming import PorterStemmer, StemmedSelector
+from .feature_selection import (
+    FExSelector,
+    FeatureSelector,
+    KEPopSelector,
+    KEZSelector,
+    SelectionResult,
+    top_keywords,
+)
+from .metrics import (
+    CurvePoint,
+    KeywordSetRow,
+    area_under_lift,
+    ctr,
+    keyword_example_sets,
+    lift_at_coverage,
+    lift_coverage_curve,
+)
+from .model import LogisticModel, ModelTrainer, TrainingStats
+from .pipeline import AdEvaluation, BTPipeline, BTResult
+from .queries import (
+    BT_QUERY_REGISTRY,
+    bot_detection_query,
+    bot_elimination_query,
+    calc_score_query,
+    feature_selection_query,
+    labeled_activity_query,
+    non_click_query,
+    per_keyword_count_query,
+    query_count,
+    total_count_query,
+    training_data_query,
+    ubp_query,
+)
+from .schema import CLICK, IMPRESSION, KEYWORD, BTConfig
+from .scoring import (
+    example_events,
+    model_generation_query,
+    rank_ads_for_user,
+    scoring_query,
+)
+from .ztest import CONFIDENCE_TO_Z, KeywordCounts, keyword_z_score, two_proportion_z
+
+__all__ = [
+    "AdClassAssignment",
+    "AdEvaluation",
+    "Backtester",
+    "BacktestReport",
+    "BacktestStep",
+    "DemographicModel",
+    "DemographicPredictor",
+    "IncrementalLogisticRegression",
+    "PorterStemmer",
+    "StemmedSelector",
+    "centered_click_vectors",
+    "click_vectors",
+    "derive_ad_classes",
+    "incremental_model_query",
+    "remap_rows",
+    "user_profiles",
+    "BTConfig",
+    "BTPipeline",
+    "BTResult",
+    "BT_QUERY_REGISTRY",
+    "CLICK",
+    "CONFIDENCE_TO_Z",
+    "CurvePoint",
+    "Example",
+    "FExSelector",
+    "FeatureSelector",
+    "IMPRESSION",
+    "KEPopSelector",
+    "KEYWORD",
+    "KEZSelector",
+    "KeywordCounts",
+    "KeywordSetRow",
+    "LogisticModel",
+    "ModelTrainer",
+    "SelectionResult",
+    "TrainingStats",
+    "area_under_lift",
+    "assemble_examples",
+    "bot_detection_query",
+    "bot_elimination_query",
+    "build_examples",
+    "calc_score_query",
+    "ctr",
+    "example_events",
+    "feature_selection_query",
+    "keyword_example_sets",
+    "keyword_z_score",
+    "labeled_activity_query",
+    "lift_at_coverage",
+    "lift_coverage_curve",
+    "model_generation_query",
+    "non_click_query",
+    "per_keyword_count_query",
+    "query_count",
+    "rank_ads_for_user",
+    "scoring_query",
+    "split_by_ad",
+    "top_keywords",
+    "total_count_query",
+    "training_data_query",
+    "two_proportion_z",
+    "ubp_query",
+]

@@ -1,0 +1,177 @@
+"""Data-driven ad classes (Section IV-A).
+
+"Note that it is not feasible to build an estimator for every ad. We
+need to group ads into ad classes and build one estimator for each
+class. ... A better alternative is to derive data-driven ad classes, by
+grouping ads based on the similarity of users who click (or reject) the
+ad."
+
+This module implements that alternative: each ad gets a signed
+user-reaction vector (+1 per click, -penalty per rejected impression by
+that user), ads are connected in a similarity graph when the cosine of
+their vectors clears a threshold, and the graph's connected components
+become the ad classes. The mapper then rewrites a unified log so the BT
+pipeline trains one model per derived class.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+import networkx as nx
+
+from .schema import CLICK, IMPRESSION
+
+UserVector = Dict[str, float]
+
+
+def click_vectors(
+    rows: Iterable[dict], reject_weight: float = 0.25
+) -> Dict[str, UserVector]:
+    """Per-ad signed user-reaction vectors from a unified log.
+
+    A click contributes +1 to (ad, user); an impression contributes
+    ``-reject_weight`` (rejections are weaker evidence than clicks, and
+    clicked impressions net out positive).
+    """
+    vectors: Dict[str, UserVector] = {}
+    for row in rows:
+        if row["StreamId"] == CLICK:
+            delta = 1.0
+        elif row["StreamId"] == IMPRESSION:
+            delta = -reject_weight
+        else:
+            continue
+        vec = vectors.setdefault(row["KwAdId"], {})
+        user = row["UserId"]
+        vec[user] = vec.get(user, 0.0) + delta
+    return vectors
+
+
+def centered_click_vectors(
+    rows: Iterable[dict], positive_only: bool = False
+) -> Dict[str, UserVector]:
+    """Per-ad *residual* reaction vectors: clicks minus expected clicks.
+
+    Raw click counts are dominated by each user's overall activity level
+    (a heavy user looks "similar" on every ad). Centering per user —
+    value = clicks(ad, user) − user_ctr × impressions(ad, user) — keeps
+    only the user's above/below-average affinity for the ad, which is
+    the actual "similarity of users who click (or reject) the ad".
+
+    With ``positive_only`` the vectors keep affinity (positive residual)
+    entries only: useful when audiences overlap partially, where the
+    below-average tail of every non-fan would otherwise swamp the shared
+    fan base with anti-correlation.
+    """
+    clicks: Dict[Tuple[str, str], int] = {}
+    impressions: Dict[Tuple[str, str], int] = {}
+    user_clicks: Dict[str, int] = {}
+    user_impressions: Dict[str, int] = {}
+    for row in rows:
+        key = (row["KwAdId"], row["UserId"])
+        if row["StreamId"] == CLICK:
+            clicks[key] = clicks.get(key, 0) + 1
+            user_clicks[row["UserId"]] = user_clicks.get(row["UserId"], 0) + 1
+        elif row["StreamId"] == IMPRESSION:
+            impressions[key] = impressions.get(key, 0) + 1
+            user_impressions[row["UserId"]] = user_impressions.get(row["UserId"], 0) + 1
+
+    vectors: Dict[str, UserVector] = {}
+    for (ad, user), shown in impressions.items():
+        denominator = user_impressions.get(user, 0)
+        if denominator == 0:
+            continue
+        expected = user_clicks.get(user, 0) / denominator * shown
+        residual = clicks.get((ad, user), 0) - expected
+        if positive_only and residual <= 0.0:
+            continue
+        if residual != 0.0:
+            vectors.setdefault(ad, {})[user] = residual
+    return vectors
+
+
+def cosine_similarity(a: Mapping[str, float], b: Mapping[str, float]) -> float:
+    """Cosine of two sparse vectors (0.0 when either is empty)."""
+    if not a or not b:
+        return 0.0
+    if len(b) < len(a):
+        a, b = b, a
+    dot = sum(v * b[k] for k, v in a.items() if k in b)
+    norm_a = math.sqrt(sum(v * v for v in a.values()))
+    norm_b = math.sqrt(sum(v * v for v in b.values()))
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 0.0
+    return dot / (norm_a * norm_b)
+
+
+@dataclass
+class AdClassAssignment:
+    """The derived grouping: ad -> class label plus diagnostics."""
+
+    classes: Dict[str, str]
+    members: Dict[str, List[str]] = field(default_factory=dict)
+    similarity_threshold: float = 0.0
+
+    def class_of(self, ad: str) -> str:
+        """The derived class for ``ad`` (singleton class when unseen)."""
+        return self.classes.get(ad, ad)
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.members)
+
+
+def derive_ad_classes(
+    vectors: Mapping[str, UserVector],
+    similarity_threshold: float = 0.3,
+    min_users: int = 3,
+) -> AdClassAssignment:
+    """Group ads whose clicker populations look alike.
+
+    Ads with at least ``min_users`` reacting users enter a similarity
+    graph with an edge when cosine similarity clears the threshold;
+    connected components become classes named after their
+    lexicographically-smallest member. Thin ads stay singleton classes.
+    """
+    graph = nx.Graph()
+    eligible = {
+        ad: vec for ad, vec in vectors.items() if len(vec) >= min_users
+    }
+    graph.add_nodes_from(vectors.keys())
+    ads = sorted(eligible)
+    for i, ad_a in enumerate(ads):
+        for ad_b in ads[i + 1 :]:
+            sim = cosine_similarity(eligible[ad_a], eligible[ad_b])
+            if sim >= similarity_threshold:
+                graph.add_edge(ad_a, ad_b, weight=sim)
+
+    classes: Dict[str, str] = {}
+    members: Dict[str, List[str]] = {}
+    for component in nx.connected_components(graph):
+        group = sorted(component)
+        label = f"class:{group[0]}"
+        members[label] = group
+        for ad in group:
+            classes[ad] = label
+    return AdClassAssignment(
+        classes=classes, members=members, similarity_threshold=similarity_threshold
+    )
+
+
+def remap_rows(rows: Iterable[dict], assignment: AdClassAssignment) -> List[dict]:
+    """Rewrite ad ids in a unified log to their derived classes.
+
+    Keyword rows pass through untouched; impression/click rows get their
+    ``KwAdId`` replaced by the ad-class label, so every downstream BT
+    stage (which is agnostic to what an "ad" is) trains per class.
+    """
+    out = []
+    for row in rows:
+        if row["StreamId"] in (CLICK, IMPRESSION):
+            row = dict(row)
+            row["KwAdId"] = assignment.class_of(row["KwAdId"])
+        out.append(row)
+    return out

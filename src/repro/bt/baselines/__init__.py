@@ -1,0 +1,22 @@
+"""Hand-written baseline implementations of the BT stages.
+
+These are the paper's "custom reducers" comparator (Figure 14): direct,
+non-reusable code that re-implements windowed logic with bespoke data
+structures, instead of declarative temporal queries. Used to compare
+development effort (lines of code) and runtime, and to cross-check
+outputs against the query implementations.
+"""
+
+from .custom import (
+    custom_bot_elimination,
+    custom_keyword_scores,
+    custom_training_rows,
+    lines_of_code,
+)
+
+__all__ = [
+    "custom_bot_elimination",
+    "custom_keyword_scores",
+    "custom_training_rows",
+    "lines_of_code",
+]

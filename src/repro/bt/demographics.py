@@ -1,0 +1,123 @@
+"""Demographic prediction from browsing behavior (Hu et al. [19]).
+
+The related-work BT technique the paper cites: "Hu et al. use BT schemes
+to predict users' gender and age from their browsing behavior." It is a
+natural second application of this stack — the same user behavior
+profiles that drive ad targeting also carry demographic signal — so we
+implement it as a one-vs-rest bundle of the library's logistic models
+over per-user keyword profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from .examples import Example
+from .model import LogisticModel, ModelTrainer
+from .schema import KEYWORD
+
+
+def user_profiles(rows: Iterable[dict]) -> Dict[str, Dict[str, float]]:
+    """Whole-history keyword-count profile per user (bag of words)."""
+    profiles: Dict[str, Dict[str, float]] = {}
+    for row in rows:
+        if row["StreamId"] != KEYWORD:
+            continue
+        profile = profiles.setdefault(row["UserId"], {})
+        kw = row["KwAdId"]
+        profile[kw] = profile.get(kw, 0.0) + 1.0
+    return profiles
+
+
+@dataclass
+class DemographicModel:
+    """One-vs-rest logistic models over user keyword profiles."""
+
+    models: Dict[str, LogisticModel]
+    classes: Tuple[str, ...]
+
+    def scores(self, profile: Mapping[str, float]) -> Dict[str, float]:
+        return {
+            cls: model.predict(dict(profile)) for cls, model in self.models.items()
+        }
+
+    def predict(self, profile: Mapping[str, float]) -> str:
+        s = self.scores(profile)
+        return max(sorted(s), key=lambda cls: s[cls])
+
+
+@dataclass
+class DemographicEvaluation:
+    accuracy: float
+    majority_baseline: float
+    per_class_recall: Dict[str, float] = field(default_factory=dict)
+    confusion: Dict[Tuple[str, str], int] = field(default_factory=dict)
+
+
+class DemographicPredictor:
+    """Train/evaluate demographic prediction over a unified log."""
+
+    def __init__(self, trainer: Optional[ModelTrainer] = None, min_profile: int = 3):
+        self.trainer = trainer or ModelTrainer(seed=17)
+        self.min_profile = min_profile
+
+    def _labeled_profiles(
+        self, rows: Iterable[dict], labels: Mapping[str, str]
+    ) -> List[Tuple[str, Dict[str, float], str]]:
+        profiles = user_profiles(rows)
+        out = []
+        for user, profile in sorted(profiles.items()):
+            label = labels.get(user)
+            if label is None or len(profile) < self.min_profile:
+                continue
+            out.append((user, profile, label))
+        return out
+
+    def fit(self, rows: Iterable[dict], labels: Mapping[str, str]) -> DemographicModel:
+        """One-vs-rest LR per demographic class from labeled users."""
+        data = self._labeled_profiles(rows, labels)
+        if not data:
+            raise ValueError("no labeled users with usable profiles")
+        classes = tuple(sorted({label for _, _, label in data}))
+        models: Dict[str, LogisticModel] = {}
+        for cls in classes:
+            examples = [
+                Example(user=user, ad=cls, time=i, y=int(label == cls), features=profile)
+                for i, (user, profile, label) in enumerate(data)
+            ]
+            models[cls] = self.trainer.fit(cls, examples, lambda _ad, f: f)
+        return DemographicModel(models=models, classes=classes)
+
+    def evaluate(
+        self,
+        model: DemographicModel,
+        rows: Iterable[dict],
+        labels: Mapping[str, str],
+    ) -> DemographicEvaluation:
+        """Accuracy over held-out users, vs the majority-class baseline."""
+        data = self._labeled_profiles(rows, labels)
+        if not data:
+            return DemographicEvaluation(accuracy=0.0, majority_baseline=0.0)
+        hits = 0
+        confusion: Dict[Tuple[str, str], int] = {}
+        class_totals: Dict[str, int] = {}
+        class_hits: Dict[str, int] = {}
+        for _user, profile, label in data:
+            predicted = model.predict(profile)
+            confusion[(label, predicted)] = confusion.get((label, predicted), 0) + 1
+            class_totals[label] = class_totals.get(label, 0) + 1
+            if predicted == label:
+                hits += 1
+                class_hits[label] = class_hits.get(label, 0) + 1
+        majority = max(class_totals.values()) / len(data)
+        recall = {
+            cls: class_hits.get(cls, 0) / total
+            for cls, total in sorted(class_totals.items())
+        }
+        return DemographicEvaluation(
+            accuracy=hits / len(data),
+            majority_baseline=majority,
+            per_class_recall=recall,
+            confusion=confusion,
+        )

@@ -1,0 +1,188 @@
+"""Data reduction / feature selection (Section IV-B.3 and V-C).
+
+Three schemes, sharing one interface:
+
+* **KE-z** — the paper's contribution: keyword elimination by the
+  unpooled two-proportion z-test; retain keywords whose |z| clears a
+  threshold (given minimum click support).
+* **KE-pop** — the Chen et al. baseline: retain the most popular
+  keywords by total ad clicks/rejects with the keyword in the history.
+* **F-Ex** — the production baseline: map keywords into ~2000 static
+  categories of a concept hierarchy (feature extraction).
+
+Each selector is ``fit`` on training examples and then ``transform``\\ s
+any example's sparse profile into the reduced feature space. The KE-z
+math here is identical to the CalcScore temporal query in
+``repro.bt.queries`` (a test asserts that); this offline path is what
+the model-building pipeline and large benchmarks use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..data.concepts import ConceptHierarchy
+from .examples import Example
+from .schema import BTConfig
+from .ztest import keyword_z_score
+
+
+@dataclass
+class SelectionResult:
+    """Outcome of fitting a selector."""
+
+    name: str
+    #: per ad: keyword (or category) -> score (z for KE-z, counts for KE-pop)
+    scores: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: per ad: the retained feature names
+    retained: Dict[str, Set[str]] = field(default_factory=dict)
+
+    def dimensions(self, ad: str) -> int:
+        return len(self.retained.get(ad, ()))
+
+
+class FeatureSelector:
+    """Interface: fit on training examples, transform profiles."""
+
+    name: str = "base"
+
+    def fit(self, examples: Iterable[Example]) -> SelectionResult:
+        raise NotImplementedError
+
+    def transform(self, ad: str, features: Dict[str, float]) -> Dict[str, float]:
+        """Reduce one sparse profile for scoring against ``ad``'s model."""
+        raise NotImplementedError
+
+
+def _per_ad_keyword_counts(
+    examples: Iterable[Example],
+) -> Tuple[Dict[str, Dict[str, List[int]]], Dict[str, List[int]]]:
+    """Sufficient statistics: per-(ad, keyword) and per-ad [clicks, impr]."""
+    per_kw: Dict[str, Dict[str, List[int]]] = {}
+    totals: Dict[str, List[int]] = {}
+    for ex in examples:
+        tot = totals.setdefault(ex.ad, [0, 0])
+        tot[0] += ex.y
+        tot[1] += 1
+        ad_kw = per_kw.setdefault(ex.ad, {})
+        for kw in ex.features:
+            slot = ad_kw.setdefault(kw, [0, 0])
+            slot[0] += ex.y
+            slot[1] += 1
+    return per_kw, totals
+
+
+class KEZSelector(FeatureSelector):
+    """Keyword elimination by statistical hypothesis testing (KE-z)."""
+
+    def __init__(self, z_threshold: Optional[float] = None, min_support: Optional[int] = None,
+                 config: Optional[BTConfig] = None):
+        cfg = config or BTConfig()
+        self.z_threshold = cfg.z_threshold if z_threshold is None else z_threshold
+        self.min_support = cfg.min_support if min_support is None else min_support
+        self.name = f"KE-{self.z_threshold:g}"
+        self.result: Optional[SelectionResult] = None
+
+    def fit(self, examples: Iterable[Example]) -> SelectionResult:
+        per_kw, totals = _per_ad_keyword_counts(examples)
+        result = SelectionResult(name=self.name)
+        for ad, keywords in per_kw.items():
+            total_clicks, total_impr = totals[ad]
+            scores: Dict[str, float] = {}
+            retained: Set[str] = set()
+            for kw, (clicks_with, impr_with) in keywords.items():
+                if clicks_with < self.min_support:
+                    continue
+                z = keyword_z_score(clicks_with, impr_with, total_clicks, total_impr)
+                scores[kw] = z
+                if abs(z) > self.z_threshold:
+                    retained.add(kw)
+            result.scores[ad] = scores
+            result.retained[ad] = retained
+        self.result = result
+        return result
+
+    def transform(self, ad: str, features: Dict[str, float]) -> Dict[str, float]:
+        if self.result is None:
+            raise RuntimeError("fit() the selector before transform()")
+        keep = self.result.retained.get(ad, set())
+        return {k: v for k, v in features.items() if k in keep}
+
+
+class KEPopSelector(FeatureSelector):
+    """Popularity-based keyword selection (Chen et al. [7]).
+
+    Retains, per ad, the ``top_n`` keywords with the most ad clicks or
+    rejects carrying the keyword in the user history — no correlation
+    information, so frequent-but-irrelevant keywords survive.
+    """
+
+    def __init__(self, top_n: int = 50):
+        if top_n < 1:
+            raise ValueError("top_n must be positive")
+        self.top_n = top_n
+        self.name = f"KE-pop-{top_n}"
+        self.result: Optional[SelectionResult] = None
+
+    def fit(self, examples: Iterable[Example]) -> SelectionResult:
+        per_kw, _ = _per_ad_keyword_counts(examples)
+        result = SelectionResult(name=self.name)
+        for ad, keywords in per_kw.items():
+            popularity = {kw: float(impr) for kw, (clicks, impr) in keywords.items()}
+            top = sorted(popularity, key=lambda k: (-popularity[k], k))[: self.top_n]
+            result.scores[ad] = popularity
+            result.retained[ad] = set(top)
+        self.result = result
+        return result
+
+    def transform(self, ad: str, features: Dict[str, float]) -> Dict[str, float]:
+        if self.result is None:
+            raise RuntimeError("fit() the selector before transform()")
+        keep = self.result.retained.get(ad, set())
+        return {k: v for k, v in features.items() if k in keep}
+
+
+class FExSelector(FeatureSelector):
+    """Feature extraction onto a static concept hierarchy (production).
+
+    Every keyword maps to 1-3 of ~2000 predefined categories; the
+    dimensionality is fixed by the hierarchy, not the data, and the
+    mapping cannot adapt to trends (Section V-C).
+    """
+
+    def __init__(self, hierarchy: Optional[ConceptHierarchy] = None):
+        self.hierarchy = hierarchy or ConceptHierarchy()
+        self.name = "F-Ex"
+        self.result: Optional[SelectionResult] = None
+
+    def fit(self, examples: Iterable[Example]) -> SelectionResult:
+        result = SelectionResult(name=self.name)
+        ads = {ex.ad for ex in examples}
+        categories: Set[str] = set()
+        for ex in examples:
+            for kw in ex.features:
+                categories.update(self.hierarchy.categories_for(kw))
+        for ad in ads:
+            result.scores[ad] = {}
+            result.retained[ad] = set(categories)
+        self.result = result
+        return result
+
+    def transform(self, ad: str, features: Dict[str, float]) -> Dict[str, float]:
+        return self.hierarchy.map_profile(features)
+
+
+def top_keywords(
+    result: SelectionResult, ad: str, n: int = 10
+) -> Tuple[List[Tuple[str, float]], List[Tuple[str, float]]]:
+    """Highest-positive and highest-negative scored keywords for an ad.
+
+    Returns (positive, negative) lists of (keyword, z), the layout of
+    Figures 17-19.
+    """
+    scores = result.scores.get(ad, {})
+    ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+    positive = [(k, z) for k, z in ranked if z > 0][:n]
+    negative = [(k, z) for k, z in reversed(ranked) if z < 0][:n]
+    return positive, negative

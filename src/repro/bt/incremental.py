@@ -1,0 +1,105 @@
+"""Incremental (online) logistic regression — the Section IV-B.4 plug-in.
+
+"Our BT algorithms are fully incremental, using stream operators. We can
+plug-in an incremental LR algorithm ..." — the paper defaults to
+periodic recomputation (the hopping-window UDO) because reduced data
+makes LR converge fast, but the incremental alternative matters when the
+model must track the newest trend between rebuilds. This module provides
+that alternative: an SGD logistic regression updated per example, plus a
+temporal query (a :class:`~repro.temporal.operators.scan.ScanUDO`) that
+emits a fresh model snapshot every ``emit_every`` examples.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Optional
+
+from ..temporal.query import Query
+from .schema import BTConfig
+
+
+class IncrementalLogisticRegression:
+    """Online SGD with L2 shrinkage over sparse feature dicts.
+
+    Because CTR data is highly unbalanced, positive examples can be
+    up-weighted (``positive_weight``), the online analogue of the
+    balanced sampling used for batch training.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.2,
+        l2: float = 1e-4,
+        positive_weight: float = 1.0,
+    ):
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.learning_rate = learning_rate
+        self.l2 = l2
+        self.positive_weight = positive_weight
+        self.weights: Dict[str, float] = {}
+        self.intercept = 0.0
+        self.examples_seen = 0
+
+    def predict(self, features: Dict[str, float]) -> float:
+        s = self.intercept
+        for name, value in features.items():
+            w = self.weights.get(name)
+            if w is not None:
+                s += w * value
+        return 1.0 / (1.0 + math.exp(-max(-30.0, min(30.0, s))))
+
+    def observe(self, features: Dict[str, float], y: int) -> float:
+        """One SGD step; returns the pre-update prediction."""
+        p = self.predict(features)
+        weight = self.positive_weight if y else 1.0
+        gradient = weight * (y - p)
+        lr = self.learning_rate
+        shrink = 1.0 - lr * self.l2
+        self.intercept += lr * gradient
+        for name, value in features.items():
+            w = self.weights.get(name, 0.0)
+            self.weights[name] = w * shrink + lr * gradient * value
+        self.examples_seen += 1
+        return p
+
+    def snapshot(self) -> dict:
+        """A model payload in the same shape the hopping UDO emits."""
+        return {
+            "w0": self.intercept,
+            "w": dict(self.weights),
+            "examples": self.examples_seen,
+        }
+
+
+def incremental_model_query(
+    source: Query,
+    cfg: Optional[BTConfig] = None,
+    emit_every: int = 50,
+    learning_rate: float = 0.2,
+    positive_weight: float = 1.0,
+) -> Query:
+    """Per-ad online LR over an example stream (``{AdId, y, Features}``).
+
+    Emits a model snapshot point event after every ``emit_every``
+    examples of each ad — the always-fresh alternative to the periodic
+    rebuild of :func:`repro.bt.scoring.model_generation_query`.
+    """
+    del cfg  # signature symmetry with model_generation_query
+
+    def state_factory():
+        return IncrementalLogisticRegression(
+            learning_rate=learning_rate, positive_weight=positive_weight
+        )
+
+    def step(state: IncrementalLogisticRegression, payload: dict, le: int):
+        state.observe(dict(payload["Features"]), payload["y"])
+        if state.examples_seen % emit_every == 0:
+            yield state.snapshot()
+
+    return source.group_apply(
+        "AdId",
+        lambda g: g.udo_scan(state_factory, step, label="online-lr"),
+        label="incremental-model-gen",
+    )

@@ -1,0 +1,150 @@
+"""Evaluation metrics: CTR, CTR lift, and lift-vs-coverage curves.
+
+Section V-D: a model is evaluated by thresholding its prediction on test
+examples. The CTR ``V`` over examples above the threshold is compared to
+the overall test CTR ``V0``; *lift* is ``V - V0`` and *coverage* is the
+fraction of examples above the threshold. Sweeping the threshold yields
+the lift-vs-coverage curve of Figures 22-23; a bigger area under the
+curve means a more effective strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .examples import Example
+
+
+def ctr(examples: Iterable[Example]) -> float:
+    """#clicks / #impressions over a set of examples (0.0 when empty)."""
+    n = clicks = 0
+    for ex in examples:
+        n += 1
+        clicks += ex.y
+    return clicks / n if n else 0.0
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    """One threshold on the lift-coverage tradeoff."""
+
+    threshold: float
+    coverage: float
+    ctr: float
+    lift: float
+
+
+def lift_coverage_curve(
+    y_true: Sequence[int],
+    scores: Sequence[float],
+    num_points: int = 50,
+) -> List[CurvePoint]:
+    """Sweep prediction thresholds to trade coverage against CTR lift.
+
+    Coverage 1.0 (threshold at the minimum score) has lift 0 by
+    definition; decreasing coverage concentrates on confident examples.
+    """
+    y = np.asarray(y_true, dtype=float)
+    s = np.asarray(scores, dtype=float)
+    if len(y) != len(s):
+        raise ValueError("y_true and scores must have equal length")
+    if len(y) == 0:
+        return []
+    base = float(y.mean())
+    order = np.argsort(-s, kind="stable")  # descending score
+    y_sorted = y[order]
+    s_sorted = s[order]
+    cum_clicks = np.cumsum(y_sorted)
+    n = len(y)
+
+    points: List[CurvePoint] = []
+    for frac in np.linspace(1.0 / num_points, 1.0, num_points):
+        k = max(1, int(round(frac * n)))
+        v = float(cum_clicks[k - 1] / k)
+        points.append(
+            CurvePoint(
+                threshold=float(s_sorted[k - 1]),
+                coverage=k / n,
+                ctr=v,
+                lift=v - base,
+            )
+        )
+    return points
+
+
+def area_under_lift(points: Sequence[CurvePoint], max_coverage: float = 1.0) -> float:
+    """Trapezoidal area under the lift-coverage curve up to ``max_coverage``."""
+    pts = [p for p in points if p.coverage <= max_coverage + 1e-12]
+    if len(pts) < 2:
+        return 0.0
+    xs = np.array([p.coverage for p in pts])
+    ys = np.array([p.lift for p in pts])
+    order = np.argsort(xs)
+    return float(np.trapezoid(ys[order], xs[order]))
+
+
+def lift_at_coverage(points: Sequence[CurvePoint], coverage: float) -> float:
+    """Lift at the curve point closest to the requested coverage."""
+    if not points:
+        return 0.0
+    best = min(points, key=lambda p: abs(p.coverage - coverage))
+    return best.lift
+
+
+@dataclass
+class KeywordSetRow:
+    """One row of the Figure 21 table."""
+
+    label: str
+    clicks: int
+    impressions: int
+    ctr: float
+    lift_percent: float
+
+
+def keyword_example_sets(
+    examples: Sequence[Example],
+    positive_keywords: set,
+    negative_keywords: set,
+) -> List[KeywordSetRow]:
+    """The Figure 21 analysis: CTR of example subsets defined by keywords.
+
+    Five sets: all examples; profiles with >=1 positive-score keyword;
+    with >=1 negative-score keyword; with only positive keywords (and at
+    least one); with only negative keywords (and at least one).
+    """
+
+    def has_pos(ex):
+        return any(k in positive_keywords for k in ex.features)
+
+    def has_neg(ex):
+        return any(k in negative_keywords for k in ex.features)
+
+    def subset(label, pred):
+        chosen = [ex for ex in examples if pred(ex)]
+        clicks = sum(ex.y for ex in chosen)
+        impr = len(chosen)
+        v = clicks / impr if impr else 0.0
+        return label, clicks, impr, v
+
+    rows = [
+        subset("All", lambda ex: True),
+        subset(">=1 pos kw", has_pos),
+        subset(">=1 neg kw", has_neg),
+        subset("Only pos kws", lambda ex: has_pos(ex) and not has_neg(ex)),
+        subset("Only neg kws", lambda ex: has_neg(ex) and not has_pos(ex)),
+    ]
+    base = rows[0][3]
+    out = []
+    for label, clicks, impr, v in rows:
+        lift_pct = 100.0 * (v - base) / base if base > 0 else 0.0
+        out.append(
+            KeywordSetRow(
+                label=label, clicks=clicks, impressions=impr, ctr=v,
+                lift_percent=lift_pct,
+            )
+        )
+    return out

@@ -1,0 +1,230 @@
+"""Model generation and scoring (Section IV-B.4).
+
+A logistic-regression model per ad predicts click probability from the
+reduced behavior profile: ``y = 1 / (1 + exp(-(w0 + w.x)))``. The paper
+chooses LR for simplicity, good performance, and fast convergence; we
+train with iteratively reweighted least squares (Newton's method) plus
+an L2 ridge, which converges in a handful of iterations.
+
+Because CTR is far below 50%, training data is *balanced* by sampling
+the negative examples; the LR output is then no longer an expected CTR,
+so predictions are calibrated on a held-out validation set: the CTR for
+a prediction ``y`` is the positive fraction among the k validation
+examples with the nearest predictions (Section IV-B.4).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .examples import Example
+
+
+@dataclass
+class TrainingStats:
+    """Bookkeeping for the memory/learning-time experiment (Section V-D)."""
+
+    num_examples: int = 0
+    num_positives: int = 0
+    num_features: int = 0
+    avg_profile_entries: float = 0.0
+    learn_seconds: float = 0.0
+    iterations: int = 0
+
+
+class LogisticModel:
+    """A trained per-ad logistic regression with CTR calibration."""
+
+    def __init__(
+        self,
+        ad: str,
+        feature_index: Dict[str, int],
+        weights: np.ndarray,
+        intercept: float,
+        calibration: Tuple[np.ndarray, np.ndarray],
+        stats: TrainingStats,
+        knn_k: int = 101,
+    ):
+        self.ad = ad
+        self.feature_index = feature_index
+        self.weights = weights
+        self.intercept = intercept
+        self._cal_preds, self._cal_labels = calibration
+        self._cal_prefix = np.concatenate([[0.0], np.cumsum(self._cal_labels)])
+        self.stats = stats
+        self.knn_k = knn_k
+
+    def predict(self, features: Dict[str, float]) -> float:
+        """The raw LR output in (0, 1) for a reduced profile."""
+        s = self.intercept
+        for name, value in features.items():
+            idx = self.feature_index.get(name)
+            if idx is not None:
+                s += self.weights[idx] * value
+        return float(1.0 / (1.0 + np.exp(-s)))
+
+    def predict_ctr(self, features: Dict[str, float]) -> float:
+        """Calibrated expected CTR for a reduced profile."""
+        return self.calibrate(self.predict(features))
+
+    def calibrate(self, prediction: float) -> float:
+        """Expected CTR: positive rate of the k nearest validation preds."""
+        n = len(self._cal_preds)
+        if n == 0:
+            return prediction
+        k = min(self.knn_k, n)
+        pos = bisect_left(self._cal_preds, prediction)
+        lo = max(0, min(pos - k // 2, n - k))
+        hi = lo + k
+        return float((self._cal_prefix[hi] - self._cal_prefix[lo]) / k)
+
+
+def _vectorize(
+    examples: Sequence[Example],
+    transform,
+    ad: str,
+    feature_index: Optional[Dict[str, int]] = None,
+):
+    """Reduced profiles -> CSR matrix (+ feature index on first pass)."""
+    from scipy import sparse
+
+    build_index = feature_index is None
+    if build_index:
+        feature_index = {}
+    indptr = [0]
+    indices: List[int] = []
+    data: List[float] = []
+    for ex in examples:
+        reduced = transform(ad, ex.features)
+        for name, value in reduced.items():
+            if build_index:
+                idx = feature_index.setdefault(name, len(feature_index))
+            else:
+                idx = feature_index.get(name)
+                if idx is None:
+                    continue
+            indices.append(idx)
+            data.append(value)
+        indptr.append(len(indices))
+    num_features = len(feature_index)
+    x = sparse.csr_matrix(
+        (np.asarray(data), np.asarray(indices, dtype=np.int64), np.asarray(indptr)),
+        shape=(len(examples), num_features),
+    )
+    return x, feature_index
+
+
+def _irls(x, y: np.ndarray, l2: float, max_iter: int, tol: float) -> Tuple[np.ndarray, float, int]:
+    """Ridge-regularized IRLS for logistic regression on a CSR matrix."""
+    from scipy import sparse
+    from scipy.sparse.linalg import spsolve
+
+    n, d = x.shape
+    xb = sparse.hstack([sparse.csr_matrix(np.ones((n, 1))), x], format="csr")
+    beta = np.zeros(d + 1)
+    iterations = 0
+    for iterations in range(1, max_iter + 1):
+        eta = xb @ beta
+        mu = 1.0 / (1.0 + np.exp(-eta))
+        w = np.maximum(mu * (1.0 - mu), 1e-6)
+        grad = xb.T @ (y - mu) - l2 * np.concatenate([[0.0], beta[1:]])
+        hess = (xb.T @ sparse.diags(w) @ xb).tocsc() + l2 * sparse.eye(d + 1, format="csc")
+        step = spsolve(hess, grad)
+        beta = beta + step
+        if np.max(np.abs(step)) < tol:
+            break
+    return beta[1:], float(beta[0]), iterations
+
+
+@dataclass
+class ModelTrainer:
+    """Builds one :class:`LogisticModel` per ad from reduced examples."""
+
+    l2: float = 1.0
+    max_iter: int = 25
+    tol: float = 1e-6
+    balance_negatives: bool = True
+    validation_fraction: float = 0.25
+    knn_k: int = 101
+    seed: int = 7
+
+    def fit(self, ad: str, examples: Sequence[Example], transform) -> LogisticModel:
+        """Train and calibrate a model for ``ad``.
+
+        Args:
+            ad: the ad class.
+            examples: its training examples (un-reduced profiles).
+            transform: the fitted selector's ``transform(ad, features)``.
+        """
+        rng = np.random.default_rng(self.seed)
+        start = _time.perf_counter()
+
+        examples = list(examples)
+        rng.shuffle(examples)
+        n_val = int(len(examples) * self.validation_fraction)
+        validation, training = examples[:n_val], examples[n_val:]
+
+        if self.balance_negatives:
+            training = self._balance(training, rng)
+
+        x, feature_index = _vectorize(training, transform, ad)
+        y = np.array([ex.y for ex in training], dtype=float)
+        if x.shape[1] == 0 or y.sum() in (0, len(y)):
+            weights = np.zeros(x.shape[1])
+            base = (y.mean() if len(y) else 0.0) or 1e-6
+            intercept = float(np.log(base / max(1e-6, 1 - base)))
+            iterations = 0
+        else:
+            weights, intercept, iterations = _irls(
+                x, y, self.l2, self.max_iter, self.tol
+            )
+        learn_seconds = _time.perf_counter() - start
+
+        # calibration on the (unbalanced) validation slice
+        cal_pairs = []
+        for ex in validation:
+            s = intercept
+            reduced = transform(ad, ex.features)
+            for name, value in reduced.items():
+                idx = feature_index.get(name)
+                if idx is not None:
+                    s += weights[idx] * value
+            cal_pairs.append((1.0 / (1.0 + np.exp(-s)), float(ex.y)))
+        cal_pairs.sort()
+        cal_preds = np.array([p for p, _ in cal_pairs])
+        cal_labels = np.array([l for _, l in cal_pairs])
+
+        reduced_sizes = [len(transform(ad, ex.features)) for ex in examples]
+        stats = TrainingStats(
+            num_examples=len(training),
+            num_positives=int(y.sum()),
+            num_features=len(feature_index),
+            avg_profile_entries=float(np.mean(reduced_sizes)) if reduced_sizes else 0.0,
+            learn_seconds=learn_seconds,
+            iterations=iterations,
+        )
+        return LogisticModel(
+            ad=ad,
+            feature_index=feature_index,
+            weights=weights,
+            intercept=intercept,
+            calibration=(cal_preds, cal_labels),
+            stats=stats,
+            knn_k=self.knn_k,
+        )
+
+    def _balance(self, examples: List[Example], rng) -> List[Example]:
+        positives = [ex for ex in examples if ex.y == 1]
+        negatives = [ex for ex in examples if ex.y == 0]
+        if not positives or len(negatives) <= len(positives):
+            return examples
+        idx = rng.choice(len(negatives), size=len(positives), replace=False)
+        sampled = [negatives[i] for i in idx]
+        balanced = positives + sampled
+        rng.shuffle(balanced)
+        return balanced

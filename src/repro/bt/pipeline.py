@@ -1,0 +1,185 @@
+"""The end-to-end BT pipeline (Figure 10).
+
+Bot elimination → training-data generation → feature selection → model
+building → scoring/evaluation, all driven by the temporal queries in
+``repro.bt.queries``. The pipeline runs the queries on the single-node
+engine by default; ``run_bot_elimination_timr`` shows the same query
+scaling out through TiMR (benchmarks use that path for Figure 14/15).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..temporal.engine import Engine
+from ..temporal.event import events_to_rows
+from ..temporal.query import Query
+from .examples import Example, assemble_examples, build_examples, split_by_ad
+from .feature_selection import FeatureSelector, KEZSelector, SelectionResult
+from .metrics import CurvePoint, area_under_lift, ctr, lift_coverage_curve
+from .model import LogisticModel, ModelTrainer
+from .queries import bot_elimination_query, labeled_activity_query, training_data_query
+from .schema import BTConfig
+
+
+@dataclass
+class AdEvaluation:
+    """Per-ad outcome: model quality on the test half."""
+
+    ad: str
+    model: LogisticModel
+    dimensions: int
+    test_examples: int
+    test_ctr: float
+    curve: List[CurvePoint] = field(default_factory=list)
+    auc_lift: float = 0.0
+
+
+@dataclass
+class BTResult:
+    """Everything one BT pipeline run produced."""
+
+    selector: SelectionResult
+    evaluations: Dict[str, AdEvaluation]
+    rows_in: int = 0
+    rows_after_bot_elimination: int = 0
+    train_examples: int = 0
+    test_examples: int = 0
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mean_auc_lift(self) -> float:
+        if not self.evaluations:
+            return 0.0
+        return sum(e.auc_lift for e in self.evaluations.values()) / len(self.evaluations)
+
+
+class BTPipeline:
+    """Orchestrates the BT stages over a unified log."""
+
+    def __init__(
+        self,
+        config: Optional[BTConfig] = None,
+        selector: Optional[FeatureSelector] = None,
+        trainer: Optional[ModelTrainer] = None,
+        min_train_examples: int = 30,
+        ad_classes=None,
+    ):
+        """Args:
+        config / selector / trainer: the stage implementations.
+        min_train_examples: skip ads with fewer training examples.
+        ad_classes: optional :class:`~repro.bt.ad_classes.AdClassAssignment`
+            — ad ids in the log are remapped to their derived classes
+            (Section IV-A's data-driven grouping) before training, so
+            one model serves each class.
+        """
+        self.config = config or BTConfig()
+        self.selector = selector or KEZSelector(config=self.config)
+        self.trainer = trainer or ModelTrainer()
+        self.min_train_examples = min_train_examples
+        self.ad_classes = ad_classes
+
+    # -- stages --------------------------------------------------------------
+
+    def eliminate_bots(self, rows: List[dict]) -> List[dict]:
+        """Stage 1 (Figure 11): drop events of users behaving like bots."""
+        engine = Engine()
+        clean = engine.run(
+            bot_elimination_query(Query.source("logs"), self.config), {"logs": rows}
+        )
+        return events_to_rows(clean, re_column=None)
+
+    def build_examples(self, rows: List[dict]) -> List[Example]:
+        """Stage 2 (Figure 12): per-impression labeled sparse profiles."""
+        return build_examples(rows, self.config)
+
+    def train(self, train_examples: Sequence[Example]) -> Dict[str, LogisticModel]:
+        """Stages 3+4: fit the selector, then one LR per ad class."""
+        self.selector.fit(train_examples)
+        models: Dict[str, LogisticModel] = {}
+        for ad, ad_examples in sorted(split_by_ad(train_examples).items()):
+            if len(ad_examples) < self.min_train_examples:
+                continue
+            if not any(ex.y for ex in ad_examples):
+                continue
+            models[ad] = self.trainer.fit(ad, ad_examples, self.selector.transform)
+        return models
+
+    def evaluate(
+        self, models: Dict[str, LogisticModel], test_examples: Sequence[Example]
+    ) -> Dict[str, AdEvaluation]:
+        """Stage 5: score the test half and compute lift-coverage curves."""
+        evaluations: Dict[str, AdEvaluation] = {}
+        for ad, ad_examples in sorted(split_by_ad(test_examples).items()):
+            model = models.get(ad)
+            if model is None or not ad_examples:
+                continue
+            scores = [
+                model.predict_ctr(self.selector.transform(ad, ex.features))
+                for ex in ad_examples
+            ]
+            y = [ex.y for ex in ad_examples]
+            curve = lift_coverage_curve(y, scores)
+            evaluations[ad] = AdEvaluation(
+                ad=ad,
+                model=model,
+                dimensions=model.stats.num_features,
+                test_examples=len(ad_examples),
+                test_ctr=ctr(ad_examples),
+                curve=curve,
+                auc_lift=area_under_lift(curve),
+            )
+        return evaluations
+
+    # -- end to end ------------------------------------------------------------
+
+    def run(self, rows: List[dict], split_time: Optional[int] = None) -> BTResult:
+        """Full pipeline over a unified log, with a chronological split.
+
+        Args:
+            rows: unified-schema rows, any order.
+            split_time: boundary between training and test halves
+                (default: the midpoint of the observed time range).
+        """
+        timings: Dict[str, float] = {}
+
+        t0 = _time.perf_counter()
+        clean = self.eliminate_bots(rows)
+        timings["bot_elimination"] = _time.perf_counter() - t0
+
+        if self.ad_classes is not None:
+            from .ad_classes import remap_rows
+
+            clean = remap_rows(clean, self.ad_classes)
+
+        if split_time is None:
+            times = [r["Time"] for r in clean]
+            split_time = (min(times) + max(times)) // 2 if times else 0
+        train_rows = [r for r in clean if r["Time"] < split_time]
+        test_rows = [r for r in clean if r["Time"] >= split_time]
+
+        t0 = _time.perf_counter()
+        train_examples = self.build_examples(train_rows)
+        test_examples = self.build_examples(test_rows)
+        timings["training_data"] = _time.perf_counter() - t0
+
+        t0 = _time.perf_counter()
+        models = self.train(train_examples)
+        timings["selection_and_models"] = _time.perf_counter() - t0
+
+        t0 = _time.perf_counter()
+        evaluations = self.evaluate(models, test_examples)
+        timings["evaluation"] = _time.perf_counter() - t0
+
+        assert self.selector.result is not None
+        return BTResult(
+            selector=self.selector.result,
+            evaluations=evaluations,
+            rows_in=len(rows),
+            rows_after_bot_elimination=len(clean),
+            train_examples=len(train_examples),
+            test_examples=len(test_examples),
+            phase_seconds=timings,
+        )

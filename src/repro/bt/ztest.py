@@ -1,0 +1,81 @@
+"""The unpooled two-proportion z-test for keyword relevance.
+
+Section IV-B.3: for a given ad and keyword K, let ``C_K / I_K`` be the
+clicks / impressions whose user profile contained K at impression time,
+and ``C_K' / I_K'`` the clicks / impressions without K. With click rates
+``p_K = C_K / I_K`` and ``p_K' = C_K' / I_K'``, the statistic::
+
+            p_K - p_K'
+    z = ----------------------------------------------
+        sqrt(p_K (1-p_K) / I_K  +  p_K' (1-p_K') / I_K')
+
+follows N(0, 1) under the null hypothesis "K is independent of clicks on
+the ad". |z| > 1.96 rejects independence at 95% confidence; highly
+positive (negative) z marks a keyword positively (negatively) correlated
+with clicks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: z thresholds for common confidence levels (two-sided).
+CONFIDENCE_TO_Z = {0.80: 1.28, 0.90: 1.645, 0.95: 1.96, 0.99: 2.576}
+
+
+@dataclass(frozen=True)
+class KeywordCounts:
+    """Sufficient statistics for one (ad, keyword) pair."""
+
+    clicks_with: int
+    impressions_with: int
+    clicks_without: int
+    impressions_without: int
+
+    @property
+    def ctr_with(self) -> float:
+        return self.clicks_with / self.impressions_with if self.impressions_with else 0.0
+
+    @property
+    def ctr_without(self) -> float:
+        if not self.impressions_without:
+            return 0.0
+        return self.clicks_without / self.impressions_without
+
+
+def two_proportion_z(counts: KeywordCounts) -> float:
+    """The unpooled two-proportion z-score (0.0 when undefined).
+
+    Degenerate cases — no impressions on either side, or both CTRs at an
+    extreme making the variance zero — return 0.0, which always falls
+    below any elimination threshold.
+    """
+    if not counts.impressions_with or not counts.impressions_without:
+        return 0.0
+    p1 = counts.ctr_with
+    p2 = counts.ctr_without
+    var = p1 * (1 - p1) / counts.impressions_with + p2 * (1 - p2) / counts.impressions_without
+    if var <= 0.0:
+        return 0.0
+    return (p1 - p2) / math.sqrt(var)
+
+
+def keyword_z_score(
+    clicks_with: int,
+    impressions_with: int,
+    total_clicks: int,
+    total_impressions: int,
+) -> float:
+    """z-score from with-keyword counts and ad totals (the CQ's view).
+
+    The CalcScore sub-query (Figure 13) joins per-keyword counts with
+    per-ad totals; the without-keyword side is the difference.
+    """
+    counts = KeywordCounts(
+        clicks_with=clicks_with,
+        impressions_with=impressions_with,
+        clicks_without=max(0, total_clicks - clicks_with),
+        impressions_without=max(0, total_impressions - impressions_with),
+    )
+    return two_proportion_z(counts)

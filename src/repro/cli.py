@@ -1,0 +1,192 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``generate`` — synthesize an advertising log and snapshot it to disk.
+* ``sql`` — run a StreamSQL query over a snapshot (single node).
+* ``timr`` — run a StreamSQL query through TiMR on the simulated
+  cluster, printing the fragment plan and cost report.
+* ``bt`` — run the end-to-end BT pipeline over a snapshot and print
+  the evaluation summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TiMR + temporal Behavioral Targeting (ICDE 2012) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic advertising log")
+    gen.add_argument("--users", type=int, default=500)
+    gen.add_argument("--days", type=float, default=3.0)
+    gen.add_argument("--seed", type=int, default=42)
+    gen.add_argument("--out", required=True, help="snapshot directory")
+
+    sql = sub.add_parser("sql", help="run a StreamSQL query over a snapshot")
+    sql.add_argument("query", help="the StreamSQL text")
+    sql.add_argument("--data", required=True, help="snapshot directory")
+    sql.add_argument("--source-name", default="logs")
+    sql.add_argument("--limit", type=int, default=20, help="rows to print")
+
+    timr = sub.add_parser("timr", help="run a StreamSQL query through TiMR")
+    timr.add_argument("query")
+    timr.add_argument("--data", required=True)
+    timr.add_argument("--source-name", default="logs")
+    timr.add_argument("--machines", type=int, default=150)
+    timr.add_argument("--partitions", type=int, default=None)
+    timr.add_argument("--span-width", type=int, default=None)
+    timr.add_argument("--limit", type=int, default=20)
+
+    bt = sub.add_parser("bt", help="run the end-to-end BT pipeline")
+    bt.add_argument("--data", required=True)
+    bt.add_argument(
+        "--selector", choices=["kez", "kepop", "fex"], default="kez"
+    )
+    bt.add_argument("--z", type=float, default=1.96, help="KE-z threshold")
+    bt.add_argument("--top-n", type=int, default=50, help="KE-pop keyword budget")
+    bt.add_argument("--stem", action="store_true", help="Porter-stem keywords first")
+
+    explain = sub.add_parser("explain", help="explain a StreamSQL query's plan")
+    explain.add_argument("query")
+    explain.add_argument("--dot", action="store_true", help="emit Graphviz DOT instead")
+    return parser
+
+
+def _load_rows(directory: str):
+    from .data.io import load_dataset
+
+    return load_dataset(directory)
+
+
+def _cmd_generate(args) -> int:
+    from .data import GeneratorConfig, generate
+    from .data.io import save_dataset
+
+    dataset = generate(
+        GeneratorConfig(num_users=args.users, duration_days=args.days, seed=args.seed)
+    )
+    save_dataset(dataset, args.out)
+    print(
+        f"wrote {len(dataset.rows):,} rows ({args.users} users, {args.days:g} days, "
+        f"{len(dataset.truth.bots)} bots) to {args.out}"
+    )
+    return 0
+
+
+def _print_events(events, limit: int) -> None:
+    for e in events[:limit]:
+        print(f"[{e.le}, {e.re})  {dict(e.payload)}")
+    if len(events) > limit:
+        print(f"... {len(events) - limit} more")
+
+
+def _cmd_sql(args) -> int:
+    from .temporal import run_sql
+
+    dataset = _load_rows(args.data)
+    events = run_sql(args.query, {args.source_name: dataset.rows})
+    print(f"{len(events)} result events")
+    _print_events(events, args.limit)
+    return 0
+
+
+def _cmd_timr(args) -> int:
+    from .mapreduce import Cluster, CostModel, DistributedFileSystem
+    from .temporal import parse_sql
+    from .temporal.event import rows_to_events
+    from .timr import TiMR, describe_fragments
+
+    dataset = _load_rows(args.data)
+    fs = DistributedFileSystem()
+    fs.write(args.source_name, dataset.rows)
+    cluster = Cluster(fs=fs, cost_model=CostModel(num_machines=args.machines))
+    result = TiMR(cluster).run(
+        parse_sql(args.query),
+        num_partitions=args.partitions,
+        span_width=args.span_width,
+    )
+    print(describe_fragments(result.fragments))
+    model = cluster.cost_model
+    print(
+        f"simulated: {result.report.simulated_seconds(model):.2f}s on "
+        f"{args.machines} machines "
+        f"(single node {result.report.single_node_seconds(model):.2f}s, "
+        f"pipelined {result.report.simulated_seconds_pipelined(model):.2f}s)"
+    )
+    events = rows_to_events(result.output_rows())
+    print(f"{len(events)} result events")
+    _print_events(events, args.limit)
+    return 0
+
+
+def _cmd_bt(args) -> int:
+    from .bt import BTConfig, BTPipeline, FExSelector, KEPopSelector, KEZSelector
+    from .bt import lift_at_coverage
+    from .bt.stemming import StemmedSelector
+
+    config = BTConfig(z_threshold=args.z)
+    if args.selector == "kez":
+        selector = KEZSelector(config=config)
+    elif args.selector == "kepop":
+        selector = KEPopSelector(top_n=args.top_n)
+    else:
+        selector = FExSelector()
+    if args.stem:
+        selector = StemmedSelector(selector)
+
+    dataset = _load_rows(args.data)
+    result = BTPipeline(config=config, selector=selector).run(dataset.rows)
+    print(
+        f"bot elimination: {result.rows_in:,} -> "
+        f"{result.rows_after_bot_elimination:,} rows"
+    )
+    print(
+        f"examples: {result.train_examples:,} train / {result.test_examples:,} test"
+    )
+    print(f"{'ad class':>12}  {'dims':>5}  {'test CTR':>8}  {'lift@10%':>9}")
+    for ad, ev in sorted(result.evaluations.items()):
+        print(
+            f"{ad:>12}  {ev.dimensions:>5}  {ev.test_ctr:>8.4f}  "
+            f"{lift_at_coverage(ev.curve, 0.1):>+9.4f}"
+        )
+    print(f"mean lift area: {result.mean_auc_lift:+.4f} ({selector.name})")
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    from .temporal import parse_sql
+    from .temporal.explain import explain_timr
+    from .temporal.viz import to_dot
+
+    query = parse_sql(args.query)
+    if args.dot:
+        print(to_dot(query))
+    else:
+        print(explain_timr(query))
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "sql": _cmd_sql,
+    "timr": _cmd_timr,
+    "bt": _cmd_bt,
+    "explain": _cmd_explain,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

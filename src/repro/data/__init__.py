@@ -1,0 +1,44 @@
+"""``repro.data`` — synthetic advertising workload.
+
+Replaces the paper's proprietary week of ad-platform logs with a seeded
+generator producing the unified schema of Figure 9 (Time, StreamId,
+UserId, KwAdId) with planted keyword→click correlations, bots, and a
+mid-week keyword trend. See DESIGN.md for the substitution argument.
+"""
+
+from .concepts import NUM_CATEGORIES, ConceptHierarchy
+from .generator import (
+    CLICK,
+    IMPRESSION,
+    KEYWORD,
+    AdLogDataset,
+    GeneratorConfig,
+    GroundTruth,
+    generate,
+)
+from .vocab import (
+    AD_CLASSES,
+    GENERIC_KEYWORDS,
+    NEGATIVE_KEYWORDS,
+    POSITIVE_KEYWORDS,
+    all_planted_keywords,
+    background_keyword,
+)
+
+__all__ = [
+    "AD_CLASSES",
+    "AdLogDataset",
+    "CLICK",
+    "ConceptHierarchy",
+    "GENERIC_KEYWORDS",
+    "GeneratorConfig",
+    "GroundTruth",
+    "IMPRESSION",
+    "KEYWORD",
+    "NEGATIVE_KEYWORDS",
+    "NUM_CATEGORIES",
+    "POSITIVE_KEYWORDS",
+    "all_planted_keywords",
+    "background_keyword",
+    "generate",
+]

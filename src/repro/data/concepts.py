@@ -1,0 +1,60 @@
+"""A synthetic concept hierarchy for the F-Ex baseline.
+
+The production alternative the paper compares against (Section V-C)
+performs *feature extraction*: a content categorization engine maps every
+keyword to one or more of ~2000 predefined categories from an ODP-like
+concept hierarchy. Its defining properties, which we reproduce:
+
+* fixed dimensionality (~2000 categories regardless of data);
+* a static mapping that cannot adapt to new keywords or trends;
+* signal dilution — informative and uninformative keywords hash into the
+  same coarse categories.
+
+The mapping is deterministic (stable hash of the keyword), so the same
+keyword always lands in the same categories, like a real static engine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..mapreduce.job import stable_hash
+
+#: Size of the predefined concept hierarchy ("this number is always
+#: around 2000 due to the static mapping", Section V-C).
+NUM_CATEGORIES: int = 2000
+
+
+def category_name(i: int) -> str:
+    return f"cat{i:04d}"
+
+
+class ConceptHierarchy:
+    """Static keyword → categories mapping (1 to 3 categories each)."""
+
+    def __init__(self, num_categories: int = NUM_CATEGORIES):
+        if num_categories < 1:
+            raise ValueError("need at least one category")
+        self.num_categories = num_categories
+
+    def categories_for(self, keyword: str) -> List[str]:
+        """The 1-3 categories a keyword maps to (deterministic).
+
+        Figure-20 context: "each keyword potentially maps to 3
+        categories", which is why F-Ex *grows* per-profile memory.
+        """
+        h = stable_hash(("concept", keyword))
+        count = 1 + h % 3
+        cats = []
+        for j in range(count):
+            idx = stable_hash(("concept", keyword, j)) % self.num_categories
+            cats.append(category_name(idx))
+        return sorted(set(cats))
+
+    def map_profile(self, keyword_counts: Dict[str, float]) -> Dict[str, float]:
+        """Rewrite a keyword-space behavior profile into category space."""
+        out: Dict[str, float] = {}
+        for keyword, weight in keyword_counts.items():
+            for cat in self.categories_for(keyword):
+                out[cat] = out.get(cat, 0.0) + weight
+        return out

@@ -1,0 +1,66 @@
+"""Saving and loading generated workloads.
+
+A generated :class:`~repro.data.generator.AdLogDataset` snapshot keeps
+the rows (as a partitioned JSONL dataset), the generator configuration,
+and the planted ground truth, so experiments can be replayed without
+regenerating — and so the CLI's ``generate`` command has something to
+write.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Optional
+
+from ..mapreduce.fs import DistributedFile
+from ..mapreduce.persist import load_file, save_file
+from .generator import AdLogDataset, GeneratorConfig, GroundTruth
+
+_DATASET_NAME = "logs"
+_CONFIG_FILE = "config.json"
+_TRUTH_FILE = "truth.json"
+
+
+def save_dataset(dataset: AdLogDataset, directory: str, num_partitions: int = 8) -> str:
+    """Write a dataset snapshot under ``directory``."""
+    os.makedirs(directory, exist_ok=True)
+    partitions = [[] for _ in range(num_partitions)]
+    for i, row in enumerate(dataset.rows):
+        partitions[i % num_partitions].append(row)
+    save_file(DistributedFile(_DATASET_NAME, partitions), directory)
+
+    with open(os.path.join(directory, _CONFIG_FILE), "w", encoding="utf-8") as f:
+        json.dump(dataclasses.asdict(dataset.config), f, indent=2, sort_keys=True)
+
+    truth = dataset.truth
+    with open(os.path.join(directory, _TRUTH_FILE), "w", encoding="utf-8") as f:
+        json.dump(
+            {
+                "bots": sorted(truth.bots),
+                "liked": {u: list(v) for u, v in truth.liked.items()},
+                "disliked": {u: list(v) for u, v in truth.disliked.items()},
+                "demographics": dict(truth.demographics),
+            },
+            f,
+            sort_keys=True,
+        )
+    return directory
+
+
+def load_dataset(directory: str) -> AdLogDataset:
+    """Read a snapshot written by :func:`save_dataset`."""
+    with open(os.path.join(directory, _CONFIG_FILE), encoding="utf-8") as f:
+        config = GeneratorConfig(**json.load(f))
+    with open(os.path.join(directory, _TRUTH_FILE), encoding="utf-8") as f:
+        raw = json.load(f)
+    truth = GroundTruth(
+        bots=set(raw["bots"]),
+        liked={u: tuple(v) for u, v in raw["liked"].items()},
+        disliked={u: tuple(v) for u, v in raw["disliked"].items()},
+        demographics=dict(raw.get("demographics", {})),
+    )
+    rows = load_file(directory, _DATASET_NAME).all_rows()
+    rows.sort(key=lambda r: (r["Time"], r["StreamId"], r["UserId"], r["KwAdId"]))
+    return AdLogDataset(rows=rows, config=config, truth=truth)

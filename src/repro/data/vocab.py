@@ -1,0 +1,147 @@
+"""Vocabulary for the synthetic advertising workload.
+
+The paper's experiments run on a week of proprietary Microsoft ad-platform
+logs with ~50M distinct keywords and 10 popular ad classes. We stand in a
+synthetic vocabulary with the same *causal structure*:
+
+* per-ad-class keyword sets that are positively / negatively correlated
+  with clicks — seeded with the actual keywords the paper reports in
+  Figures 17-19 (icarly→deodorant, dell→laptop, blackberry→cellphone,
+  jobless⊣deodorant, vera wang⊣laptop, ...);
+* popular-but-uninformative keywords (facebook, google, msn, ...) that
+  frequency-based selection (KE-pop) wrongly retains;
+* a Zipf-distributed background tail of meaningless keywords.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+#: The ten most popular ad classes in our synthetic platform (Section V-A
+#: uses the 10 most popular classes of the real platform).
+AD_CLASSES: List[str] = [
+    "deodorant",
+    "laptop",
+    "cellphone",
+    "movies",
+    "dieting",
+    "games",
+    "travel",
+    "insurance",
+    "fitness",
+    "finance",
+]
+
+#: Keywords positively correlated with clicks, per ad class. The first
+#: three classes reproduce Figures 17-19; the rest are analogous.
+POSITIVE_KEYWORDS: Dict[str, List[str]] = {
+    "deodorant": [
+        "celebrity", "icarly", "tattoo", "games", "chat",
+        "videos", "hannah", "exam", "music", "prom",
+    ],
+    "laptop": [
+        "dell", "laptops", "computers", "juris", "toshiba",
+        "vostro", "hp", "notebook", "ssd", "linux",
+    ],
+    "cellphone": [
+        "blackberry", "curve", "enable", "tmobile", "phones",
+        "wireless", "att", "verizon", "smartphone", "sms",
+    ],
+    "movies": [
+        "trailer", "imdb", "netflix", "theater", "actors",
+        "oscar", "premiere", "cinema", "dvd", "sequel",
+    ],
+    "dieting": [
+        "calories", "weightloss", "lowcarb", "slim", "detox",
+        "nutrition", "bmi", "fasting", "smoothie", "keto",
+    ],
+    "games": [
+        "xbox", "warcraft", "cheats", "console", "rpg",
+        "multiplayer", "arcade", "zelda", "sims", "tetris",
+    ],
+    "travel": [
+        "flights", "hotels", "beach", "resort", "passport",
+        "cruise", "itinerary", "backpacking", "visa", "airfare",
+    ],
+    "insurance": [
+        "premium", "deductible", "liability", "geico", "actuary",
+        "coverage", "claims", "underwriting", "quote", "policy",
+    ],
+    "fitness": [
+        "gym", "workout", "protein", "treadmill", "yoga",
+        "pilates", "marathon", "dumbbell", "cardio", "crossfit",
+    ],
+    "finance": [
+        "stocks", "dividend", "portfolio", "etf", "bonds",
+        "brokerage", "retirement", "401k", "hedge", "forex",
+    ],
+}
+
+#: Keywords negatively correlated with clicks, per ad class.
+NEGATIVE_KEYWORDS: Dict[str, List[str]] = {
+    "deodorant": [
+        "verizon", "construct", "service", "ford", "hotels",
+        "jobless", "pilot", "credit", "craigslist",
+    ],
+    "laptop": [
+        "pregnant", "stars", "wang", "vera", "dancing",
+        "myspace", "facebook", "gardening",
+    ],
+    "cellphone": [
+        "recipes", "times", "national", "hotels", "people",
+        "baseball", "porn", "myspace",
+    ],
+    "movies": [
+        "mortgage", "gardening", "plumbing", "spreadsheet", "tax",
+        "lawnmower", "antacid",
+    ],
+    "dieting": [
+        "buffet", "bacon", "frosting", "deepfry", "soda",
+        "candy", "milkshake",
+    ],
+    "games": [
+        "retirement", "gout", "dentures", "knitting", "estate",
+        "arthritis",
+    ],
+    "travel": [
+        "foreclosure", "bankruptcy", "unemployment", "eviction",
+        "payday", "pawn",
+    ],
+    "insurance": [
+        "skateboard", "concert", "dorm", "spring", "tattoo",
+        "festival",
+    ],
+    "fitness": [
+        "recliner", "takeout", "marathon_tv", "couch", "snack",
+        "remote",
+    ],
+    "finance": [
+        "jobless", "payday", "lottery", "pawn", "overdraft",
+        "repossession",
+    ],
+}
+
+#: Very frequent keywords with no click correlation — the trap for
+#: popularity-based feature selection (Section V-C: KE-pop "retains
+#: common words such as google, facebook, and msn, which were found to be
+#: irrelevant to ad clicks").
+GENERIC_KEYWORDS: List[str] = [
+    "google", "facebook", "msn", "youtube", "weather",
+    "news", "maps", "email", "amazon", "wikipedia",
+    "ebay", "yahoo", "craigslist_home", "translate", "horoscope",
+]
+
+
+def background_keyword(i: int) -> str:
+    """The i-th background (noise) keyword."""
+    return f"kw{i:05d}"
+
+
+def all_planted_keywords() -> List[str]:
+    """Every keyword with a planted correlation (for tests)."""
+    out = set(GENERIC_KEYWORDS)
+    for words in POSITIVE_KEYWORDS.values():
+        out.update(words)
+    for words in NEGATIVE_KEYWORDS.values():
+        out.update(words)
+    return sorted(out)

@@ -1,0 +1,29 @@
+"""``repro.mapreduce`` — a simulated shared-nothing map-reduce cluster.
+
+Stands in for SCOPE/Dryad over Cosmos (Section II-B): named datasets in a
+distributed file system, stages of (partition-by-key map, per-partition
+reduce), sequential multi-stage jobs, restart-based failure handling, and
+a cost model that turns measured per-partition work into simulated
+cluster makespans.
+"""
+
+from .cluster import Cluster, FailureInjector, ReducerKilled
+from .cost import CostModel, JobReport, StageReport
+from .fs import DistributedFile, DistributedFileSystem
+from .job import MapReduceJob, MapReduceStage, key_by_columns, random_key, stable_hash
+
+__all__ = [
+    "Cluster",
+    "CostModel",
+    "DistributedFile",
+    "DistributedFileSystem",
+    "FailureInjector",
+    "JobReport",
+    "MapReduceJob",
+    "MapReduceStage",
+    "ReducerKilled",
+    "StageReport",
+    "key_by_columns",
+    "random_key",
+    "stable_hash",
+]

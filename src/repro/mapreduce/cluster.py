@@ -1,0 +1,166 @@
+"""The simulated shared-nothing cluster: executes map-reduce jobs.
+
+Runs every reduce partition for real (measuring its wall time), charges
+simulated shuffle costs, and reports both measured and simulated
+makespans through :class:`repro.mapreduce.cost.JobReport`.
+
+Failure handling reproduces M-R's restart strategy (Section III-C.1): a
+:class:`FailureInjector` can kill a reducer attempt mid-flight; the
+cluster simply re-runs it on the same input partition, and — because
+the embedded DSMS is founded on a deterministic temporal algebra — the
+regenerated output is guaranteed identical. ``verify_restart_determinism``
+asserts exactly that.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .cost import CostModel, JobReport, StageReport
+from .fs import DistributedFile, DistributedFileSystem, Row
+from .job import MapReduceJob, MapReduceStage
+
+
+class ReducerKilled(RuntimeError):
+    """Raised inside a reducer attempt that the injector chose to kill."""
+
+
+@dataclass
+class FailureInjector:
+    """Kill the first attempt of selected (stage, partition) pairs."""
+
+    kill: Set[Tuple[str, int]] = field(default_factory=set)
+    _killed: Set[Tuple[str, int]] = field(default_factory=set)
+
+    def maybe_kill(self, stage: str, partition: int) -> None:
+        key = (stage, partition)
+        if key in self.kill and key not in self._killed:
+            self._killed.add(key)
+            raise ReducerKilled(f"injected failure in {stage}[{partition}]")
+
+    @property
+    def injected(self) -> int:
+        return len(self._killed)
+
+
+class Cluster:
+    """A simulated M-R cluster over a :class:`DistributedFileSystem`."""
+
+    def __init__(
+        self,
+        fs: Optional[DistributedFileSystem] = None,
+        cost_model: Optional[CostModel] = None,
+        failure_injector: Optional[FailureInjector] = None,
+        max_restarts: int = 3,
+    ):
+        self.fs = fs or DistributedFileSystem()
+        self.cost_model = cost_model or CostModel()
+        self.failure_injector = failure_injector
+        self.max_restarts = max_restarts
+        self.last_report: Optional[JobReport] = None
+
+    # -- execution ----------------------------------------------------------
+
+    def run_job(
+        self, job: MapReduceJob, input_name: str, output_name: Optional[str] = None
+    ) -> DistributedFile:
+        """Execute all stages of ``job`` starting from dataset ``input_name``.
+
+        Intermediate datasets are materialized in the file system as
+        ``{job.name}.stage{i}``; the final output is stored under
+        ``output_name`` (default ``{job.name}.out``).
+        """
+        if not job.stages:
+            raise ValueError(f"job {job.name!r} has no stages")
+        report = JobReport()
+        current = self.fs.read(input_name)
+        for i, stage in enumerate(job.stages):
+            is_last = i == len(job.stages) - 1
+            if is_last:
+                name = output_name or f"{job.name}.out"
+            else:
+                name = f"{job.name}.stage{i}"
+            current, stage_report = self._run_stage(stage, current, name)
+            report.stages.append(stage_report)
+        self.last_report = report
+        return current
+
+    def run_stage(
+        self, stage: MapReduceStage, input_name: str, output_name: str
+    ) -> DistributedFile:
+        """Execute a single stage (convenience for tests and TiMR)."""
+        current = self.fs.read(input_name)
+        out, stage_report = self._run_stage(stage, current, output_name)
+        self.last_report = JobReport(stages=[stage_report])
+        return out
+
+    def _run_stage(
+        self, stage: MapReduceStage, data: DistributedFile, output_name: str
+    ) -> Tuple[DistributedFile, StageReport]:
+        report = StageReport(name=stage.name, rows_in=data.num_rows)
+
+        # Map phase: transform (optional) then route rows to partitions.
+        partitions: List[List[Row]] = [[] for _ in range(stage.num_partitions)]
+        routed_rows = 0
+        for part in data.partitions:
+            for source_row in part:
+                if stage.map_fn is not None:
+                    mapped = stage.map_fn(source_row)
+                else:
+                    mapped = (source_row,)
+                for row in mapped:
+                    for idx in stage.route(row):
+                        if not 0 <= idx < stage.num_partitions:
+                            raise IndexError(
+                                f"stage {stage.name!r} routed row to partition "
+                                f"{idx} of {stage.num_partitions}"
+                            )
+                        partitions[idx].append(row)
+                        routed_rows += 1
+        report.shuffle_seconds = self.cost_model.shuffle_seconds(routed_rows)
+        report.num_partitions = stage.num_partitions
+
+        # Reduce phase: run the reducer per partition, measuring work.
+        outputs: List[List[Row]] = []
+        for idx, rows in enumerate(partitions):
+            if stage.sort_by_time:
+                rows.sort(key=lambda r: r["Time"])
+            out_rows, seconds, restarts = self._run_reducer(stage, idx, rows)
+            outputs.append(out_rows)
+            report.partition_seconds.append(seconds)
+            report.restarted_partitions += restarts
+        report.rows_out = sum(len(p) for p in outputs)
+        return self.fs.write_partitioned(output_name, outputs), report
+
+    def _run_reducer(
+        self, stage: MapReduceStage, idx: int, rows: List[Row]
+    ) -> Tuple[List[Row], float, int]:
+        restarts = 0
+        while True:
+            start = _time.perf_counter()
+            try:
+                if self.failure_injector is not None:
+                    self.failure_injector.maybe_kill(stage.name, idx)
+                out_rows = list(stage.reducer(idx, rows))
+                return out_rows, _time.perf_counter() - start, restarts
+            except ReducerKilled:
+                restarts += 1
+                if restarts > self.max_restarts:
+                    raise
+
+    # -- verification --------------------------------------------------------
+
+    def verify_restart_determinism(
+        self, stage: MapReduceStage, rows: Sequence[Row], partition: int = 0
+    ) -> bool:
+        """Run a reducer twice on the same partition; outputs must match.
+
+        This is the repeatability property of Section III-C.1 that makes
+        the DSMS safe under M-R's restart-based failure handling.
+        """
+        rows = sorted(rows, key=lambda r: r["Time"]) if stage.sort_by_time else list(rows)
+        first = list(stage.reducer(partition, list(rows)))
+        second = list(stage.reducer(partition, list(rows)))
+        return first == second

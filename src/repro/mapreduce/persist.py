@@ -1,0 +1,91 @@
+"""On-disk persistence for the simulated distributed file system.
+
+Datasets serialize as one JSON-Lines file per partition plus a small
+metadata file, mirroring how Cosmos/HDFS expose a logical file as
+physical extents. Used to snapshot generated workloads and intermediate
+TiMR outputs across processes (and for the CLI's ``generate`` command).
+
+Layout for a dataset named ``logs``::
+
+    <dir>/logs/_meta.json          {"name": ..., "num_partitions": N}
+    <dir>/logs/part-00000.jsonl
+    <dir>/logs/part-00001.jsonl
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Optional
+
+from .fs import DistributedFile, DistributedFileSystem, Row
+
+_META = "_meta.json"
+
+
+def _dataset_dir(directory: str, name: str) -> str:
+    # dataset names may contain dots (timr.frag0); they are file-safe
+    return os.path.join(directory, name)
+
+
+def save_file(dfile: DistributedFile, directory: str) -> str:
+    """Write one dataset under ``directory``; returns its path."""
+    path = _dataset_dir(directory, dfile.name)
+    os.makedirs(path, exist_ok=True)
+    for i, partition in enumerate(dfile.partitions):
+        part_path = os.path.join(path, f"part-{i:05d}.jsonl")
+        with open(part_path, "w", encoding="utf-8") as f:
+            for row in partition:
+                f.write(json.dumps(row, sort_keys=True))
+                f.write("\n")
+    with open(os.path.join(path, _META), "w", encoding="utf-8") as f:
+        json.dump(
+            {"name": dfile.name, "num_partitions": dfile.num_partitions}, f
+        )
+    return path
+
+
+def load_file(directory: str, name: str) -> DistributedFile:
+    """Read one dataset previously written by :func:`save_file`."""
+    path = _dataset_dir(directory, name)
+    meta_path = os.path.join(path, _META)
+    if not os.path.exists(meta_path):
+        raise FileNotFoundError(f"no dataset {name!r} under {directory!r}")
+    with open(meta_path, encoding="utf-8") as f:
+        meta = json.load(f)
+    partitions: List[List[Row]] = []
+    for i in range(meta["num_partitions"]):
+        part_path = os.path.join(path, f"part-{i:05d}.jsonl")
+        rows: List[Row] = []
+        if os.path.exists(part_path):
+            with open(part_path, encoding="utf-8") as f:
+                for line in f:
+                    line = line.strip()
+                    if line:
+                        rows.append(json.loads(line))
+        partitions.append(rows)
+    return DistributedFile(meta["name"], partitions)
+
+
+def save_fs(fs: DistributedFileSystem, directory: str) -> List[str]:
+    """Persist every dataset of a file system; returns saved names."""
+    os.makedirs(directory, exist_ok=True)
+    names = fs.list_files()
+    for name in names:
+        save_file(fs.read(name), directory)
+    return names
+
+
+def load_fs(directory: str, names: Optional[List[str]] = None) -> DistributedFileSystem:
+    """Rebuild a file system from a directory written by :func:`save_fs`."""
+    fs = DistributedFileSystem()
+    if names is None:
+        names = sorted(
+            entry
+            for entry in os.listdir(directory)
+            if os.path.exists(os.path.join(directory, entry, _META))
+        )
+    for name in names:
+        dfile = load_file(directory, name)
+        fs.write_partitioned(name, dfile.partitions)
+    return fs

@@ -1,0 +1,206 @@
+"""Single-node temporal engine.
+
+Executes a logical CQ plan over bounded streams with application-time
+semantics: results are a pure function of event payloads and lifetimes,
+never of physical processing order (Section III-C.1). That determinism is
+what lets TiMR restart failed reducers and re-run the same queries over
+offline files or live feeds with identical output.
+
+Execution is a memoized bottom-up walk of the plan DAG: each node's
+output event list is computed once and shared by all parents (Multicast
+for free). Every stateful operator is freshly instantiated per run, so an
+``Engine`` is reusable and plans are shareable across runs, partitions,
+and processes.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Dict, Iterable, List, Optional, Union
+
+from .event import Event, point_events
+from .plan import (
+    ExchangeNode,
+    GroupApplyNode,
+    GroupInputNode,
+    PlanNode,
+    SourceNode,
+    topological_order,
+)
+from .query import Query
+
+
+class EngineStats:
+    """Lightweight per-run instrumentation (drives the Fig 15 benchmark)."""
+
+    def __init__(self):
+        self.input_events = 0
+        self.output_events = 0
+        self.operator_events: Dict[str, int] = {}
+        self.wall_seconds = 0.0
+
+    @property
+    def events_per_second(self) -> float:
+        """Input events processed per wall-clock second."""
+        if self.wall_seconds <= 0:
+            return float("inf")
+        return self.input_events / self.wall_seconds
+
+
+class Engine:
+    """Executes CQ plans over bounded event streams."""
+
+    def __init__(self):
+        self.last_stats: Optional[EngineStats] = None
+
+    def run(
+        self,
+        query: Union[Query, PlanNode],
+        sources: Dict[str, Iterable],
+        time_column: str = "Time",
+    ) -> List[Event]:
+        """Execute ``query`` and return its output events, LE-ordered.
+
+        Args:
+            query: a :class:`Query` or plan root.
+            sources: maps source names to event lists *or* row dicts (rows
+                are converted to point events on ``time_column``, exactly
+                as a TiMR reducer would).
+            time_column: timestamp column for row inputs.
+        """
+        root = query.to_plan() if isinstance(query, Query) else query
+        stats = EngineStats()
+        start = _time.perf_counter()
+
+        bound: Dict[str, List[Event]] = {}
+        for name, data in sources.items():
+            events = _as_events(data, time_column)
+            events.sort(key=lambda e: e.le)
+            bound[name] = events
+            stats.input_events += len(events)
+
+        cache: Dict[int, List[Event]] = {}
+        output = self._evaluate(root, bound, cache, stats)
+        stats.output_events = len(output)
+        stats.wall_seconds = _time.perf_counter() - start
+        self.last_stats = stats
+        return output
+
+    # -- internals -------------------------------------------------------------
+
+    def _evaluate(
+        self,
+        node: PlanNode,
+        sources: Dict[str, List[Event]],
+        cache: Dict[int, List[Event]],
+        stats: EngineStats,
+    ) -> List[Event]:
+        if node.node_id in cache:
+            return cache[node.node_id]
+
+        if isinstance(node, SourceNode):
+            try:
+                result = sources[node.name]
+            except KeyError:
+                raise KeyError(
+                    f"query references source {node.name!r} but only "
+                    f"{sorted(sources)} were provided"
+                ) from None
+        elif isinstance(node, GroupInputNode):
+            raise RuntimeError(
+                "GroupInputNode reached outside a GroupApply sub-plan"
+            )
+        elif isinstance(node, ExchangeNode):
+            # Logical repartitioning is a no-op on a single node.
+            result = self._evaluate(node.inputs[0], sources, cache, stats)
+        elif isinstance(node, GroupApplyNode):
+            child = self._evaluate(node.inputs[0], sources, cache, stats)
+            runner = self._subplan_runner(node, stats)
+            op = _make_group_apply(node, runner)
+            result = op.apply(child)
+        else:
+            children = [
+                self._evaluate(c, sources, cache, stats) for c in node.inputs
+            ]
+            op = node.make_operator()
+            if len(children) == 1:
+                result = op.apply(children[0])
+            elif len(children) == 2:
+                result = op.apply(children[0], children[1])
+            else:  # pragma: no cover - no 3-input operators exist
+                raise RuntimeError(f"{node!r} has {len(children)} inputs")
+
+        stats.operator_events[node.describe()] = (
+            stats.operator_events.get(node.describe(), 0) + len(result)
+        )
+        cache[node.node_id] = result
+        return result
+
+    def _subplan_runner(self, node: GroupApplyNode, stats: EngineStats):
+        """A callable executing the GroupApply sub-plan over one group.
+
+        A *fresh* operator chain is built per invocation (per group) by
+        evaluating the sub-plan with the group-input leaf bound to the
+        group's events.
+        """
+
+        def run_group(events: List[Event]) -> List[Event]:
+            cache: Dict[int, List[Event]] = {node.group_input.node_id: events}
+            return self._evaluate_subplan(node.subplan_root, cache, stats)
+
+        return run_group
+
+    def _evaluate_subplan(
+        self, sub: PlanNode, cache: Dict[int, List[Event]], stats: EngineStats
+    ) -> List[Event]:
+        if sub.node_id in cache:
+            return cache[sub.node_id]
+        if isinstance(sub, SourceNode):
+            raise RuntimeError(
+                "GroupApply sub-plans cannot reference external sources"
+            )
+        if isinstance(sub, GroupApplyNode):
+            child = self._evaluate_subplan(sub.inputs[0], cache, stats)
+            op = _make_group_apply(sub, self._nested_runner(sub, cache, stats))
+            result = op.apply(child)
+        else:
+            children = [self._evaluate_subplan(c, cache, stats) for c in sub.inputs]
+            op = sub.make_operator()
+            result = (
+                op.apply(children[0])
+                if len(children) == 1
+                else op.apply(children[0], children[1])
+            )
+        cache[sub.node_id] = result
+        return result
+
+    def _nested_runner(self, node: GroupApplyNode, outer_cache, stats):
+        def run_group(events: List[Event]) -> List[Event]:
+            cache: Dict[int, List[Event]] = {node.group_input.node_id: events}
+            return self._evaluate_subplan(node.subplan_root, cache, stats)
+
+        return run_group
+
+
+def _make_group_apply(node: GroupApplyNode, runner):
+    from .operators import GroupApply
+
+    return GroupApply(node.keys, runner)
+
+
+def _as_events(data, time_column: str) -> List[Event]:
+    data = list(data)
+    if not data:
+        return []
+    if isinstance(data[0], Event):
+        return data
+    return point_events(data, time_column=time_column)
+
+
+def run_query(
+    query: Union[Query, PlanNode],
+    sources: Dict[str, Iterable],
+    time_column: str = "Time",
+) -> List[Event]:
+    """One-shot convenience wrapper around :class:`Engine`."""
+    return Engine().run(query, sources, time_column=time_column)

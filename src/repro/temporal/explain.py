@@ -1,0 +1,125 @@
+"""Query diagnostics: the ``explain`` report.
+
+``explain(query)`` produces a human-readable report of everything the
+framework knows about a CQ before running it: the operator tree, each
+operator's partitioning constraint, the plan's lifetime extent (hence
+temporal-partitioning eligibility), known payload columns, and whether
+the plan can run on the streaming engine. ``explain_timr`` extends it
+with the chosen annotation and the fragment/M-R-stage breakdown.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from .plan import (
+    GroupApplyNode,
+    PlanNode,
+    SourceNode,
+    render,
+    subplan_extent,
+    topological_order,
+)
+from .query import Query
+
+
+def _streamable(root: PlanNode) -> Optional[str]:
+    """None when streamable, else the offending operator description."""
+    for node in topological_order(root):
+        if node.streaming_future_extent() is None:
+            return node.describe()
+        if isinstance(node, GroupApplyNode):
+            offender = _streamable(node.subplan_root)
+            if offender is not None:
+                return offender
+    return None
+
+
+def explain(query: Union[Query, PlanNode]) -> str:
+    """A multi-line report about a temporal query's execution properties."""
+    root = query.to_plan() if isinstance(query, Query) else query
+    lines: List[str] = ["PLAN", render(root, indent="  "), "", "PROPERTIES"]
+
+    sources = [n for n in topological_order(root) if isinstance(n, SourceNode)]
+    lines.append(f"  sources: {sorted({s.name for s in sources})}")
+
+    cols = root.output_columns()
+    lines.append(
+        "  output columns: "
+        + (", ".join(sorted(cols)) if cols is not None else "(unknown)")
+    )
+
+    extent = subplan_extent(root)
+    if extent is None:
+        lines.append("  lifetime extent: unbounded (no temporal partitioning)")
+    else:
+        lines.append(
+            f"  lifetime extent: past={extent[0]} future={extent[1]} ticks "
+            "(temporal partitioning eligible)"
+        )
+
+    constraints = []
+    for node in topological_order(root):
+        c = node.partition_constraint()
+        if c.kind == "subset":
+            constraints.append(f"{node.describe()}: key ⊆ {set(c.columns)}")
+        elif c.kind == "none":
+            constraints.append(f"{node.describe()}: not payload-partitionable")
+    if constraints:
+        lines.append("  partitioning constraints:")
+        lines.extend(f"    {c}" for c in constraints)
+    else:
+        lines.append("  partitioning constraints: none (fully stateless)")
+
+    offender = _streamable(root)
+    if offender is None:
+        lines.append("  streaming: supported (push + watermarks)")
+    else:
+        lines.append(f"  streaming: unsupported (opaque lifetime in {offender!r})")
+    return "\n".join(lines)
+
+
+def explain_timr(
+    query: Union[Query, PlanNode],
+    statistics=None,
+    job_name: str = "timr",
+) -> str:
+    """``explain`` plus TiMR's annotation choice and fragment breakdown."""
+    from ..timr.fragments import make_fragments
+    from ..timr.optimizer import Statistics, annotate_plan
+    from ..timr.compile import fold_stateless_fragments
+    from .plan import ExchangeNode
+
+    root = query.to_plan() if isinstance(query, Query) else query
+    lines = [explain(root), "", "TIMR ANNOTATION"]
+    has_hints = any(
+        isinstance(n, ExchangeNode) for n in topological_order(root)
+    )
+    if has_hints:
+        plan = root
+        lines.append("  explicit .exchange() hints present; optimizer skipped")
+    else:
+        result = annotate_plan(root, statistics or Statistics())
+        plan = result.plan
+        lines.append(
+            f"  optimizer chose delivery key {result.key!r} "
+            f"at estimated cost {result.cost:.1f}"
+        )
+    fragments = make_fragments(plan, job_name)
+    kept, plans = fold_stateless_fragments(fragments)
+    lines.append(
+        f"  fragments: {len(fragments)} "
+        f"({len(fragments) - len(kept)} folded into map phases)"
+    )
+    lines.append("  M-R stages:")
+    for fragment in kept:
+        bindings, extent = plans[fragment.output_name]
+        inputs = ", ".join(
+            b.physical + ("*" if b.transform else "") for b in bindings
+        )
+        key = ",".join(fragment.key) if fragment.key else "<temporal/single>"
+        lines.append(
+            f"    stage {fragment.output_name}: partition by ({key}) "
+            f"reading [{inputs}]  (* = folded map transform)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""GroupApply: apply a query sub-plan to each key group independently.
+
+GroupApply (Section II-A.2) is the scale-out anchor of the algebra: a CQ
+plan whose root group key is X can be partitioned by any subset of X,
+which is what TiMR exploits to map fragments onto M-R partitions.
+
+The operator buffers events per group and, at flush, runs the compiled
+sub-plan over each group's LE-ordered sub-stream, re-attaching the group
+key columns to every output payload. (Within a TiMR reducer the groups of
+one partition are processed sequentially, which matches the paper's
+hash-bucketed reducer of Section III-C.3.)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+from ..event import Event
+from .base import UnaryOperator, sort_events
+
+#: A compiled sub-plan: LE-ordered events in, events out.
+SubPlanRunner = Callable[[List[Event]], List[Event]]
+
+
+class GroupApply(UnaryOperator):
+    """Partition the stream by ``keys`` and run ``subplan`` per group.
+
+    Args:
+        keys: grouping column names; every input payload must carry them.
+        subplan: a callable mapping one group's event list to output
+            events (the engine passes a freshly compiled sub-plan runner).
+    """
+
+    def __init__(self, keys: Sequence[str], subplan: SubPlanRunner):
+        if not keys:
+            raise ValueError("GroupApply requires at least one key column")
+        self.keys = tuple(keys)
+        self.subplan = subplan
+        self._groups: Dict[Tuple, List[Event]] = {}
+
+    def _key_of(self, payload: dict) -> Tuple:
+        try:
+            return tuple(payload[k] for k in self.keys)
+        except KeyError as exc:
+            raise KeyError(
+                f"GroupApply key column {exc} missing from payload {payload!r}"
+            ) from None
+
+    def on_event(self, event: Event) -> Iterable[Event]:
+        self._groups.setdefault(self._key_of(event.payload), []).append(event)
+        return ()
+
+    def on_flush(self) -> Iterable[Event]:
+        out: List[Event] = []
+        # Deterministic group order keeps reducer restarts byte-identical.
+        for key in sorted(self._groups, key=repr):
+            key_cols = dict(zip(self.keys, key))
+            for e in self.subplan(self._groups[key]):
+                payload = dict(e.payload)
+                payload.update(key_cols)
+                out.append(e.with_payload(payload))
+        self._groups.clear()
+        return sort_events(out)

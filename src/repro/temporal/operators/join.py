@@ -1,0 +1,146 @@
+"""TemporalJoin and AntiSemiJoin (Section II-A.2).
+
+TemporalJoin outputs the relational join of its inputs restricted to
+pairs with overlapping lifetimes; the output lifetime is the lifetimes'
+intersection. It is implemented as a symmetric hash join on the equi-join
+key: each side keeps a per-key synopsis of active events, pruned lazily
+as application time advances (any stored event whose RE is <= the current
+LE can never match again, because future events only arrive with larger
+LEs).
+
+AntiSemiJoin eliminates point events from the left input that intersect
+some matching event in the right synopsis — the paper's tool for "remove
+impressions that were clicked" and "remove activity of bot users". The
+right-before-left tie-break of the operator framework guarantees the
+right synopsis is complete up to the probe instant.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..event import Event
+from .base import BinaryOperator
+
+#: Optional extra predicate over (left payload, right payload).
+Residual = Callable[[dict, dict], bool]
+#: Payload combiner for join output; default merges left into right.
+Selector = Callable[[dict, dict], dict]
+
+
+def _default_select(left: dict, right: dict) -> dict:
+    return {**left, **right}
+
+
+class _Synopsis:
+    """Per-key lists of stored events with lazy expiration."""
+
+    __slots__ = ("by_key",)
+
+    def __init__(self):
+        self.by_key: Dict[Tuple, List[Event]] = {}
+
+    def insert(self, key: Tuple, event: Event) -> None:
+        self.by_key.setdefault(key, []).append(event)
+
+    def probe(self, key: Tuple, now: int) -> List[Event]:
+        """Live events for ``key``, pruning ones that expired before ``now``."""
+        stored = self.by_key.get(key)
+        if stored is None:
+            return []
+        live = [e for e in stored if e.re > now]
+        if len(live) != len(stored):
+            if live:
+                self.by_key[key] = live
+            else:
+                del self.by_key[key]
+        return live
+
+    def size(self) -> int:
+        return sum(len(v) for v in self.by_key.values())
+
+
+def _key_fn(columns: Sequence[str]):
+    cols = tuple(columns)
+
+    def key(payload: dict) -> Tuple:
+        return tuple(payload[c] for c in cols)
+
+    return key
+
+
+class TemporalJoin(BinaryOperator):
+    """Symmetric hash equi-join with lifetime intersection.
+
+    Args:
+        on: join key column names (present in both inputs).
+        residual: optional extra predicate over both payloads.
+        select: payload combiner; defaults to ``{**left, **right}``.
+    """
+
+    def __init__(
+        self,
+        on: Sequence[str],
+        residual: Optional[Residual] = None,
+        select: Optional[Selector] = None,
+    ):
+        if not on:
+            raise ValueError("TemporalJoin requires at least one key column")
+        self.on = tuple(on)
+        self.residual = residual
+        self.select = select or _default_select
+        self._key = _key_fn(on)
+        self._left = _Synopsis()
+        self._right = _Synopsis()
+
+    def _probe_and_insert(
+        self, event: Event, own: _Synopsis, other: _Synopsis, event_is_left: bool
+    ) -> Iterable[Event]:
+        key = self._key(event.payload)
+        for match in other.probe(key, event.le):
+            if event_is_left:
+                lp, rp = event.payload, match.payload
+            else:
+                lp, rp = match.payload, event.payload
+            if self.residual is not None and not self.residual(lp, rp):
+                continue
+            le = max(event.le, match.le)
+            re = min(event.re, match.re)
+            if re > le:
+                yield Event(le, re, self.select(lp, rp))
+        own.insert(key, event)
+
+    def on_left(self, event: Event) -> Iterable[Event]:
+        return self._probe_and_insert(event, self._left, self._right, True)
+
+    def on_right(self, event: Event) -> Iterable[Event]:
+        return self._probe_and_insert(event, self._right, self._left, False)
+
+
+class AntiSemiJoin(BinaryOperator):
+    """Emit left *point* events not covered by any matching right event."""
+
+    def __init__(self, on: Sequence[str], residual: Optional[Residual] = None):
+        if not on:
+            raise ValueError("AntiSemiJoin requires at least one key column")
+        self.on = tuple(on)
+        self.residual = residual
+        self._key = _key_fn(on)
+        self._right = _Synopsis()
+
+    def on_left(self, event: Event) -> Iterable[Event]:
+        if not event.is_point:
+            raise ValueError(
+                "AntiSemiJoin supports point events on its left input only "
+                f"(got lifetime [{event.le}, {event.re}))"
+            )
+        key = self._key(event.payload)
+        for match in self._right.probe(key, event.le):
+            if match.le <= event.le:  # match covers the probe instant
+                if self.residual is None or self.residual(event.payload, match.payload):
+                    return
+        yield event
+
+    def on_right(self, event: Event) -> Iterable[Event]:
+        self._right.insert(self._key(event.payload), event)
+        return ()

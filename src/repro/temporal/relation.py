@@ -1,0 +1,180 @@
+"""Reference temporal-relation semantics.
+
+A stream can be viewed as a *changing temporal relation* (Section II-A.1):
+at every instant ``t`` the relation contains the payloads of all events
+whose lifetimes contain ``t`` (a bag — duplicates count). Operator
+semantics are defined on this view and are independent of physical
+processing order.
+
+This module provides:
+
+* :func:`normalize` — a canonical form for a bag of events, so two event
+  sets can be compared *as temporal relations* (ignoring how intervals
+  happen to be split or coalesced);
+* :func:`snapshot` / :func:`changepoints` — brute-force inspection of the
+  relation at any instant;
+* a tiny brute-force evaluator used by property-based tests as the ground
+  truth against which the streaming operators are verified.
+
+Everything here favours obviousness over speed; the streaming engine in
+``engine.py`` is the fast path.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from .event import Event
+
+
+def _freeze(payload) -> Tuple[Tuple[str, Any], ...]:
+    """A hashable canonical key for a payload dict."""
+    return tuple(sorted(payload.items(), key=lambda kv: kv[0]))
+
+
+def _thaw(frozen: Tuple[Tuple[str, Any], ...]) -> Dict[str, Any]:
+    return dict(frozen)
+
+
+def changepoints(events: Iterable[Event]) -> List[int]:
+    """All instants at which the temporal relation can change, sorted."""
+    points = set()
+    for e in events:
+        points.add(e.le)
+        points.add(e.re)
+    return sorted(points)
+
+
+def snapshot(events: Iterable[Event], t: int) -> Counter:
+    """The bag of payloads active at instant ``t`` (keys are frozen payloads)."""
+    bag: Counter = Counter()
+    for e in events:
+        if e.active_at(t):
+            bag[_freeze(e.payload)] += 1
+    return bag
+
+
+def normalize(events: Iterable[Event]) -> List[Event]:
+    """Canonicalize a bag of events as a temporal relation.
+
+    For each distinct payload we sweep its lifetime endpoints and emit one
+    event per maximal interval of constant multiplicity (multiplicity *k*
+    yields *k* stacked copies). The result is sorted deterministically, so
+    two event lists are snapshot-equivalent iff their normalizations are
+    equal — the equality the temporal algebra guarantees across reruns.
+    """
+    deltas: Dict[Tuple, List[Tuple[int, int]]] = defaultdict(list)
+    for e in events:
+        key = _freeze(e.payload)
+        deltas[key].append((e.le, +1))
+        deltas[key].append((e.re, -1))
+
+    out: List[Event] = []
+    for key, points in deltas.items():
+        points.sort()
+        payload = _thaw(key)
+        # fold deltas at equal instants into a (t, multiplicity-after) timeline,
+        # skipping instants where the multiplicity does not actually change
+        timeline: List[Tuple[int, int]] = []
+        multiplicity = 0
+        i = 0
+        n = len(points)
+        while i < n:
+            t = points[i][0]
+            while i < n and points[i][0] == t:
+                multiplicity += points[i][1]
+                i += 1
+            if not timeline or timeline[-1][1] != multiplicity:
+                timeline.append((t, multiplicity))
+        # emit maximal intervals of constant non-zero multiplicity
+        for (start, mult), (end, _next) in zip(timeline, timeline[1:]):
+            for _ in range(mult):
+                out.append(Event(start, end, payload))
+    out.sort(key=Event.sort_key)
+    return out
+
+
+def equivalent(a: Iterable[Event], b: Iterable[Event]) -> bool:
+    """True when two event bags denote the same temporal relation."""
+    return normalize(a) == normalize(b)
+
+
+# ---------------------------------------------------------------------------
+# Brute-force reference operators (ground truth for property tests)
+# ---------------------------------------------------------------------------
+
+
+def ref_where(events: Sequence[Event], predicate) -> List[Event]:
+    """Reference Select: keep events whose payload satisfies ``predicate``."""
+    return [e for e in events if predicate(e.payload)]
+
+
+def ref_project(events: Sequence[Event], fn) -> List[Event]:
+    """Reference Project: rewrite each payload with ``fn``."""
+    return [e.with_payload(fn(e.payload)) for e in events]
+
+
+def ref_window(events: Sequence[Event], w: int) -> List[Event]:
+    """Reference sliding window: set ``re = le + w`` (AlterLifetime)."""
+    return [e.with_lifetime(e.le, e.le + w) for e in events]
+
+
+def ref_aggregate(events: Sequence[Event], fn, into: str) -> List[Event]:
+    """Reference snapshot aggregate.
+
+    At each maximal interval between changepoints with a non-empty active
+    bag, emit one event whose payload is ``{into: fn(active payload list)}``.
+    ``fn`` receives the concrete payload dicts active in the snapshot.
+    """
+    events = list(events)
+    points = changepoints(events)
+    out: List[Event] = []
+    for start, end in zip(points, points[1:]):
+        active = [e.payload for e in events if e.le <= start and e.re >= end]
+        if active:
+            out.append(Event(start, end, {into: fn(active)}))
+    return normalize(out)
+
+
+def ref_temporal_join(
+    left: Sequence[Event], right: Sequence[Event], condition
+) -> List[Event]:
+    """Reference TemporalJoin: relational join on overlapping lifetimes.
+
+    Output payload merges left then right payloads (right wins on column
+    collisions); output lifetime is the lifetimes' intersection.
+    """
+    out = []
+    for l in left:
+        for r in right:
+            if l.overlaps(r) and condition(l.payload, r.payload):
+                merged = {**l.payload, **r.payload}
+                out.append(Event(max(l.le, r.le), min(l.re, r.re), merged))
+    return out
+
+
+def ref_anti_semi_join(
+    left: Sequence[Event], right: Sequence[Event], condition
+) -> List[Event]:
+    """Reference AntiSemiJoin for point events on the left input.
+
+    Emits left point events whose instant is not covered by any matching
+    right event (Section II-A.2: "eliminate point events from the left
+    input that do intersect some matching event in the right synopsis").
+    """
+    out = []
+    for l in left:
+        if not l.is_point:
+            raise ValueError("reference AntiSemiJoin requires point events on the left")
+        covered = any(
+            r.active_at(l.le) and condition(l.payload, r.payload) for r in right
+        )
+        if not covered:
+            out.append(l)
+    return out
+
+
+def ref_union(left: Sequence[Event], right: Sequence[Event]) -> List[Event]:
+    """Reference Union: the bag union of both inputs."""
+    return list(left) + list(right)

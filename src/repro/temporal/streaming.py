@@ -1,0 +1,408 @@
+"""Push-based streaming execution of CQ plans.
+
+This is the deployment mode the paper's queries are "naturally ready"
+for (Section III-C.1): the same logical plan that TiMR scales over
+offline files here consumes a live feed event by event. Correctness
+rests on the temporal algebra — output depends only on event lifetimes
+— plus *watermarks* (StreamInsight's CTIs): pushing an event with
+timestamp t promises that no earlier event will arrive on that source,
+letting every operator emit exactly the outputs that are final.
+
+Usage::
+
+    stream = StreamingEngine(query)
+    for row in live_feed:                  # in timestamp order per source
+        for out in stream.push("logs", row):
+            deliver(out)
+    tail = stream.flush()                  # end of stream
+
+The engine guarantees that ``pushed outputs + flush`` denote the same
+temporal relation as a batch ``Engine.run`` over the same events — a
+property the test suite checks with hypothesis-generated histories.
+
+Restrictions: plans containing a *custom* AlterLifetime (opaque lifetime
+functions) cannot bound how far output timestamps may precede input
+timestamps and are rejected.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from .event import Event, point_events
+from .plan import (
+    AlterLifetimeNode,
+    ExchangeNode,
+    GroupApplyNode,
+    GroupInputNode,
+    PlanNode,
+    SourceNode,
+    topological_order,
+)
+from .query import Query
+from .time import MAX_TIME, MIN_TIME
+
+
+class StreamingUnsupported(ValueError):
+    """The plan cannot run incrementally (unbounded lifetime rewrites)."""
+
+
+def _future_extent(node: PlanNode) -> int:
+    """How far this single node's output LEs may precede its input LEs."""
+    future = node.streaming_future_extent()
+    if future is None:
+        raise StreamingUnsupported(
+            f"operator {node.describe()!r} has an unbounded lifetime rewrite; "
+            "it cannot run in streaming mode"
+        )
+    return future
+
+
+class _InputBuffer:
+    """One input side of a node: queued events plus the source watermark."""
+
+    __slots__ = ("events", "watermark", "cursor")
+
+    def __init__(self):
+        self.events: List[Event] = []
+        self.watermark: int = MIN_TIME
+        self.cursor: int = 0  # index of the first un-consumed event
+
+    def append(self, events: Iterable[Event], watermark: int) -> None:
+        self.events.extend(events)
+        self.watermark = max(self.watermark, watermark)
+
+    def head(self) -> Optional[Event]:
+        if self.cursor < len(self.events):
+            return self.events[self.cursor]
+        return None
+
+    def pop(self) -> Event:
+        e = self.events[self.cursor]
+        self.cursor += 1
+        if self.cursor > 1024 and self.cursor * 2 > len(self.events):
+            del self.events[: self.cursor]
+            self.cursor = 0
+        return e
+
+
+class _Node:
+    """A live operator with buffered inputs and an append-only output log."""
+
+    def __init__(self, plan_node: PlanNode, engine: "StreamingEngine"):
+        self.plan_node = plan_node
+        self.engine = engine
+        self.inputs = [_InputBuffer() for _ in plan_node.inputs]
+        self.outputs: List[Event] = []  # append-only; parents keep cursors
+        self.watermark: int = MIN_TIME
+        self.flushed = False
+        self._operator = None
+        if not isinstance(
+            plan_node, (SourceNode, GroupInputNode, ExchangeNode, GroupApplyNode)
+        ):
+            self._operator = plan_node.make_operator()
+        if isinstance(plan_node, GroupApplyNode):
+            self._groups: Dict[Tuple, _GroupChain] = {}
+            self._pending: List[Tuple[int, int, Event]] = []
+            self._seq = itertools.count()
+
+    # -- per-kind advance ----------------------------------------------------
+
+    def advance(self) -> None:
+        """Consume newly available input and emit what is now final."""
+        node = self.plan_node
+        if isinstance(node, (SourceNode, GroupInputNode)):
+            return  # fed directly by the engine
+        if isinstance(node, ExchangeNode):
+            buf = self.inputs[0]
+            while buf.head() is not None:
+                self.outputs.append(buf.pop())
+            self.watermark = buf.watermark
+            return
+        if isinstance(node, GroupApplyNode):
+            self._advance_group_apply()
+            return
+        if len(self.inputs) == 1:
+            self._advance_unary()
+        else:
+            self._advance_binary()
+
+    def _advance_unary(self) -> None:
+        buf = self.inputs[0]
+        op = self._operator
+        while buf.head() is not None:
+            self.outputs.extend(op.on_event(buf.pop()))
+        if buf.watermark >= MAX_TIME and not self.flushed:
+            self.outputs.extend(op.on_flush())
+            self.flushed = True
+            self.watermark = MAX_TIME
+        else:
+            self.outputs.extend(op.on_watermark(buf.watermark))
+            base = op.watermark_out(buf.watermark)
+            self.watermark = max(
+                self.watermark, base - _future_extent(self.plan_node)
+            )
+
+    def _advance_binary(self) -> None:
+        left, right = self.inputs
+        op = self._operator
+        w = min(left.watermark, right.watermark)
+        # deliver merged input up to the joint watermark, right side first
+        # at ties (the synopsis-completeness guarantee of the batch path)
+        while True:
+            lh, rh = left.head(), right.head()
+            if rh is not None and rh.le <= w and (lh is None or rh.le <= lh.le):
+                self.outputs.extend(op.on_right(right.pop()))
+            elif lh is not None and (
+                lh.le < right.watermark or right.watermark >= MAX_TIME
+            ):
+                self.outputs.extend(op.on_left(left.pop()))
+            else:
+                break
+        if w >= MAX_TIME and not self.flushed:
+            # drain any tail in merged order, then flush
+            while True:
+                lh, rh = left.head(), right.head()
+                if rh is not None and (lh is None or rh.le <= lh.le):
+                    self.outputs.extend(op.on_right(right.pop()))
+                elif lh is not None:
+                    self.outputs.extend(op.on_left(left.pop()))
+                else:
+                    break
+            self.outputs.extend(op.on_flush())
+            self.flushed = True
+            self.watermark = MAX_TIME
+        else:
+            self.watermark = max(self.watermark, w)
+
+    def _advance_group_apply(self) -> None:
+        node: GroupApplyNode = self.plan_node
+        buf = self.inputs[0]
+        while buf.head() is not None:
+            event = buf.pop()
+            key = tuple(event.payload[k] for k in node.keys)
+            chain = self._groups.get(key)
+            if chain is None:
+                chain = _GroupChain(node, key, self.engine)
+                self._groups[key] = chain
+            for out in chain.push(event):
+                heapq.heappush(self._pending, (out.le, next(self._seq), out))
+
+        w = buf.watermark
+        group_w = MAX_TIME if w >= MAX_TIME else w
+        for chain in self._groups.values():
+            for out in chain.advance(w):
+                heapq.heappush(self._pending, (out.le, next(self._seq), out))
+            group_w = min(group_w, chain.watermark)
+        if w >= MAX_TIME:
+            group_w = MAX_TIME
+        while self._pending and self._pending[0][0] < group_w:
+            self.outputs.append(heapq.heappop(self._pending)[2])
+        if group_w >= MAX_TIME:
+            while self._pending:
+                self.outputs.append(heapq.heappop(self._pending)[2])
+            self.flushed = True
+        self.watermark = max(self.watermark, group_w)
+
+
+class _GroupChain:
+    """One group's live sub-plan inside a streaming GroupApply."""
+
+    def __init__(self, node: GroupApplyNode, key: Tuple, engine: "StreamingEngine"):
+        self.key_columns = dict(zip(node.keys, key))
+        self.sub = StreamingEngine(
+            node.subplan_root, _group_input=node.group_input
+        )
+        self.watermark = MIN_TIME
+
+    def _attach_key(self, events: Iterable[Event]) -> List[Event]:
+        out = []
+        for e in events:
+            payload = dict(e.payload)
+            payload.update(self.key_columns)
+            out.append(e.with_payload(payload))
+        return out
+
+    def push(self, event: Event) -> List[Event]:
+        return self._attach_key(self.sub.push_event("<group>", event))
+
+    def advance(self, watermark: int) -> List[Event]:
+        if watermark >= MAX_TIME:
+            outs = self._attach_key(self.sub.flush())
+            self.watermark = MAX_TIME
+        else:
+            outs = self._attach_key(self.sub.advance_to(watermark))
+            self.watermark = self.sub.output_watermark
+        return outs
+
+
+class StreamingEngine:
+    """Incremental execution of one CQ plan over pushed events.
+
+    ``slack`` enables bounded out-of-order arrival (the disorder handling
+    Section II-C notes custom reducers cannot do "without complex data
+    structures"): an event may arrive up to ``slack`` ticks later than
+    the newest event already pushed on its source. Late-but-in-slack
+    events are reorder-buffered and the source watermark trails the
+    newest timestamp by the slack, so every downstream result stays
+    exact — latency is traded for disorder tolerance. Events later than
+    the slack are rejected.
+    """
+
+    def __init__(
+        self,
+        query: Union[Query, PlanNode],
+        slack: int = 0,
+        _group_input: Optional[GroupInputNode] = None,
+    ):
+        if slack < 0:
+            raise ValueError("slack must be non-negative")
+        self.slack = slack
+        self._reorder: Dict[str, List] = {}
+        self._reorder_seq = itertools.count()
+        root = query.to_plan() if isinstance(query, Query) else query
+        self._order = topological_order(root)
+        self._nodes: Dict[int, _Node] = {}
+        # several SourceNode objects may share one name (a multicast
+        # written as two Query.source("x") calls); all of them are fed
+        self._sources: Dict[str, List[_Node]] = {}
+        self._parents: Dict[int, List[Tuple[_Node, int]]] = {}
+        self._cursors: Dict[Tuple[int, int], int] = {}
+        for plan_node in self._order:
+            _future_extent(plan_node)  # validates streamability up front
+            node = _Node(plan_node, self)
+            self._nodes[plan_node.node_id] = node
+            if isinstance(plan_node, SourceNode):
+                self._sources.setdefault(plan_node.name, []).append(node)
+            if _group_input is not None and plan_node is _group_input:
+                self._sources.setdefault("<group>", []).append(node)
+        for plan_node in self._order:
+            for i, child in enumerate(plan_node.inputs):
+                self._parents.setdefault(child.node_id, []).append(
+                    (self._nodes[plan_node.node_id], i)
+                )
+        self._root = self._nodes[root.node_id]
+        self._released = 0
+        self._flushed = False
+
+    # -- public API -----------------------------------------------------------
+
+    @property
+    def output_watermark(self) -> int:
+        return self._root.watermark
+
+    def push(self, source: str, item: Union[Event, dict]) -> List[Event]:
+        """Push one event (or row with a Time column) and return new
+        final outputs of the query. Events must arrive in LE order per
+        source; the push advances that source's watermark to the LE."""
+        event = item if isinstance(item, Event) else point_events([item])[0]
+        return self.push_event(source, event)
+
+    def push_event(self, source: str, event: Event) -> List[Event]:
+        if self.slack:
+            return self._push_with_slack(source, event)
+        nodes = self._source(source)
+        for node in nodes:
+            if event.le < node.watermark:
+                raise ValueError(
+                    f"out-of-order push on {source!r}: LE {event.le} < "
+                    f"watermark {node.watermark}"
+                )
+            node.outputs.append(event)
+            node.watermark = event.le
+        return self._propagate()
+
+    def _push_with_slack(self, source: str, event: Event) -> List[Event]:
+        """Reorder-buffer a possibly-late event (within ``slack`` ticks)."""
+        nodes = self._source(source)
+        buffer = self._reorder.setdefault(source, [])
+        newest = max((n.watermark + self.slack for n in nodes), default=MIN_TIME)
+        newest = max(newest, event.le)
+        watermark = newest - self.slack
+        if event.le < watermark:
+            raise ValueError(
+                f"event on {source!r} is {watermark - event.le} ticks later "
+                f"than the slack of {self.slack} allows"
+            )
+        heapq.heappush(buffer, (event.le, next(self._reorder_seq), event))
+        released: List[Event] = []
+        while buffer and buffer[0][0] <= watermark:
+            released.append(heapq.heappop(buffer)[2])
+        for node in nodes:
+            node.outputs.extend(released)
+            node.watermark = max(node.watermark, watermark)
+        return self._propagate()
+
+    def _drain_reorder_buffers(self) -> None:
+        for source, buffer in self._reorder.items():
+            if not buffer:
+                continue
+            nodes = self._source(source)
+            while buffer:
+                event = heapq.heappop(buffer)[2]
+                for node in nodes:
+                    node.outputs.append(event)
+
+    def advance_to(self, watermark: int) -> List[Event]:
+        """Declare every source silent before ``watermark`` (a CTI)."""
+        for nodes in self._sources.values():
+            for node in nodes:
+                node.watermark = max(node.watermark, watermark)
+        return self._propagate()
+
+    def flush(self) -> List[Event]:
+        """End of stream: emit everything still buffered."""
+        if self._flushed:
+            return []
+        self._flushed = True
+        if self.slack:
+            self._drain_reorder_buffers()
+        for nodes in self._sources.values():
+            for node in nodes:
+                node.watermark = MAX_TIME
+        return self._propagate()
+
+    def run_all(self, sources: Dict[str, Iterable]) -> List[Event]:
+        """Convenience: push entire (merged, LE-ordered) inputs and flush."""
+        tagged = []
+        for name, items in sources.items():
+            for item in items:
+                event = item if isinstance(item, Event) else point_events([item])[0]
+                tagged.append((event.le, name, event))
+        tagged.sort(key=lambda t: t[0])
+        out: List[Event] = []
+        for _, name, event in tagged:
+            # keep all source watermarks aligned so joins make progress
+            for nodes in self._sources.values():
+                for node in nodes:
+                    node.watermark = max(node.watermark, event.le)
+            out.extend(self.push_event(name, event))
+        out.extend(self.flush())
+        return out
+
+    # -- internals --------------------------------------------------------------
+
+    def _source(self, name: str) -> List[_Node]:
+        try:
+            return self._sources[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown source {name!r}; have {sorted(self._sources)}"
+            ) from None
+
+    def _propagate(self) -> List[Event]:
+        for plan_node in self._order:
+            node = self._nodes[plan_node.node_id]
+            for i, child in enumerate(plan_node.inputs):
+                child_node = self._nodes[child.node_id]
+                key = (plan_node.node_id, i)
+                cursor = self._cursors.get(key, 0)
+                fresh = child_node.outputs[cursor:]
+                self._cursors[key] = cursor + len(fresh)
+                node.inputs[i].append(fresh, child_node.watermark)
+            node.advance()
+        out = self._root.outputs[self._released :]
+        self._released = len(self._root.outputs)
+        return out

@@ -1,0 +1,53 @@
+"""Application-time primitives for the temporal algebra.
+
+The DSMS (Section II-A of the paper) reasons purely in *application time*:
+timestamps are part of the event schema, and query results are a function
+of those timestamps only — never of when tuples are physically processed.
+We model the time axis as integer *ticks* (StreamInsight uses 100 ns
+ticks; the unit is opaque to the algebra). One tick is the smallest
+representable duration, so a point event occupies the lifetime
+``[t, t + TICK)``.
+
+All public helpers return plain ``int`` values so events stay cheap.
+"""
+
+from __future__ import annotations
+
+#: Smallest representable duration; a point event lives for exactly one tick.
+TICK: int = 1
+
+#: Sentinel for "the end of time" — used for events with unbounded lifetime.
+MAX_TIME: int = 2**62
+
+#: Sentinel for "the beginning of time".
+MIN_TIME: int = -(2**62)
+
+#: Ticks per second. The reproduction uses 1 tick == 1 second, which keeps
+#: synthetic log timestamps readable; nothing in the algebra depends on it.
+TICKS_PER_SECOND: int = 1
+
+
+def seconds(n: float) -> int:
+    """Duration of ``n`` seconds, in ticks."""
+    return int(n * TICKS_PER_SECOND)
+
+
+def minutes(n: float) -> int:
+    """Duration of ``n`` minutes, in ticks."""
+    return seconds(n * 60)
+
+
+def hours(n: float) -> int:
+    """Duration of ``n`` hours, in ticks."""
+    return minutes(n * 60)
+
+
+def days(n: float) -> int:
+    """Duration of ``n`` days, in ticks."""
+    return hours(n * 24)
+
+
+def validate_interval(start: int, end: int) -> None:
+    """Raise ``ValueError`` unless ``[start, end)`` is a non-empty interval."""
+    if end <= start:
+        raise ValueError(f"empty or inverted lifetime [{start}, {end})")

@@ -1,0 +1,63 @@
+"""Plan visualization: Graphviz DOT export for CQ plans and fragments.
+
+``to_dot`` renders a logical plan (annotated or not) as a DOT digraph —
+exchanges are drawn as diamonds with their partition keys, GroupApply
+sub-plans as dashed clusters — handy when debugging TiMR annotations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from .plan import ExchangeNode, GroupApplyNode, PlanNode, SourceNode, topological_order
+from .query import Query
+
+
+def _label(node: PlanNode) -> str:
+    text = node.describe().replace('"', "'")
+    return f"{node.op_name}\\n{text}" if text != node.op_name else node.op_name
+
+
+def _shape(node: PlanNode) -> str:
+    if isinstance(node, ExchangeNode):
+        return "diamond"
+    if isinstance(node, SourceNode):
+        return "cylinder"
+    return "box"
+
+
+def to_dot(query: Union[Query, PlanNode], name: str = "plan") -> str:
+    """A Graphviz DOT rendering of the plan (GroupApply bodies inlined)."""
+    root = query.to_plan() if isinstance(query, Query) else query
+    lines: List[str] = [f"digraph {name} {{", "  rankdir=BT;"]
+    emitted = set()
+    cluster_counter = [0]
+
+    def emit(node: PlanNode, indent: str = "  "):
+        if node.node_id in emitted:
+            return
+        emitted.add(node.node_id)
+        lines.append(
+            f'{indent}n{node.node_id} [label="{_label(node)}", shape={_shape(node)}];'
+        )
+        if isinstance(node, GroupApplyNode):
+            cluster_counter[0] += 1
+            lines.append(f"{indent}subgraph cluster_{cluster_counter[0]} {{")
+            lines.append(f'{indent}  label="per-group: {",".join(node.keys)}";')
+            lines.append(f"{indent}  style=dashed;")
+            for sub in topological_order(node.subplan_root):
+                emit(sub, indent + "  ")
+            lines.append(f"{indent}}}")
+            for sub in topological_order(node.subplan_root):
+                for child in sub.inputs:
+                    lines.append(f"{indent}n{child.node_id} -> n{sub.node_id};")
+            lines.append(
+                f"{indent}n{node.subplan_root.node_id} -> n{node.node_id} [style=dashed];"
+            )
+        for child in node.inputs:
+            emit(child, indent)
+            lines.append(f"{indent}n{child.node_id} -> n{node.node_id};")
+
+    emit(root)
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,186 @@
+"""Tests for data-driven ad-class derivation."""
+
+import pytest
+
+from repro.bt.ad_classes import (
+    AdClassAssignment,
+    centered_click_vectors,
+    click_vectors,
+    cosine_similarity,
+    derive_ad_classes,
+    remap_rows,
+)
+from repro.bt.schema import CLICK, IMPRESSION, KEYWORD
+
+
+def row(t, stream, user, ad):
+    return {"Time": t, "StreamId": stream, "UserId": user, "KwAdId": ad}
+
+
+def clicks(ad, users):
+    return [row(i, CLICK, u, ad) for i, u in enumerate(users)]
+
+
+class TestClickVectors:
+    def test_clicks_positive_impressions_negative(self):
+        rows = [
+            row(0, CLICK, "u", "ad"),
+            row(1, IMPRESSION, "v", "ad"),
+            row(2, KEYWORD, "w", "kw"),  # ignored
+        ]
+        vectors = click_vectors(rows, reject_weight=0.25)
+        assert vectors == {"ad": {"u": 1.0, "v": -0.25}}
+
+    def test_clicked_impression_nets_positive(self):
+        rows = [row(0, IMPRESSION, "u", "ad"), row(1, CLICK, "u", "ad")]
+        vec = click_vectors(rows)["ad"]
+        assert vec["u"] > 0
+
+
+class TestCenteredVectors:
+    def test_residual_centers_user_activity(self):
+        # user clicks everything at their personal rate: residual ~ 0
+        rows = []
+        for ad in ("a", "b"):
+            for i in range(10):
+                rows.append(row(i, IMPRESSION, "u", ad))
+            rows.append(row(100, CLICK, "u", ad))
+        vectors = centered_click_vectors(rows)
+        for vec in vectors.values():
+            assert abs(vec.get("u", 0.0)) < 1e-9 or "u" not in vec
+
+    def test_affinity_shows_as_positive_residual(self):
+        rows = []
+        for i in range(10):
+            rows.append(row(i, IMPRESSION, "u", "loved"))
+            rows.append(row(i, IMPRESSION, "u", "ignored"))
+        for i in range(5):
+            rows.append(row(100 + i, CLICK, "u", "loved"))
+        vectors = centered_click_vectors(rows)
+        assert vectors["loved"]["u"] > 0
+        assert vectors["ignored"]["u"] < 0
+
+    def test_positive_only_drops_negatives(self):
+        rows = [row(0, IMPRESSION, "u", "a"), row(1, IMPRESSION, "u", "b"),
+                row(2, CLICK, "u", "a")]
+        vectors = centered_click_vectors(rows, positive_only=True)
+        assert "u" in vectors.get("a", {})
+        assert "u" not in vectors.get("b", {})
+
+    def test_user_without_impressions_ignored(self):
+        # a click with no impression history cannot be centered
+        rows = [row(0, CLICK, "u", "a")]
+        assert centered_click_vectors(rows) == {}
+
+
+class TestCosine:
+    def test_identical(self):
+        assert cosine_similarity({"a": 1.0}, {"a": 2.0}) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        assert cosine_similarity({"a": 1.0}, {"b": 1.0}) == 0.0
+
+    def test_opposed(self):
+        assert cosine_similarity({"a": 1.0}, {"a": -1.0}) == pytest.approx(-1.0)
+
+    def test_empty(self):
+        assert cosine_similarity({}, {"a": 1.0}) == 0.0
+
+
+class TestDeriveAdClasses:
+    def test_same_clickers_same_class(self):
+        shared = [f"u{i}" for i in range(10)]
+        rows = clicks("laptop_pro", shared) + clicks("laptop_air", shared)
+        rows += clicks("diet_plan", [f"v{i}" for i in range(10)])
+        assignment = derive_ad_classes(click_vectors(rows))
+        assert assignment.class_of("laptop_pro") == assignment.class_of("laptop_air")
+        assert assignment.class_of("diet_plan") != assignment.class_of("laptop_pro")
+
+    def test_threshold_controls_grouping(self):
+        half_shared = clicks("a", [f"u{i}" for i in range(10)]) + clicks(
+            "b", [f"u{i}" for i in range(5)] + [f"w{i}" for i in range(5)]
+        )
+        vectors = click_vectors(half_shared)
+        loose = derive_ad_classes(vectors, similarity_threshold=0.3)
+        strict = derive_ad_classes(vectors, similarity_threshold=0.95)
+        assert loose.class_of("a") == loose.class_of("b")
+        assert strict.class_of("a") != strict.class_of("b")
+
+    def test_thin_ads_stay_singletons(self):
+        rows = clicks("popular", [f"u{i}" for i in range(10)]) + clicks(
+            "rare", ["u0"]
+        )
+        assignment = derive_ad_classes(click_vectors(rows), min_users=3)
+        assert assignment.class_of("rare") != assignment.class_of("popular")
+
+    def test_unseen_ad_maps_to_itself(self):
+        assignment = AdClassAssignment(classes={}, members={})
+        assert assignment.class_of("mystery") == "mystery"
+
+    def test_class_count(self):
+        shared = [f"u{i}" for i in range(6)]
+        rows = clicks("a", shared) + clicks("b", shared) + clicks("c", ["z1", "z2", "z3"])
+        assignment = derive_ad_classes(click_vectors(rows))
+        assert assignment.num_classes == 2
+
+    def test_generator_ads_with_shared_audience_cluster(self):
+        """Two synthetic ads served to the same liker population merge."""
+        import numpy as np
+
+        rng = np.random.default_rng(5)
+        likers = [f"fan{i}" for i in range(40)]
+        others = [f"other{i}" for i in range(40)]
+        rows = []
+        t = 0
+        for ad in ("phone_v1", "phone_v2"):
+            for u in likers:
+                rows.append(row(t, IMPRESSION, u, ad))
+                if rng.random() < 0.8:
+                    rows.append(row(t + 1, CLICK, u, ad))
+                t += 2
+            for u in others:
+                rows.append(row(t, IMPRESSION, u, ad))
+                t += 1
+        for u in others:
+            rows.append(row(t, CLICK, u, "garden_ad"))
+            t += 1
+        assignment = derive_ad_classes(click_vectors(rows), similarity_threshold=0.2)
+        assert assignment.class_of("phone_v1") == assignment.class_of("phone_v2")
+        assert assignment.class_of("garden_ad") != assignment.class_of("phone_v1")
+
+
+class TestPipelineIntegration:
+    def test_pipeline_trains_per_derived_class(self, dataset):
+        """Section IV-A end to end: derive classes, train one model each."""
+        from repro.bt import BTPipeline, KEZSelector
+
+        vectors = centered_click_vectors(dataset.rows, positive_only=True)
+        assignment = derive_ad_classes(vectors, similarity_threshold=0.3)
+        result = BTPipeline(
+            selector=KEZSelector(z_threshold=1.28), ad_classes=assignment
+        ).run(dataset.rows)
+        # every evaluated "ad" is now a derived class label
+        assert set(result.evaluations) <= {
+            assignment.class_of(ad) for ad in assignment.classes
+        } | set(result.evaluations)
+        assert result.train_examples > 0
+
+
+class TestRemapRows:
+    def test_rewrites_ads_not_keywords(self):
+        rows = [
+            row(0, CLICK, "u", "laptop_pro"),
+            row(1, KEYWORD, "u", "laptop_pro"),  # a keyword may collide by name
+        ]
+        assignment = AdClassAssignment(
+            classes={"laptop_pro": "class:laptops"}, members={}
+        )
+        out = remap_rows(rows, assignment)
+        assert out[0]["KwAdId"] == "class:laptops"
+        assert out[1]["KwAdId"] == "laptop_pro"
+
+    def test_originals_untouched(self):
+        rows = [row(0, CLICK, "u", "x")]
+        assignment = AdClassAssignment(classes={"x": "class:y"}, members={})
+        remap_rows(rows, assignment)
+        assert rows[0]["KwAdId"] == "x"

@@ -1,0 +1,79 @@
+"""Tests for demographic prediction from browsing behavior."""
+
+import pytest
+
+from repro.bt.demographics import DemographicPredictor, user_profiles
+from repro.bt.schema import CLICK, KEYWORD
+from repro.data import GeneratorConfig, generate
+
+
+def row(t, stream, user, kwad):
+    return {"Time": t, "StreamId": stream, "UserId": user, "KwAdId": kwad}
+
+
+class TestUserProfiles:
+    def test_counts_keywords_only(self):
+        rows = [
+            row(0, KEYWORD, "u", "cats"),
+            row(1, KEYWORD, "u", "cats"),
+            row(2, CLICK, "u", "ad"),
+        ]
+        profiles = user_profiles(rows)
+        assert profiles == {"u": {"cats": 2.0}}
+
+    def test_per_user(self):
+        rows = [row(0, KEYWORD, "a", "x"), row(0, KEYWORD, "b", "y")]
+        assert set(user_profiles(rows)) == {"a", "b"}
+
+
+class TestDemographicPrediction:
+    @pytest.fixture(scope="class")
+    def demo_dataset(self):
+        return generate(GeneratorConfig(num_users=500, duration_days=3, seed=11))
+
+    def test_ground_truth_populated(self, demo_dataset):
+        demos = demo_dataset.truth.demographics
+        assert set(demos.values()) <= {"teen", "adult", "senior"}
+        # bots carry no demographic
+        assert not set(demos) & demo_dataset.truth.bots
+
+    def test_beats_majority_baseline(self, demo_dataset):
+        """Interest-biased behavior carries demographic signal."""
+        labels = demo_dataset.truth.demographics
+        train, test = demo_dataset.split_by_time(0.5)
+        predictor = DemographicPredictor()
+        model = predictor.fit(train, labels)
+        evaluation = predictor.evaluate(model, test, labels)
+        assert evaluation.accuracy > evaluation.majority_baseline
+
+    def test_recall_per_class_reported(self, demo_dataset):
+        labels = demo_dataset.truth.demographics
+        train, test = demo_dataset.split_by_time(0.5)
+        predictor = DemographicPredictor()
+        model = predictor.fit(train, labels)
+        evaluation = predictor.evaluate(model, test, labels)
+        assert set(evaluation.per_class_recall) <= {"teen", "adult", "senior"}
+        assert all(0 <= r <= 1 for r in evaluation.per_class_recall.values())
+
+    def test_teen_keywords_predict_teen(self, demo_dataset):
+        labels = demo_dataset.truth.demographics
+        model = DemographicPredictor().fit(demo_dataset.rows, labels)
+        teen_profile = {"icarly": 3.0, "hannah": 2.0, "games": 2.0, "prom": 1.0}
+        senior_profile = {"premium": 3.0, "dividend": 2.0, "retirement": 2.0}
+        teen_scores = model.scores(teen_profile)
+        senior_scores = model.scores(senior_profile)
+        assert teen_scores["teen"] > senior_scores["teen"]
+        assert senior_scores["senior"] > teen_scores["senior"]
+
+    def test_unlabeled_users_ignored(self):
+        rows = [row(i, KEYWORD, "u", f"k{i}") for i in range(5)]
+        with pytest.raises(ValueError):
+            DemographicPredictor().fit(rows, labels={})
+
+    def test_thin_profiles_skipped(self):
+        rows = [row(0, KEYWORD, "thin", "x")] + [
+            row(i, KEYWORD, "rich", f"k{i % 4}") for i in range(8)
+        ]
+        predictor = DemographicPredictor(min_profile=3)
+        data = predictor._labeled_profiles(rows, {"thin": "teen", "rich": "adult"})
+        assert [u for u, _, _ in data] == ["rich"]

@@ -1,0 +1,93 @@
+"""Tests for example assembly from labeled activities and sparse rows."""
+
+import pytest
+
+from repro.bt import Example, assemble_examples, build_examples, split_by_ad
+from repro.bt.schema import BTConfig
+
+
+def act(t, user, ad, y):
+    return {"Time": t, "UserId": user, "AdId": ad, "y": y}
+
+
+def sparse(t, user, ad, y, kw, count):
+    return {"Time": t, "UserId": user, "AdId": ad, "y": y, "Keyword": kw, "Count": count}
+
+
+class TestAssembleExamples:
+    def test_features_attach_to_activity(self):
+        acts = [act(10, "u", "ad", 1)]
+        rows = [sparse(10, "u", "ad", 1, "dell", 2)]
+        out = assemble_examples(acts, rows)
+        assert len(out) == 1
+        assert out[0].features == {"dell": 2.0}
+        assert out[0].y == 1
+
+    def test_activity_without_features_kept(self):
+        out = assemble_examples([act(10, "u", "ad", 0)], [])
+        assert len(out) == 1
+        assert out[0].features == {}
+        assert out[0].profile_size == 0
+
+    def test_multiple_keywords_one_activity(self):
+        acts = [act(10, "u", "ad", 0)]
+        rows = [
+            sparse(10, "u", "ad", 0, "a", 1),
+            sparse(10, "u", "ad", 0, "b", 3),
+        ]
+        out = assemble_examples(acts, rows)
+        assert out[0].features == {"a": 1.0, "b": 3.0}
+
+    def test_click_and_nonclick_same_instant_distinct(self):
+        acts = [act(10, "u", "ad", 0), act(10, "u", "ad", 1)]
+        out = assemble_examples(acts, [])
+        assert len(out) == 2
+
+    def test_orphan_sparse_row_raises(self):
+        with pytest.raises(ValueError):
+            assemble_examples([], [sparse(10, "u", "ad", 0, "a", 1)])
+
+    def test_deterministic_order(self):
+        acts = [act(10, "b", "ad", 0), act(5, "a", "ad", 1)]
+        out1 = assemble_examples(list(acts), [])
+        out2 = assemble_examples(list(reversed(acts)), [])
+        assert [(e.user, e.time) for e in out1] == [(e.user, e.time) for e in out2]
+
+
+class TestBuildExamples:
+    def test_examples_from_unified_rows(self):
+        rows = [
+            {"Time": 0, "StreamId": 2, "UserId": "u", "KwAdId": "dell"},
+            {"Time": 100, "StreamId": 0, "UserId": "u", "KwAdId": "laptop"},
+            {"Time": 130, "StreamId": 1, "UserId": "u", "KwAdId": "laptop"},
+            {"Time": 9000, "StreamId": 0, "UserId": "u", "KwAdId": "movies"},
+        ]
+        out = build_examples(rows, BTConfig())
+        by_ad = split_by_ad(out)
+        assert set(by_ad) == {"laptop", "movies"}
+        laptop = by_ad["laptop"]
+        assert len(laptop) == 1  # the impression was clicked -> click example
+        assert laptop[0].y == 1
+        assert laptop[0].features == {"dell": 1.0}
+        assert by_ad["movies"][0].y == 0
+
+    def test_counts_match_custom_baseline(self, dataset):
+        from repro.bt.baselines import custom_training_rows
+
+        cfg = BTConfig()
+        subset = dataset.rows[:5000]
+        out = build_examples(subset, cfg)
+        sparse_total = sum(len(e.features) for e in out)
+        assert sparse_total == len(custom_training_rows(subset, cfg))
+
+
+class TestSplitByAd:
+    def test_groups(self):
+        examples = [
+            Example("u", "a", 0, 0),
+            Example("u", "b", 1, 1),
+            Example("v", "a", 2, 0),
+        ]
+        by_ad = split_by_ad(examples)
+        assert len(by_ad["a"]) == 2
+        assert len(by_ad["b"]) == 1

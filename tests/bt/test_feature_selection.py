@@ -1,0 +1,147 @@
+"""Tests for the three data-reduction schemes (KE-z, KE-pop, F-Ex)."""
+
+import pytest
+
+from repro.bt import (
+    BTConfig,
+    FExSelector,
+    KEPopSelector,
+    KEZSelector,
+    build_examples,
+    top_keywords,
+)
+from repro.data import GENERIC_KEYWORDS, NEGATIVE_KEYWORDS, POSITIVE_KEYWORDS
+from repro.data.concepts import NUM_CATEGORIES
+
+
+@pytest.fixture(scope="module")
+def train_examples(dataset):
+    cfg = BTConfig()
+    clean_rows = [r for r in dataset.rows if r["UserId"] not in dataset.truth.bots]
+    return build_examples(clean_rows, cfg)
+
+
+class TestKEZSelector:
+    def test_planted_positive_keywords_score_high(self, train_examples):
+        selector = KEZSelector(z_threshold=1.96)
+        result = selector.fit(train_examples)
+        pos, neg = top_keywords(result, "deodorant", n=8)
+        top_names = {k for k, z in pos}
+        planted = set(POSITIVE_KEYWORDS["deodorant"])
+        assert len(top_names & planted) >= 4
+
+    def test_positive_scores_are_positive(self, train_examples):
+        result = KEZSelector().fit(train_examples)
+        for ad, scores in result.scores.items():
+            planted = set(POSITIVE_KEYWORDS[ad])
+            strong = {k: z for k, z in scores.items() if k in planted and z > 3}
+            for k, z in strong.items():
+                assert z > 0
+
+    def test_generic_keywords_not_strongly_positive(self, train_examples):
+        """google/facebook are frequent but uncorrelated: small or negative z."""
+        result = KEZSelector().fit(train_examples)
+        for ad, scores in result.scores.items():
+            for kw in GENERIC_KEYWORDS:
+                if kw in scores and kw not in POSITIVE_KEYWORDS[ad]:
+                    if kw in NEGATIVE_KEYWORDS[ad]:
+                        continue
+                    assert scores[kw] < 5.0
+
+    def test_threshold_monotone(self, train_examples):
+        loose = KEZSelector(z_threshold=1.28).fit(train_examples)
+        strict = KEZSelector(z_threshold=2.56).fit(train_examples)
+        for ad in loose.retained:
+            assert strict.retained.get(ad, set()) <= loose.retained[ad]
+
+    def test_min_support_filters_rare(self, train_examples):
+        high_support = KEZSelector(z_threshold=0.0, min_support=50).fit(train_examples)
+        low_support = KEZSelector(z_threshold=0.0, min_support=1).fit(train_examples)
+        for ad in low_support.scores:
+            assert len(high_support.scores.get(ad, {})) <= len(low_support.scores[ad])
+
+    def test_transform_filters_features(self, train_examples):
+        selector = KEZSelector()
+        selector.fit(train_examples)
+        ad = next(iter(selector.result.retained))
+        keep = selector.result.retained[ad]
+        if keep:
+            kw = next(iter(keep))
+            reduced = selector.transform(ad, {kw: 2.0, "definitely_noise_kw": 1.0})
+            assert reduced == {kw: 2.0}
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            KEZSelector().transform("ad", {})
+
+    def test_matches_query_path(self, dataset, train_examples):
+        """The offline KE-z math equals the CalcScore temporal query."""
+        from repro.bt import feature_selection_query
+        from repro.temporal import Query, run_query
+        from repro.temporal.time import days
+
+        cfg = BTConfig(z_threshold=1.96)
+        clean_rows = [r for r in dataset.rows if r["UserId"] not in dataset.truth.bots]
+        horizon = days(dataset.config.duration_days) + days(1)
+        out = run_query(
+            feature_selection_query(Query.source("logs"), cfg, horizon),
+            {"logs": clean_rows},
+        )
+        via_query = {
+            (e.payload["AdId"], e.payload["Keyword"]): round(e.payload["z"], 9)
+            for e in out
+        }
+        selector = KEZSelector(config=cfg)
+        result = selector.fit(train_examples)
+        via_offline = {
+            (ad, kw): round(z, 9)
+            for ad, scores in result.scores.items()
+            for kw, z in scores.items()
+            if abs(z) > cfg.z_threshold
+        }
+        assert via_query == via_offline
+
+
+class TestKEPopSelector:
+    def test_retains_top_n(self, train_examples):
+        selector = KEPopSelector(top_n=10)
+        result = selector.fit(train_examples)
+        for ad, retained in result.retained.items():
+            assert len(retained) <= 10
+
+    def test_popular_generic_keywords_survive(self, train_examples):
+        """The baseline's flaw: frequent-but-irrelevant keywords retained."""
+        result = KEPopSelector(top_n=15).fit(train_examples)
+        hits = sum(
+            1
+            for ad, retained in result.retained.items()
+            if retained & set(GENERIC_KEYWORDS)
+        )
+        assert hits >= len(result.retained) // 2
+
+    def test_invalid_top_n(self):
+        with pytest.raises(ValueError):
+            KEPopSelector(top_n=0)
+
+
+class TestFExSelector:
+    def test_dimensionality_bounded_by_hierarchy(self, train_examples):
+        selector = FExSelector()
+        result = selector.fit(train_examples)
+        for ad in result.retained:
+            assert len(result.retained[ad]) <= NUM_CATEGORIES
+
+    def test_transform_maps_to_categories(self, train_examples):
+        selector = FExSelector()
+        selector.fit(train_examples)
+        reduced = selector.transform("laptop", {"dell": 2.0})
+        assert reduced
+        assert all(k.startswith("cat") for k in reduced)
+
+    def test_profile_grows_not_shrinks(self):
+        """Each keyword maps to up to 3 categories (Section V-D: F-Ex
+        profiles average ~8 entries vs 3.7 raw)."""
+        selector = FExSelector()
+        profile = {f"kw{i}": 1.0 for i in range(10)}
+        reduced = selector.transform("any", profile)
+        assert len(reduced) >= len(profile) * 0.8

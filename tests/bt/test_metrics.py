@@ -1,0 +1,117 @@
+"""Tests for CTR / lift / coverage metrics."""
+
+import pytest
+
+from repro.bt import (
+    Example,
+    area_under_lift,
+    ctr,
+    keyword_example_sets,
+    lift_at_coverage,
+    lift_coverage_curve,
+)
+
+
+def ex(y, features=None, i=0):
+    return Example(user=f"u{i}", ad="ad", time=i, y=y, features=features or {})
+
+
+class TestCTR:
+    def test_basic(self):
+        examples = [ex(1), ex(0), ex(0), ex(0)]
+        assert ctr(examples) == 0.25
+
+    def test_empty(self):
+        assert ctr([]) == 0.0
+
+
+class TestLiftCoverageCurve:
+    def test_full_coverage_has_zero_lift(self):
+        y = [1, 0, 0, 1, 0, 0, 0, 0]
+        scores = [0.9, 0.1, 0.2, 0.8, 0.3, 0.1, 0.2, 0.1]
+        curve = lift_coverage_curve(y, scores, num_points=8)
+        assert curve[-1].coverage == pytest.approx(1.0)
+        assert curve[-1].lift == pytest.approx(0.0, abs=1e-12)
+
+    def test_perfect_model_lift_at_low_coverage(self):
+        y = [1, 1, 0, 0, 0, 0, 0, 0, 0, 0]
+        scores = [0.9, 0.8] + [0.1] * 8
+        curve = lift_coverage_curve(y, scores, num_points=10)
+        low = min(curve, key=lambda p: p.coverage)
+        assert low.ctr == 1.0
+        assert low.lift == pytest.approx(1.0 - 0.2)
+
+    def test_random_model_no_lift(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        y = (rng.random(4000) < 0.1).astype(int).tolist()
+        scores = rng.random(4000).tolist()
+        curve = lift_coverage_curve(y, scores)
+        assert abs(area_under_lift(curve)) < 0.02
+
+    def test_curve_is_sorted_by_coverage(self):
+        y = [1, 0, 1, 0]
+        s = [0.4, 0.1, 0.9, 0.3]
+        curve = lift_coverage_curve(y, s, num_points=4)
+        covs = [p.coverage for p in curve]
+        assert covs == sorted(covs)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            lift_coverage_curve([1, 0], [0.5])
+
+    def test_empty(self):
+        assert lift_coverage_curve([], []) == []
+
+
+class TestAreaAndLiftAt:
+    def test_area_positive_for_good_model(self):
+        y = [1] * 10 + [0] * 90
+        scores = [0.9] * 10 + [0.1] * 90
+        curve = lift_coverage_curve(y, scores)
+        assert area_under_lift(curve) > 0.1
+
+    def test_area_respects_max_coverage(self):
+        y = [1] * 10 + [0] * 90
+        scores = [0.9] * 10 + [0.1] * 90
+        curve = lift_coverage_curve(y, scores)
+        assert area_under_lift(curve, max_coverage=0.2) <= area_under_lift(curve)
+
+    def test_lift_at_coverage_picks_nearest(self):
+        y = [1] * 10 + [0] * 90
+        scores = [0.9] * 10 + [0.1] * 90
+        curve = lift_coverage_curve(y, scores)
+        assert lift_at_coverage(curve, 0.1) > lift_at_coverage(curve, 1.0)
+
+    def test_empty_curve(self):
+        assert area_under_lift([]) == 0.0
+        assert lift_at_coverage([], 0.5) == 0.0
+
+
+class TestKeywordExampleSets:
+    def test_figure21_shape(self):
+        pos, neg = {"dell"}, {"vera"}
+        examples = (
+            [ex(1, {"dell": 1.0}, i) for i in range(6)]
+            + [ex(0, {"dell": 1.0}, i + 10) for i in range(4)]
+            + [ex(0, {"vera": 1.0}, i + 20) for i in range(9)]
+            + [ex(1, {"vera": 1.0}, i + 30) for i in range(1)]
+            + [ex(0, {}, i + 40) for i in range(20)]
+        )
+        rows = keyword_example_sets(examples, pos, neg)
+        by_label = {r.label: r for r in rows}
+        assert by_label["All"].impressions == 40
+        assert by_label[">=1 pos kw"].ctr == pytest.approx(0.6)
+        assert by_label[">=1 pos kw"].lift_percent > 0
+        assert by_label[">=1 neg kw"].lift_percent < by_label[">=1 pos kw"].lift_percent
+        assert by_label["Only pos kws"].impressions == 10
+        assert by_label["Only neg kws"].impressions == 10
+
+    def test_mixed_profiles_excluded_from_only_sets(self):
+        examples = [ex(1, {"dell": 1.0, "vera": 1.0})]
+        rows = keyword_example_sets(examples, {"dell"}, {"vera"})
+        by_label = {r.label: r for r in rows}
+        assert by_label["Only pos kws"].impressions == 0
+        assert by_label["Only neg kws"].impressions == 0
+        assert by_label[">=1 pos kw"].impressions == 1

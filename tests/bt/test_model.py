@@ -1,0 +1,129 @@
+"""Tests for logistic-regression training and CTR calibration."""
+
+import numpy as np
+import pytest
+
+from repro.bt import Example, ModelTrainer
+
+
+def make_examples(n, p_click_with, p_click_without, seed=0, kw="dell"):
+    """Synthetic examples where feature presence drives the click rate."""
+    rng = np.random.default_rng(seed)
+    out = []
+    for i in range(n):
+        has_kw = rng.random() < 0.4
+        p = p_click_with if has_kw else p_click_without
+        y = int(rng.random() < p)
+        features = {kw: 1.0} if has_kw else {}
+        out.append(Example(user=f"u{i}", ad="ad", time=i, y=y, features=features))
+    return out
+
+
+IDENTITY = staticmethod(lambda ad, f: f)
+
+
+def identity(ad, features):
+    return features
+
+
+class TestTraining:
+    def test_learns_positive_weight(self):
+        examples = make_examples(2000, 0.6, 0.05)
+        model = ModelTrainer(seed=1).fit("ad", examples, identity)
+        idx = model.feature_index["dell"]
+        assert model.weights[idx] > 1.0
+
+    def test_learns_negative_weight(self):
+        examples = make_examples(2000, 0.01, 0.3)
+        model = ModelTrainer(seed=1).fit("ad", examples, identity)
+        idx = model.feature_index["dell"]
+        assert model.weights[idx] < -1.0
+
+    def test_prediction_orders_examples(self):
+        examples = make_examples(2000, 0.6, 0.05)
+        model = ModelTrainer(seed=1).fit("ad", examples, identity)
+        assert model.predict({"dell": 1.0}) > model.predict({})
+
+    def test_balanced_sampling_equalizes_classes(self):
+        examples = make_examples(3000, 0.5, 0.02)
+        trainer = ModelTrainer(seed=1, balance_negatives=True)
+        model = trainer.fit("ad", examples, identity)
+        # balanced: positives about half of the training set
+        ratio = model.stats.num_positives / model.stats.num_examples
+        assert 0.4 < ratio < 0.6
+
+    def test_unbalanced_keeps_all(self):
+        examples = make_examples(1000, 0.5, 0.02)
+        trainer = ModelTrainer(seed=1, balance_negatives=False, validation_fraction=0.0)
+        model = trainer.fit("ad", examples, identity)
+        assert model.stats.num_examples == 1000
+
+    def test_no_positives_degenerates_gracefully(self):
+        examples = [
+            Example(user=f"u{i}", ad="ad", time=i, y=0, features={"k": 1.0})
+            for i in range(50)
+        ]
+        model = ModelTrainer(seed=1).fit("ad", examples, identity)
+        assert model.predict({"k": 1.0}) < 0.5
+
+    def test_stats_populated(self):
+        examples = make_examples(500, 0.5, 0.05)
+        model = ModelTrainer(seed=1).fit("ad", examples, identity)
+        s = model.stats
+        assert s.num_features >= 1
+        assert s.learn_seconds > 0
+        assert s.iterations >= 1
+        assert s.avg_profile_entries > 0
+
+    def test_deterministic_given_seed(self):
+        examples = make_examples(800, 0.5, 0.05)
+        m1 = ModelTrainer(seed=3).fit("ad", list(examples), identity)
+        m2 = ModelTrainer(seed=3).fit("ad", list(examples), identity)
+        assert m1.intercept == m2.intercept
+        assert np.array_equal(m1.weights, m2.weights)
+
+
+class TestCalibration:
+    def test_calibrated_ctr_tracks_true_rates(self):
+        examples = make_examples(6000, 0.6, 0.05, seed=2)
+        model = ModelTrainer(seed=1, validation_fraction=0.3).fit(
+            "ad", examples, identity
+        )
+        ctr_with = model.predict_ctr({"dell": 1.0})
+        ctr_without = model.predict_ctr({})
+        assert ctr_with > ctr_without
+        assert 0.3 < ctr_with < 0.9
+        assert ctr_without < 0.2
+
+    def test_calibration_monotone_on_avg(self):
+        examples = make_examples(6000, 0.6, 0.05, seed=2)
+        model = ModelTrainer(seed=1).fit("ad", examples, identity)
+        lo = model.calibrate(0.1)
+        hi = model.calibrate(0.9)
+        assert hi >= lo
+
+    def test_empty_calibration_passthrough(self):
+        examples = make_examples(200, 0.6, 0.05)
+        trainer = ModelTrainer(seed=1, validation_fraction=0.0)
+        model = trainer.fit("ad", examples, identity)
+        assert model.calibrate(0.37) == 0.37
+
+
+class TestLearningTimeScaling:
+    def test_more_features_cost_more(self):
+        """Section V-D: F-Ex's higher dimensionality slows learning."""
+        rng = np.random.default_rng(0)
+        few, many = [], []
+        for i in range(1500):
+            y = int(rng.random() < 0.3)
+            few.append(Example(f"u{i}", "ad", i, y, {f"k{rng.integers(5)}": 1.0}))
+            many.append(
+                Example(
+                    f"u{i}", "ad", i, y,
+                    {f"k{rng.integers(800)}": 1.0 for _ in range(6)},
+                )
+            )
+        t_few = ModelTrainer(seed=1).fit("ad", few, identity).stats
+        t_many = ModelTrainer(seed=1).fit("ad", many, identity).stats
+        assert t_many.num_features > t_few.num_features
+        assert t_many.learn_seconds > t_few.learn_seconds

@@ -1,0 +1,117 @@
+"""End-to-end BT pipeline tests, including the headline comparison:
+KE-z must beat F-Ex and KE-pop on CTR lift at low coverage (Figs 22-23).
+"""
+
+import pytest
+
+from repro.bt import (
+    BTConfig,
+    BTPipeline,
+    FExSelector,
+    KEPopSelector,
+    KEZSelector,
+    lift_at_coverage,
+)
+
+
+@pytest.fixture(scope="module")
+def kez_result(dataset):
+    return BTPipeline(selector=KEZSelector(z_threshold=1.28)).run(dataset.rows)
+
+
+class TestPipelineMechanics:
+    def test_bot_rows_removed(self, dataset, kez_result):
+        assert kez_result.rows_after_bot_elimination < kez_result.rows_in
+        removed = kez_result.rows_in - kez_result.rows_after_bot_elimination
+        bot_rows = sum(1 for r in dataset.rows if r["UserId"] in dataset.truth.bots)
+        # most removed rows belong to actual bots
+        assert removed > 0.5 * bot_rows
+
+    def test_examples_built_for_both_halves(self, kez_result):
+        assert kez_result.train_examples > 500
+        assert kez_result.test_examples > 500
+
+    def test_models_for_most_ad_classes(self, kez_result):
+        assert len(kez_result.evaluations) >= 6
+
+    def test_positive_mean_lift_area(self, kez_result):
+        assert kez_result.mean_auc_lift > 0
+
+    def test_phase_timings_recorded(self, kez_result):
+        assert set(kez_result.phase_seconds) == {
+            "bot_elimination",
+            "training_data",
+            "selection_and_models",
+            "evaluation",
+        }
+        assert all(v >= 0 for v in kez_result.phase_seconds.values())
+
+    def test_curves_well_formed(self, kez_result):
+        for ev in kez_result.evaluations.values():
+            assert ev.curve
+            assert ev.curve[-1].coverage == pytest.approx(1.0)
+            assert abs(ev.curve[-1].lift) < 1e-9
+
+
+class TestSelectorComparison:
+    """The paper's comparison: KE-z lift beats F-Ex and KE-pop at 0-20%
+    coverage (Figures 22-23)."""
+
+    @pytest.fixture(scope="class")
+    def results(self, dataset):
+        out = {}
+        for name, selector in [
+            ("KE-z", KEZSelector(z_threshold=1.28)),
+            ("F-Ex", FExSelector()),
+            ("KE-pop", KEPopSelector(top_n=50)),
+        ]:
+            out[name] = BTPipeline(selector=selector).run(dataset.rows)
+        return out
+
+    def _mean_lift(self, result, coverage):
+        lifts = [
+            lift_at_coverage(ev.curve, coverage)
+            for ev in result.evaluations.values()
+        ]
+        return sum(lifts) / len(lifts) if lifts else 0.0
+
+    def test_kez_beats_fex_at_low_coverage(self, results):
+        assert self._mean_lift(results["KE-z"], 0.1) > self._mean_lift(
+            results["F-Ex"], 0.1
+        )
+
+    def test_kez_beats_kepop_at_low_coverage(self, results):
+        assert self._mean_lift(results["KE-z"], 0.1) > self._mean_lift(
+            results["KE-pop"], 0.1
+        )
+
+    def test_kez_dimensionality_lowest(self, results):
+        """Figure 20: KE-z reduces dimensions by up to an order of
+        magnitude; F-Ex stays around the hierarchy size."""
+        for ad, ev in results["KE-z"].evaluations.items():
+            fex_ev = results["F-Ex"].evaluations.get(ad)
+            if fex_ev is not None:
+                assert ev.dimensions < fex_ev.dimensions
+
+    def test_kez_learning_faster_than_fex(self, results):
+        """Section V-D: LR learning time grows with dimensionality."""
+        kez = sum(
+            ev.model.stats.learn_seconds
+            for ev in results["KE-z"].evaluations.values()
+        )
+        fex = sum(
+            ev.model.stats.learn_seconds
+            for ev in results["F-Ex"].evaluations.values()
+        )
+        assert kez < fex
+
+    def test_kez_memory_lower_than_fex(self, results):
+        """Section V-D: avg UBP entries — F-Ex grows profiles (~3 cats
+        per keyword), KE-z shrinks them."""
+        for ad, ev in results["KE-z"].evaluations.items():
+            fex_ev = results["F-Ex"].evaluations.get(ad)
+            if fex_ev is not None:
+                assert (
+                    ev.model.stats.avg_profile_entries
+                    < fex_ev.model.stats.avg_profile_entries
+                )

@@ -1,0 +1,192 @@
+"""Tests for the BT temporal queries, including equivalence with the
+hand-written custom-reducer baselines (the Figure 14 fairness property).
+"""
+
+from repro.bt import (
+    BTConfig,
+    bot_elimination_query,
+    feature_selection_query,
+    labeled_activity_query,
+    non_click_query,
+    query_count,
+    training_data_query,
+    ubp_query,
+)
+from repro.bt.baselines import (
+    custom_bot_elimination,
+    custom_keyword_scores,
+    custom_training_rows,
+)
+from repro.bt.schema import CLICK, IMPRESSION, KEYWORD
+from repro.temporal import Query, run_query
+from repro.temporal.event import events_to_rows
+from repro.temporal.time import days, hours, minutes
+
+
+def row(t, stream, user, kwad):
+    return {"Time": t, "StreamId": stream, "UserId": user, "KwAdId": kwad}
+
+
+SRC = Query.source("logs")
+
+
+class TestBotElimination:
+    def test_heavy_user_removed_after_list_refresh(self):
+        """The bot list refreshes at 15-min hop boundaries: events after
+        the first boundary following the burst are filtered; the burst
+        itself (before any refresh saw it) passes through — the paper's
+        "detect and eliminate bots quickly" is bounded by the hop size.
+        """
+        cfg = BTConfig(bot_search_threshold=5, bot_click_threshold=5)
+        rows = [row(i * 60, KEYWORD, "bot", f"k{i}") for i in range(10)]
+        rows += [row(3000, IMPRESSION, "bot", "ad")]  # after the 1st boundary
+        rows += [row(100, KEYWORD, "human", "k"), row(3100, IMPRESSION, "human", "ad")]
+        out = run_query(bot_elimination_query(SRC, cfg), {"logs": rows})
+        impressions = [e.payload["UserId"] for e in out if e.payload["StreamId"] == 0]
+        assert impressions == ["human"]  # the bot's impression was dropped
+
+    def test_light_user_kept(self):
+        cfg = BTConfig(bot_search_threshold=5, bot_click_threshold=5)
+        rows = [row(i * 600, KEYWORD, "u", f"k{i}") for i in range(4)]
+        out = run_query(bot_elimination_query(SRC, cfg), {"logs": rows})
+        assert len(out) == 4
+
+    def test_bot_flag_expires_with_window(self):
+        """A user is only filtered while the 6h window still flags them."""
+        cfg = BTConfig(bot_search_threshold=3, bot_click_threshold=3)
+        burst = [row(i, KEYWORD, "u", f"k{i}") for i in range(5)]
+        late = [row(hours(13), KEYWORD, "u", "late")]
+        out = run_query(bot_elimination_query(SRC, cfg), {"logs": burst + late})
+        kept = {e.payload["KwAdId"] for e in out}
+        assert "late" in kept  # the burst aged out of the window
+
+    def test_matches_custom_reducer(self, dataset):
+        cfg = BTConfig()
+        via_query = run_query(bot_elimination_query(SRC, cfg), {"logs": dataset.rows})
+        via_custom = custom_bot_elimination(dataset.rows, cfg)
+        got = events_to_rows(via_query, re_column=None)
+        want = sorted(
+            via_custom, key=lambda r: (r["Time"], r["StreamId"], r["UserId"], r["KwAdId"])
+        )
+        got = sorted(got, key=lambda r: (r["Time"], r["StreamId"], r["UserId"], r["KwAdId"]))
+        assert got == want
+
+
+class TestNonClickDetection:
+    def test_impression_with_click_dropped(self):
+        cfg = BTConfig()
+        rows = [
+            row(1000, IMPRESSION, "u", "ad"),
+            row(1000 + minutes(2), CLICK, "u", "ad"),
+            row(5000 + hours(2), IMPRESSION, "u", "ad"),
+        ]
+        out = run_query(non_click_query(SRC, cfg), {"logs": rows})
+        assert [e.le for e in out] == [5000 + hours(2)]
+
+    def test_click_after_horizon_does_not_mask(self):
+        cfg = BTConfig()
+        rows = [
+            row(1000, IMPRESSION, "u", "ad"),
+            row(1000 + minutes(6), CLICK, "u", "ad"),  # too late
+        ]
+        out = run_query(non_click_query(SRC, cfg), {"logs": rows})
+        assert len(out) == 1
+
+    def test_click_on_other_ad_does_not_mask(self):
+        cfg = BTConfig()
+        rows = [
+            row(1000, IMPRESSION, "u", "ad1"),
+            row(1060, CLICK, "u", "ad2"),
+        ]
+        out = run_query(non_click_query(SRC, cfg), {"logs": rows})
+        assert len(out) == 1
+
+
+class TestUBP:
+    def test_window_counts(self):
+        cfg = BTConfig()
+        rows = [
+            row(0, KEYWORD, "u", "cats"),
+            row(100, KEYWORD, "u", "cats"),
+            row(hours(7), KEYWORD, "u", "cats"),
+        ]
+        out = run_query(ubp_query(SRC, cfg), {"logs": rows})
+        # at t=100.. the count is 2; after 6h the early pair expires
+        counts = sorted((e.le, e.payload["Count"]) for e in out)
+        assert counts[0] == (0, 1)
+        assert (100, 2) in counts
+        assert counts[-1][1] == 1
+
+    def test_profile_is_per_user_and_keyword(self):
+        cfg = BTConfig()
+        rows = [
+            row(0, KEYWORD, "u1", "cats"),
+            row(0, KEYWORD, "u2", "cats"),
+            row(0, KEYWORD, "u1", "dogs"),
+        ]
+        out = run_query(ubp_query(SRC, cfg), {"logs": rows})
+        keys = {(e.payload["UserId"], e.payload["Keyword"]) for e in out}
+        assert keys == {("u1", "cats"), ("u2", "cats"), ("u1", "dogs")}
+
+
+class TestTrainingData:
+    def test_click_example_with_profile(self):
+        cfg = BTConfig()
+        rows = [
+            row(0, KEYWORD, "u", "laptops"),
+            row(100, IMPRESSION, "u", "laptop_ad"),
+            row(130, CLICK, "u", "laptop_ad"),
+        ]
+        out = run_query(training_data_query(SRC, cfg), {"logs": rows})
+        payloads = [e.payload for e in out]
+        ys = {p["y"] for p in payloads}
+        assert ys == {1}  # the impression was clicked -> only click examples
+        assert all(p["Keyword"] == "laptops" and p["Count"] == 1 for p in payloads)
+
+    def test_nonclick_example(self):
+        cfg = BTConfig()
+        rows = [
+            row(0, KEYWORD, "u", "cats"),
+            row(100, IMPRESSION, "u", "ad"),
+        ]
+        out = run_query(training_data_query(SRC, cfg), {"logs": rows})
+        assert len(out) == 1
+        assert out[0].payload["y"] == 0
+
+    def test_activity_without_profile_produces_no_sparse_rows(self):
+        cfg = BTConfig()
+        rows = [row(100, IMPRESSION, "u", "ad")]
+        out = run_query(training_data_query(SRC, cfg), {"logs": rows})
+        assert out == []
+        # ...but the labeled-activity stream still has it
+        acts = run_query(labeled_activity_query(SRC, cfg), {"logs": rows})
+        assert len(acts) == 1
+
+    def test_matches_custom_reducer(self, dataset):
+        cfg = BTConfig()
+        via_query = run_query(training_data_query(SRC, cfg), {"logs": dataset.rows})
+        got = events_to_rows(via_query, re_column=None)
+        want = custom_training_rows(dataset.rows, cfg)
+        keyf = lambda r: (r["Time"], r["UserId"], r["AdId"], r["y"], r["Keyword"])
+        assert sorted(got, key=keyf) == sorted(want, key=keyf)
+
+
+class TestFeatureSelectionQuery:
+    def test_matches_custom_reducer(self, dataset):
+        cfg = BTConfig()
+        horizon = days(dataset.config.duration_days) + days(1)
+        out = run_query(
+            feature_selection_query(SRC, cfg, horizon), {"logs": dataset.rows}
+        )
+        got = sorted(
+            (e.payload["AdId"], e.payload["Keyword"], round(e.payload["z"], 9))
+            for e in out
+        )
+        want = sorted(
+            (r["AdId"], r["Keyword"], round(r["z"], 9))
+            for r in custom_keyword_scores(dataset.rows, cfg)
+        )
+        assert got == want
+
+    def test_registry_counts_about_twenty_queries(self):
+        assert 18 <= query_count() <= 25  # the paper reports 20

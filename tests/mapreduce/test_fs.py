@@ -1,0 +1,57 @@
+"""Unit tests for the simulated distributed file system."""
+
+import pytest
+
+from repro.mapreduce import DistributedFileSystem
+
+
+class TestDistributedFileSystem:
+    def test_write_and_read(self):
+        fs = DistributedFileSystem()
+        fs.write("logs", [{"Time": 1, "v": "a"}, {"Time": 2, "v": "b"}])
+        f = fs.read("logs")
+        assert f.num_rows == 2
+        assert f.all_rows()[0]["v"] == "a"
+
+    def test_partitioning_round_robin(self):
+        fs = DistributedFileSystem()
+        f = fs.write("d", [{"Time": t} for t in range(10)], num_partitions=3)
+        assert f.num_partitions == 3
+        assert sorted(len(p) for p in f.partitions) == [3, 3, 4]
+
+    def test_time_column_required(self):
+        fs = DistributedFileSystem()
+        with pytest.raises(ValueError, match="Time"):
+            fs.write("bad", [{"v": 1}])
+
+    def test_time_column_check_can_be_disabled(self):
+        fs = DistributedFileSystem()
+        fs.write("side", [{"v": 1}], require_time_column=False)
+        assert fs.read("side").num_rows == 1
+
+    def test_missing_file_raises(self):
+        with pytest.raises(KeyError):
+            DistributedFileSystem().read("nope")
+
+    def test_overwrite(self):
+        fs = DistributedFileSystem()
+        fs.write("d", [{"Time": 1}])
+        fs.write("d", [{"Time": 1}, {"Time": 2}])
+        assert fs.read("d").num_rows == 2
+
+    def test_delete_and_exists(self):
+        fs = DistributedFileSystem()
+        fs.write("d", [{"Time": 1}])
+        assert fs.exists("d")
+        fs.delete("d")
+        assert not fs.exists("d")
+
+    def test_list_files(self):
+        fs = DistributedFileSystem()
+        fs.write("b", [{"Time": 1}])
+        fs.write("a", [{"Time": 1}])
+        assert fs.list_files() == ["a", "b"]
+
+    def test_zero_partitions_rejected(self):
+        with pytest.raises(ValueError):
+            DistributedFileSystem().write("d", [], num_partitions=0)

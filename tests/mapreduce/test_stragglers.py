@@ -1,0 +1,71 @@
+"""Tests for heterogeneous machines and speculative execution."""
+
+import pytest
+
+from repro.mapreduce import CostModel
+
+
+class TestHeterogeneousMachines:
+    def test_uniform_speeds_match_default(self):
+        plain = CostModel(num_machines=4)
+        explicit = CostModel(num_machines=4, machine_speeds=[1.0, 1.0, 1.0, 1.0])
+        chunks = [3.0, 2.0, 2.0, 1.0]
+        assert plain.makespan(chunks) == pytest.approx(explicit.makespan(chunks))
+
+    def test_slow_machine_stretches_its_work(self):
+        # two machines, one at half speed; LPT gives the big chunk to the
+        # first idle machine (index 0, the slow one)
+        model = CostModel(num_machines=2, machine_speeds=[0.5, 1.0])
+        assert model.makespan([2.0]) == pytest.approx(4.0)
+
+    def test_speeds_padded_with_nominal(self):
+        model = CostModel(num_machines=3, machine_speeds=[0.5])
+        # chunk on machines 1/2 runs at nominal speed
+        assert model.makespan([1.0, 1.0, 1.0]) >= 1.0
+
+    def test_invalid_speed_rejected(self):
+        model = CostModel(num_machines=2, machine_speeds=[0.0])
+        with pytest.raises(ValueError):
+            model.makespan([1.0])
+
+
+class TestSpeculativeExecution:
+    def test_backup_rescues_straggler(self):
+        # machine 0 runs at 1/10 speed; its task takes 10s alone, but the
+        # fast machine finishes its chunk at 1s and can run the backup
+        slow = CostModel(num_machines=2, machine_speeds=[0.1, 1.0])
+        fast = CostModel(
+            num_machines=2, machine_speeds=[0.1, 1.0], speculative_execution=True
+        )
+        chunks = [1.0, 1.0]
+        without = slow.makespan(chunks)
+        with_spec = fast.makespan(chunks)
+        assert without == pytest.approx(10.0)
+        assert with_spec < without
+        assert with_spec == pytest.approx(2.0)  # backup starts at 1s, runs 1s
+
+    def test_no_gain_on_homogeneous_balanced_load(self):
+        model = CostModel(num_machines=2, speculative_execution=True)
+        chunks = [1.0, 1.0]
+        assert model.makespan(chunks) == pytest.approx(1.0)
+
+    def test_speculation_never_hurts(self):
+        import random
+
+        rnd = random.Random(5)
+        for _ in range(30):
+            n = rnd.randint(1, 6)
+            speeds = [rnd.choice([0.25, 0.5, 1.0, 2.0]) for _ in range(n)]
+            chunks = [rnd.uniform(0.1, 3.0) for _ in range(rnd.randint(1, 10))]
+            plain = CostModel(num_machines=n, machine_speeds=speeds)
+            spec = CostModel(
+                num_machines=n, machine_speeds=speeds, speculative_execution=True
+            )
+            assert spec.makespan(list(chunks)) <= plain.makespan(list(chunks)) + 1e-9
+
+    def test_single_machine_no_backup_possible(self):
+        model = CostModel(num_machines=1, speculative_execution=True)
+        assert model.makespan([2.0, 3.0]) == pytest.approx(5.0)
+
+    def test_empty(self):
+        assert CostModel(speculative_execution=True).makespan([]) == 0.0

@@ -1,0 +1,75 @@
+"""Tests for the explain diagnostics."""
+
+import pytest
+
+from repro.temporal import Query, explain, explain_timr
+from repro.temporal.time import hours
+
+
+def click_count():
+    return (
+        Query.source("logs", columns=("StreamId", "AdId"))
+        .where(lambda p: p["StreamId"] == 1)
+        .group_apply("AdId", lambda g: g.window(hours(6)).count(into="n"))
+    )
+
+
+class TestExplain:
+    def test_mentions_sources_and_columns(self):
+        report = explain(click_count())
+        assert "sources: ['logs']" in report
+        assert "AdId" in report and "n" in report
+
+    def test_extent_reported(self):
+        report = explain(click_count())
+        assert f"past={hours(6)}" in report
+        assert "temporal partitioning eligible" in report
+
+    def test_unbounded_extent(self):
+        q = Query.source("s").count_window(3)
+        report = explain(q)
+        assert "unbounded" in report
+
+    def test_streaming_supported(self):
+        assert "streaming: supported" in explain(click_count())
+
+    def test_streaming_unsupported_names_offender(self):
+        q = Query.source("s").alter_lifetime(
+            lambda le, re: le, lambda le, re: re, label="weird"
+        )
+        report = explain(q)
+        assert "unsupported" in report and "weird" in report
+
+    def test_constraints_listed(self):
+        report = explain(click_count())
+        assert "key ⊆ {'AdId'}" in report
+
+    def test_stateless_plan(self):
+        report = explain(Query.source("s").where(lambda p: True))
+        assert "fully stateless" in report
+
+    def test_unknown_columns(self):
+        report = explain(Query.source("s").project(lambda p: p))
+        assert "(unknown)" in report
+
+
+class TestExplainTiMR:
+    def test_optimizer_choice_reported(self):
+        report = explain_timr(click_count())
+        assert "optimizer chose" in report
+        assert "AdId" in report
+        assert "M-R stages" in report
+
+    def test_folding_reported(self):
+        report = explain_timr(click_count())
+        assert "folded into map phases" in report
+        assert "logs*" in report  # the Where folded onto the source read
+
+    def test_hints_skip_optimizer(self):
+        q = (
+            Query.source("logs")
+            .exchange("AdId")
+            .group_apply("AdId", lambda g: g.count(into="n"))
+        )
+        report = explain_timr(q)
+        assert "hints present" in report

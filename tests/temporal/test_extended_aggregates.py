@@ -1,0 +1,90 @@
+"""Tests for the extended aggregates (TopK, StdDev) and pipelined costs."""
+
+import pytest
+
+from repro.temporal import Event, Query, normalize, run_query
+from repro.temporal.operators import AggSpec, SnapshotAggregate
+
+
+def agg(events, *specs):
+    return SnapshotAggregate([*specs]).apply(events)
+
+
+class TestTopK:
+    def test_returns_k_largest_descending(self):
+        events = [Event(0, 10, {"v": x}) for x in (3, 9, 1, 7)]
+        out = agg(events, AggSpec("topk", "top", "v", k=2))
+        assert out == [Event(0, 10, {"top": (9, 7)})]
+
+    def test_fewer_than_k(self):
+        out = agg([Event(0, 5, {"v": 4})], AggSpec("topk", "top", "v", k=3))
+        assert out[0].payload["top"] == (4,)
+
+    def test_changes_with_expiry(self):
+        events = [Event(0, 10, {"v": 9}), Event(0, 5, {"v": 20})]
+        out = agg(events, AggSpec("topk", "top", "v", k=1))
+        assert normalize(out) == [
+            Event(0, 5, {"top": (20,)}),
+            Event(5, 10, {"top": (9,)}),
+        ]
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            agg([Event(0, 1, {"v": 1})], AggSpec("topk", "t", "v", k=0))
+
+    def test_query_builder_topk(self):
+        q = Query.source("s").window(10).topk("v", k=2, into="top")
+        out = run_query(q, {"s": [{"Time": 0, "v": 5}, {"Time": 1, "v": 8}]})
+        assert out[-1].payload["top"][0] == 8
+
+
+class TestStdDev:
+    def test_constant_values_zero(self):
+        events = [Event(0, 10, {"v": 5}), Event(0, 10, {"v": 5})]
+        out = agg(events, AggSpec("stddev", "sd", "v"))
+        assert out == [Event(0, 10, {"sd": 0.0})]
+
+    def test_known_value(self):
+        events = [Event(0, 10, {"v": v}) for v in (2, 4, 4, 4, 5, 5, 7, 9)]
+        out = agg(events, AggSpec("stddev", "sd", "v"))
+        assert out[0].payload["sd"] == pytest.approx(2.0)
+
+    def test_tracks_expiry(self):
+        events = [Event(0, 10, {"v": 0}), Event(0, 5, {"v": 10})]
+        out = agg(events, AggSpec("stddev", "sd", "v"))
+        assert out[0].payload["sd"] == pytest.approx(5.0)
+        assert out[1].payload["sd"] == pytest.approx(0.0)
+
+    def test_query_builder_stddev(self):
+        q = Query.source("s").window(100).stddev("v", into="sd")
+        out = run_query(q, {"s": [{"Time": 0, "v": 1}, {"Time": 1, "v": 3}]})
+        assert out[-1].payload["sd"] >= 0
+
+
+class TestAggSpecParams:
+    def test_unknown_param_rejected(self):
+        with pytest.raises(TypeError):
+            AggSpec("sum", "s", "v", bogus=1).build()
+
+
+class TestPipelinedCost:
+    def test_pipelined_bounded_by_slowest_stage(self):
+        from repro.mapreduce.cost import CostModel, JobReport, StageReport
+
+        model = CostModel(num_machines=4, stage_overhead=0.0)
+        report = JobReport(
+            stages=[
+                StageReport("a", partition_seconds=[1.0, 1.0]),
+                StageReport("b", partition_seconds=[4.0]),
+                StageReport("c", partition_seconds=[0.5]),
+            ]
+        )
+        sequential = report.simulated_seconds(model)
+        pipelined = report.simulated_seconds_pipelined(model, fill_latency=0.1)
+        assert pipelined < sequential
+        assert pipelined == pytest.approx(4.0 + 0.2)
+
+    def test_empty_job(self):
+        from repro.mapreduce.cost import CostModel, JobReport
+
+        assert JobReport().simulated_seconds_pipelined(CostModel()) == 0.0

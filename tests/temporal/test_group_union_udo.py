@@ -1,0 +1,146 @@
+"""Unit tests for GroupApply, Union, and the user-defined operators."""
+
+import pytest
+
+from repro.temporal import Event, normalize
+from repro.temporal.operators import (
+    AggSpec,
+    GroupApply,
+    SnapshotAggregate,
+    SnapshotUDO,
+    Union,
+    WindowedUDO,
+    hopping_window,
+    sliding_window,
+)
+
+
+def count_subplan(events):
+    return SnapshotAggregate([AggSpec("count", "n")]).apply(events)
+
+
+class TestGroupApply:
+    def test_groups_processed_independently(self):
+        events = [
+            Event(0, 10, {"k": "a"}),
+            Event(0, 10, {"k": "b"}),
+            Event(5, 15, {"k": "a"}),
+        ]
+        out = GroupApply(["k"], count_subplan).apply(events)
+        by_key = {}
+        for e in out:
+            by_key.setdefault(e.payload["k"], []).append(e)
+        assert [e.payload["n"] for e in by_key["b"]] == [1]
+        assert max(e.payload["n"] for e in by_key["a"]) == 2
+
+    def test_key_columns_reattached(self):
+        events = [Event(0, 10, {"k": "a", "v": 7})]
+        out = GroupApply(["k"], count_subplan).apply(events)
+        assert out[0].payload == {"n": 1, "k": "a"}
+
+    def test_composite_keys(self):
+        events = [
+            Event(0, 10, {"u": 1, "w": "x"}),
+            Event(0, 10, {"u": 1, "w": "y"}),
+        ]
+        out = GroupApply(["u", "w"], count_subplan).apply(events)
+        assert all(e.payload["n"] == 1 for e in out)
+        assert len(out) == 2
+
+    def test_missing_key_column_raises(self):
+        with pytest.raises(KeyError):
+            GroupApply(["nope"], count_subplan).apply([Event(0, 1, {"k": 1})])
+
+    def test_requires_keys(self):
+        with pytest.raises(ValueError):
+            GroupApply([], count_subplan)
+
+    def test_deterministic_output_order(self):
+        events = [Event(0, 10, {"k": c}) for c in "zyx"]
+        out1 = GroupApply(["k"], count_subplan).apply(list(events))
+        out2 = GroupApply(["k"], count_subplan).apply(list(reversed(events)))
+        assert normalize(out1) == normalize(out2)
+
+
+class TestUnion:
+    def test_merges_both_inputs(self):
+        left = [Event.point(0, {"s": "l"})]
+        right = [Event.point(1, {"s": "r"})]
+        out = Union().apply(left, right)
+        assert [e.payload["s"] for e in out] == ["l", "r"]
+
+    def test_preserves_duplicates(self):
+        e = [Event.point(0, {"x": 1})]
+        assert len(Union().apply(e, list(e))) == 2
+
+    def test_output_sorted(self):
+        left = [Event.point(5, {})]
+        right = [Event.point(1, {}), Event.point(9, {})]
+        out = Union().apply(left, right)
+        assert [e.le for e in out] == [1, 5, 9]
+
+
+class TestWindowedUDO:
+    def test_fires_at_hop_boundaries(self):
+        events = [Event.point(t, {"v": t}) for t in (1, 5, 12)]
+        seen = []
+
+        def fn(window, boundary):
+            seen.append((boundary, sorted(p["v"] for p in window)))
+            return [{"n": len(window)}]
+
+        out = WindowedUDO(w=10, h=10, fn=fn).apply(events)
+        assert (10, [1, 5]) in seen
+        assert (20, [12]) in seen
+        assert all(e.re - e.le == 10 for e in out)
+
+    def test_window_content_excludes_expired(self):
+        events = [Event.point(t, {"v": t}) for t in (1, 25)]
+        captured = {}
+
+        def fn(window, boundary):
+            captured[boundary] = [p["v"] for p in window]
+            return []
+
+        WindowedUDO(w=10, h=10, fn=fn).apply(events)
+        assert captured.get(10) == [1]
+        assert captured.get(30) == [25]
+        assert 20 not in captured  # empty window skipped
+
+    def test_equivalent_to_hopping_count(self):
+        # WindowedUDO(count) must match hopping_window + SnapshotAggregate
+        events = [Event.point(t, {}) for t in (0, 3, 7, 11, 29, 30, 31, 55)]
+        via_udo = WindowedUDO(w=20, h=10, fn=lambda w, b: [{"n": len(w)}]).apply(
+            list(events)
+        )
+        windowed = hopping_window(20, 10).apply(list(events))
+        via_agg = SnapshotAggregate([AggSpec("count", "n")]).apply(windowed)
+        assert normalize(via_udo) == normalize(via_agg)
+
+    def test_multiple_output_payloads(self):
+        events = [Event.point(5, {"v": 1})]
+        out = WindowedUDO(
+            w=10, h=10, fn=lambda w, b: [{"i": 0}, {"i": 1}]
+        ).apply(events)
+        assert len(out) == 2
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            WindowedUDO(w=0, h=1, fn=lambda w, b: [])
+
+
+class TestSnapshotUDO:
+    def test_runs_per_snapshot(self):
+        events = [Event(0, 10, {"v": 1}), Event(5, 15, {"v": 2})]
+        out = SnapshotUDO(lambda active: [{"s": sum(p["v"] for p in active)}]).apply(
+            events
+        )
+        assert normalize(out) == normalize(
+            [Event(0, 5, {"s": 1}), Event(5, 10, {"s": 3}), Event(10, 15, {"s": 2})]
+        )
+
+    def test_matches_snapshot_aggregate(self):
+        events = [Event(0, 7, {"v": 3}), Event(2, 9, {"v": 4}), Event(2, 5, {"v": 5})]
+        via_udo = SnapshotUDO(lambda a: [{"n": len(a)}]).apply(list(events))
+        via_agg = SnapshotAggregate([AggSpec("count", "n")]).apply(list(events))
+        assert normalize(via_udo) == normalize(via_agg)

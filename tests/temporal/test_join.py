@@ -1,0 +1,124 @@
+"""Unit tests for TemporalJoin and AntiSemiJoin."""
+
+import pytest
+
+from repro.temporal import Event
+from repro.temporal.operators import AntiSemiJoin, TemporalJoin
+
+
+class TestTemporalJoin:
+    def test_basic_overlap_join(self):
+        left = [Event(0, 10, {"k": 1, "l": "a"})]
+        right = [Event(5, 15, {"k": 1, "r": "b"})]
+        out = TemporalJoin(on=["k"]).apply(left, right)
+        assert out == [Event(5, 10, {"k": 1, "l": "a", "r": "b"})]
+
+    def test_no_overlap_no_output(self):
+        left = [Event(0, 5, {"k": 1})]
+        right = [Event(5, 10, {"k": 1})]
+        assert TemporalJoin(on=["k"]).apply(left, right) == []
+
+    def test_key_mismatch_no_output(self):
+        left = [Event(0, 10, {"k": 1})]
+        right = [Event(0, 10, {"k": 2})]
+        assert TemporalJoin(on=["k"]).apply(left, right) == []
+
+    def test_multiple_matches(self):
+        left = [Event(0, 10, {"k": 1, "side": "L"})]
+        right = [Event(2, 4, {"k": 1, "v": 1}), Event(6, 8, {"k": 1, "v": 2})]
+        out = TemporalJoin(on=["k"], select=lambda l, r: {"v": r["v"]}).apply(left, right)
+        assert out == [Event(2, 4, {"v": 1}), Event(6, 8, {"v": 2})]
+
+    def test_residual_predicate(self):
+        # Figure 4: left.power < right.power + 100
+        left = [Event(0, 10, {"k": 1, "power": 50})]
+        right = [Event(0, 10, {"k": 1, "power": 10})]
+        join = TemporalJoin(
+            on=["k"],
+            residual=lambda l, r: l["power"] > r["power"] + 30,
+            select=lambda l, r: {"k": l["k"]},
+        )
+        assert len(join.apply(left, right)) == 1
+        join2 = TemporalJoin(on=["k"], residual=lambda l, r: l["power"] > r["power"] + 100)
+        assert join2.apply(left, right) == []
+
+    def test_point_left_joins_interval_right(self):
+        # common BT pattern: point activity joined with windowed UBP state
+        left = [Event.point(7, {"u": "x", "what": "click"})]
+        right = [Event(0, 10, {"u": "x", "kw": "laptops"})]
+        out = TemporalJoin(on=["u"]).apply(left, right)
+        assert len(out) == 1
+        assert out[0].is_point and out[0].le == 7
+
+    def test_default_select_right_wins_collisions(self):
+        left = [Event(0, 10, {"k": 1, "v": "L"})]
+        right = [Event(0, 10, {"k": 1, "v": "R"})]
+        out = TemporalJoin(on=["k"]).apply(left, right)
+        assert out[0].payload["v"] == "R"
+
+    def test_composite_key(self):
+        left = [Event(0, 10, {"a": 1, "b": 2})]
+        right = [Event(0, 10, {"a": 1, "b": 3})]
+        assert TemporalJoin(on=["a", "b"]).apply(left, right) == []
+        assert len(TemporalJoin(on=["a"]).apply(left, right)) == 1
+
+    def test_requires_key(self):
+        with pytest.raises(ValueError):
+            TemporalJoin(on=[])
+
+    def test_synopsis_pruning(self):
+        # old right events that can no longer match are evicted
+        join = TemporalJoin(on=["k"])
+        right = [Event(0, 5, {"k": 1})] + [Event(100, 105, {"k": 1})]
+        left = [Event.point(102, {"k": 1})]
+        out = join.apply(left, right)
+        assert len(out) == 1
+        assert join._right.size() <= 1  # the [0,5) entry was pruned
+
+
+class TestAntiSemiJoin:
+    def test_uncovered_point_passes(self):
+        left = [Event.point(1, {"u": "a"})]
+        right = [Event(5, 10, {"u": "a"})]
+        out = AntiSemiJoin(on=["u"]).apply(left, right)
+        assert len(out) == 1
+
+    def test_covered_point_is_dropped(self):
+        left = [Event.point(7, {"u": "a"})]
+        right = [Event(5, 10, {"u": "a"})]
+        assert AntiSemiJoin(on=["u"]).apply(left, right) == []
+
+    def test_coverage_requires_key_match(self):
+        left = [Event.point(7, {"u": "a"})]
+        right = [Event(5, 10, {"u": "b"})]
+        assert len(AntiSemiJoin(on=["u"]).apply(left, right)) == 1
+
+    def test_tie_at_interval_start_covers(self):
+        # right interval starting exactly at the probe instant covers it
+        left = [Event.point(5, {"u": "a"})]
+        right = [Event(5, 10, {"u": "a"})]
+        assert AntiSemiJoin(on=["u"]).apply(left, right) == []
+
+    def test_point_at_interval_end_not_covered(self):
+        left = [Event.point(10, {"u": "a"})]
+        right = [Event(5, 10, {"u": "a"})]
+        assert len(AntiSemiJoin(on=["u"]).apply(left, right)) == 1
+
+    def test_interval_left_rejected(self):
+        with pytest.raises(ValueError):
+            AntiSemiJoin(on=["u"]).apply([Event(0, 10, {"u": "a"})], [])
+
+    def test_residual(self):
+        left = [Event.point(7, {"u": "a", "kind": "click"})]
+        right = [Event(5, 10, {"u": "a", "kind": "search"})]
+        asj = AntiSemiJoin(on=["u"], residual=lambda l, r: l["kind"] == r["kind"])
+        assert len(asj.apply(left, right)) == 1  # kinds differ -> no coverage
+
+    def test_impression_click_dedup_pattern(self):
+        # GenTrainData: drop impressions followed by a click within d=5
+        impressions = [Event.point(t, {"u": "a"}) for t in (0, 20)]
+        clicks_shifted = [Event(3 - 5 + 5, 3 + 1, {"u": "a"})]  # click at t=3 covers [?]
+        # click at 3, LE shifted back 5: covers [-2, 4) -> impression at 0 dropped
+        clicks_shifted = [Event(-2, 4, {"u": "a"})]
+        out = AntiSemiJoin(on=["u"]).apply(impressions, clicks_shifted)
+        assert [e.le for e in out] == [20]

@@ -1,0 +1,65 @@
+"""Unit tests for reference temporal-relation semantics (normalize etc.)."""
+
+from collections import Counter
+
+from repro.temporal import Event, equivalent, normalize, snapshot
+from repro.temporal.relation import changepoints
+
+
+class TestNormalize:
+    def test_adjacent_same_payload_coalesce(self):
+        a = [Event(0, 5, {"x": 1}), Event(5, 10, {"x": 1})]
+        b = [Event(0, 10, {"x": 1})]
+        assert normalize(a) == normalize(b)
+
+    def test_split_intervals_coalesce(self):
+        a = [Event(0, 3, {"x": 1}), Event(3, 7, {"x": 1}), Event(7, 10, {"x": 1})]
+        assert normalize(a) == [Event(0, 10, {"x": 1})]
+
+    def test_overlapping_duplicates_keep_multiplicity(self):
+        a = [Event(0, 10, {"x": 1}), Event(5, 15, {"x": 1})]
+        norm = normalize(a)
+        # multiplicity 1 on [0,5), 2 on [5,10), 1 on [10,15)
+        assert norm == [
+            Event(0, 5, {"x": 1}),
+            Event(5, 10, {"x": 1}),
+            Event(5, 10, {"x": 1}),
+            Event(10, 15, {"x": 1}),
+        ]
+
+    def test_different_payloads_do_not_merge(self):
+        a = [Event(0, 5, {"x": 1}), Event(5, 10, {"x": 2})]
+        assert len(normalize(a)) == 2
+
+    def test_cancelling_intervals(self):
+        # same payload, same interval twice: multiplicity 2
+        a = [Event(0, 5, {"x": 1}), Event(0, 5, {"x": 1})]
+        assert len(normalize(a)) == 2
+
+    def test_empty(self):
+        assert normalize([]) == []
+
+    def test_equivalent_is_order_insensitive(self):
+        a = [Event(0, 5, {"x": 1}), Event(2, 9, {"y": 2})]
+        assert equivalent(a, list(reversed(a)))
+
+    def test_not_equivalent_when_value_differs(self):
+        assert not equivalent([Event(0, 5, {"x": 1})], [Event(0, 5, {"x": 2})])
+
+
+class TestSnapshot:
+    def test_snapshot_counts_active_payloads(self):
+        events = [Event(0, 10, {"a": 1}), Event(5, 15, {"a": 1}), Event(3, 4, {"b": 2})]
+        bag = snapshot(events, 7)
+        assert sum(bag.values()) == 2
+        assert isinstance(bag, Counter)
+
+    def test_snapshot_at_boundaries(self):
+        events = [Event(2, 7, {"a": 1})]
+        assert sum(snapshot(events, 1).values()) == 0
+        assert sum(snapshot(events, 2).values()) == 1
+        assert sum(snapshot(events, 7).values()) == 0
+
+    def test_changepoints_sorted_unique(self):
+        events = [Event(0, 10, {}), Event(5, 10, {}), Event(0, 3, {})]
+        assert changepoints(events) == [0, 3, 5, 10]

@@ -1,0 +1,111 @@
+"""Unit tests for Where, Project, and AlterLifetime specializations."""
+
+import pytest
+
+from repro.temporal import Event
+from repro.temporal.operators import (
+    Project,
+    Where,
+    hopping_window,
+    shift_lifetime,
+    sliding_window,
+    to_point_events,
+    extend_to_infinity,
+)
+from repro.temporal.time import MAX_TIME
+
+
+def pts(*times, **payload):
+    return [Event.point(t, dict(payload)) for t in times]
+
+
+class TestWhere:
+    def test_filters_on_payload(self):
+        events = [Event.point(0, {"v": 1}), Event.point(1, {"v": 2})]
+        out = Where(lambda p: p["v"] > 1).apply(events)
+        assert [e.payload["v"] for e in out] == [2]
+
+    def test_keeps_lifetimes(self):
+        out = Where(lambda p: True).apply([Event(3, 9, {"v": 1})])
+        assert (out[0].le, out[0].re) == (3, 9)
+
+    def test_empty_input(self):
+        assert Where(lambda p: True).apply([]) == []
+
+
+class TestProject:
+    def test_rewrites_payload(self):
+        out = Project(lambda p: {"double": p["v"] * 2}).apply([Event.point(0, {"v": 3})])
+        assert out[0].payload == {"double": 6}
+
+    def test_does_not_mutate_input(self):
+        src = Event.point(0, {"v": 3})
+        Project(lambda p: {**p, "w": 1}).apply([src])
+        assert src.payload == {"v": 3}
+
+
+class TestSlidingWindow:
+    def test_sets_re_to_le_plus_w(self):
+        out = sliding_window(10).apply(pts(5))
+        assert (out[0].le, out[0].re) == (5, 15)
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError):
+            sliding_window(0)
+
+    def test_active_set_semantics(self):
+        # event at t covers snapshots (t, t+w] exclusive/inclusive as per paper:
+        # at time s, active iff s - w < t <= s
+        out = sliding_window(10).apply(pts(5))
+        e = out[0]
+        assert e.active_at(5) and e.active_at(14) and not e.active_at(15)
+
+
+class TestHoppingWindow:
+    def test_quantizes_to_next_boundary(self):
+        out = hopping_window(30, 10).apply(pts(1))
+        assert (out[0].le, out[0].re) == (10, 40)
+
+    def test_event_on_boundary_stays(self):
+        out = hopping_window(30, 10).apply(pts(10))
+        assert (out[0].le, out[0].re) == (10, 40)
+
+    def test_window_must_be_multiple_of_hop(self):
+        with pytest.raises(ValueError):
+            hopping_window(25, 10)
+
+    def test_snapshot_only_changes_at_boundaries(self):
+        out = hopping_window(20, 10).apply(pts(3, 7, 12))
+        for e in out:
+            assert e.le % 10 == 0 and e.re % 10 == 0
+
+
+class TestShift:
+    def test_shift_back_extends_le(self):
+        # Figure 12: click LE moved 5 into the past, RE unchanged
+        out = shift_lifetime(-5, 0).apply(pts(100))
+        assert (out[0].le, out[0].re) == (95, 101)
+
+    def test_symmetric_shift(self):
+        out = shift_lifetime(5).apply([Event(0, 10, {})])
+        assert (out[0].le, out[0].re) == (5, 15)
+
+    def test_shift_that_empties_lifetime_drops_event(self):
+        out = shift_lifetime(0, -20).apply([Event(0, 10, {})])
+        assert out == []
+
+
+class TestOtherLifetimes:
+    def test_to_point_events(self):
+        out = to_point_events().apply([Event(4, 100, {})])
+        assert out[0].is_point and out[0].le == 4
+
+    def test_extend_to_infinity(self):
+        out = extend_to_infinity().apply([Event(4, 10, {})])
+        assert out[0].re == MAX_TIME
+
+    def test_reordering_output_is_sorted(self):
+        # hopping window can reorder events whose quantized LEs invert
+        events = [Event.point(9, {"i": 1}), Event.point(10, {"i": 2})]
+        out = hopping_window(10, 10).apply(events)
+        assert [e.le for e in out] == sorted(e.le for e in out)

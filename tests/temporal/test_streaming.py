@@ -1,0 +1,241 @@
+"""Tests for the push-based streaming engine.
+
+The contract: for any query and any event history, pushing the events in
+LE order and flushing yields the same temporal relation as a batch run —
+with results emitted as early as watermarks allow.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.temporal import Event, Query, normalize, run_query
+from repro.temporal.streaming import StreamingEngine, StreamingUnsupported
+from repro.temporal.time import MAX_TIME
+
+
+def make_rows(n=120, seed=0, t_range=2000):
+    rnd = random.Random(seed)
+    times = sorted(rnd.randrange(t_range) for _ in range(n))
+    return [
+        {
+            "Time": t,
+            "StreamId": rnd.choice([0, 1, 2]),
+            "UserId": f"u{rnd.randrange(4)}",
+            "AdId": f"a{rnd.randrange(3)}",
+        }
+        for t in times
+    ]
+
+
+def assert_stream_equals_batch(query, rows):
+    batch = run_query(query, {"logs": rows})
+    streamed = StreamingEngine(query).run_all({"logs": list(rows)})
+    assert normalize(streamed) == normalize(batch)
+    return streamed, batch
+
+
+class TestBasicStreaming:
+    def test_where_project_passthrough(self):
+        q = (
+            Query.source("logs")
+            .where(lambda p: p["StreamId"] == 1)
+            .project(lambda p: {"u": p["UserId"]})
+        )
+        rows = make_rows()
+        streamed, batch = assert_stream_equals_batch(q, rows)
+        assert len(streamed) == len(batch)
+
+    def test_windowed_count(self):
+        q = Query.source("logs").window(150).count(into="n")
+        assert_stream_equals_batch(q, make_rows())
+
+    def test_hopping_count(self):
+        q = Query.source("logs").hopping_window(200, 100).count(into="n")
+        assert_stream_equals_batch(q, make_rows())
+
+    def test_group_apply(self):
+        q = Query.source("logs").group_apply(
+            "UserId", lambda g: g.window(300).count(into="n")
+        )
+        assert_stream_equals_batch(q, make_rows())
+
+    def test_nested_group_apply(self):
+        q = Query.source("logs").group_apply(
+            "UserId",
+            lambda g: g.group_apply("AdId", lambda gg: gg.window(500).count(into="n")),
+        )
+        assert_stream_equals_batch(q, make_rows(80))
+
+    def test_temporal_join(self):
+        left = Query.source("logs").where(lambda p: p["StreamId"] == 1)
+        right = Query.source("logs").where(lambda p: p["StreamId"] == 0).window(400)
+        q = left.temporal_join(right, on="UserId")
+        assert_stream_equals_batch(q, make_rows())
+
+    def test_anti_semi_join(self):
+        left = Query.source("logs").where(lambda p: p["StreamId"] == 0)
+        right = Query.source("logs").where(lambda p: p["StreamId"] == 1).shift(-50, 0)
+        q = left.anti_semi_join(right, on=["UserId", "AdId"])
+        assert_stream_equals_batch(q, make_rows())
+
+    def test_union(self):
+        a = Query.source("logs").where(lambda p: p["StreamId"] == 0)
+        b = Query.source("logs").where(lambda p: p["StreamId"] == 1)
+        assert_stream_equals_batch(a.union(b), make_rows())
+
+    def test_windowed_udo(self):
+        q = Query.source("logs").udo_hopping(
+            400, 200, lambda window, b: [{"n": len(window)}]
+        )
+        assert_stream_equals_batch(q, make_rows())
+
+
+class TestIncrementality:
+    def test_results_emitted_before_flush(self):
+        """The point of streaming: most output arrives with the data."""
+        q = Query.source("logs").group_apply(
+            "AdId", lambda g: g.window(100).count(into="n")
+        )
+        rows = make_rows(300, seed=2, t_range=50000)
+        stream = StreamingEngine(q)
+        live = []
+        for r in rows:
+            live.extend(stream.push("logs", r))
+        tail = stream.flush()
+        assert len(live) > len(tail)
+
+    def test_stateless_results_immediate(self):
+        q = Query.source("logs").where(lambda p: True)
+        stream = StreamingEngine(q)
+        out = stream.push("logs", {"Time": 5, "StreamId": 1})
+        assert len(out) == 1
+
+    def test_out_of_order_push_rejected(self):
+        q = Query.source("logs").where(lambda p: True)
+        stream = StreamingEngine(q)
+        stream.push("logs", {"Time": 100})
+        with pytest.raises(ValueError, match="out-of-order"):
+            stream.push("logs", {"Time": 50})
+
+    def test_equal_timestamp_push_allowed(self):
+        q = Query.source("logs").where(lambda p: True)
+        stream = StreamingEngine(q)
+        stream.push("logs", {"Time": 100, "v": 1})
+        out = stream.push("logs", {"Time": 100, "v": 2})
+        assert len(out) == 1
+
+    def test_advance_to_releases_aggregates(self):
+        q = Query.source("logs").window(10).count(into="n")
+        stream = StreamingEngine(q)
+        stream.push("logs", {"Time": 0})
+        released = stream.advance_to(100)  # window long expired
+        assert released == [Event(0, 10, {"n": 1})]
+
+    def test_flush_idempotent(self):
+        q = Query.source("logs").where(lambda p: True)
+        stream = StreamingEngine(q)
+        stream.push("logs", {"Time": 1})
+        stream.flush()
+        assert stream.flush() == []
+
+    def test_unknown_source_rejected(self):
+        stream = StreamingEngine(Query.source("logs"))
+        with pytest.raises(KeyError):
+            stream.push("nope", {"Time": 0})
+
+    def test_custom_alter_lifetime_rejected(self):
+        q = Query.source("logs").alter_lifetime(lambda le, re: le, lambda le, re: re)
+        with pytest.raises(StreamingUnsupported):
+            StreamingEngine(q)
+
+    def test_join_waits_for_other_side_watermark(self):
+        """A left probe is held until the right side is known-complete."""
+        left = Query.source("l")
+        right = Query.source("r").window(100)
+        q = left.temporal_join(right, on="k")
+        stream = StreamingEngine(q)
+        held = stream.push("l", {"Time": 10, "k": 1})
+        assert held == []  # right watermark still at -inf
+        out = stream.push("r", {"Time": 5, "k": 1})
+        out += stream.advance_to(50)
+        assert len(out) == 1 and out[0].le == 10
+
+
+class TestBTQueriesStreaming:
+    def test_bot_elimination_streams(self):
+        from repro.bt import BTConfig, bot_elimination_query
+
+        cfg = BTConfig(bot_search_threshold=3, bot_click_threshold=3)
+        rnd = random.Random(9)
+        rows = [
+            {
+                "Time": t,
+                "StreamId": rnd.choice([1, 2]),
+                "UserId": f"u{rnd.randrange(4)}",
+                "KwAdId": f"k{rnd.randrange(5)}",
+            }
+            for t in sorted(rnd.sample(range(100000), 400))
+        ]
+        q = bot_elimination_query(Query.source("logs"), cfg)
+        assert_stream_equals_batch(q, rows)
+
+    def test_training_data_streams(self):
+        from repro.bt import BTConfig, training_data_query
+
+        rnd = random.Random(3)
+        rows = [
+            {
+                "Time": t,
+                "StreamId": rnd.choice([0, 1, 2]),
+                "UserId": f"u{rnd.randrange(5)}",
+                "KwAdId": f"k{rnd.randrange(4)}",
+            }
+            for t in sorted(rnd.sample(range(80000), 300))
+        ]
+        q = training_data_query(Query.source("logs"), BTConfig())
+        assert_stream_equals_batch(q, rows)
+
+
+# ---------------------------------------------------------------------------
+# property-based: random histories through a portfolio of plans
+# ---------------------------------------------------------------------------
+
+times = st.integers(min_value=0, max_value=60)
+keys = st.sampled_from(["a", "b"])
+streams = st.sampled_from([0, 1])
+
+
+@st.composite
+def histories(draw, max_n=30):
+    n = draw(st.integers(min_value=0, max_value=max_n))
+    ts = sorted(draw(times) for _ in range(n))
+    return [
+        {"Time": t, "StreamId": draw(streams), "UserId": draw(keys)} for t in ts
+    ]
+
+
+def _plan_portfolio():
+    src = Query.source("logs")
+    clicks = src.where(lambda p: p["StreamId"] == 1)
+    other = src.where(lambda p: p["StreamId"] == 0).window(15)
+    return [
+        src.window(10).count(into="n"),
+        src.hopping_window(20, 10).count(into="n"),
+        src.group_apply("UserId", lambda g: g.window(8).count(into="n")),
+        clicks.temporal_join(other, on="UserId"),
+        clicks.anti_semi_join(other, on="UserId"),
+        clicks.union(other),
+        src.udo_hopping(20, 10, lambda w, b: [{"n": len(w)}]),
+    ]
+
+
+@settings(max_examples=120, deadline=None)
+@given(histories(), st.integers(min_value=0, max_value=6))
+def test_streaming_equals_batch_property(rows, plan_idx):
+    query = _plan_portfolio()[plan_idx]
+    batch = run_query(query, {"logs": rows})
+    streamed = StreamingEngine(query).run_all({"logs": list(rows)})
+    assert normalize(streamed) == normalize(batch)

@@ -1,0 +1,87 @@
+"""Tests for out-of-order tolerance (slack reorder buffering)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.temporal import Query, normalize, run_query
+from repro.temporal.streaming import StreamingEngine
+
+
+def count_query():
+    return Query.source("s").window(20).count(into="n")
+
+
+class TestSlackBuffer:
+    def test_out_of_order_within_slack_accepted(self):
+        stream = StreamingEngine(count_query(), slack=10)
+        stream.push("s", {"Time": 100})
+        stream.push("s", {"Time": 95})  # 5 late, within slack
+        out = stream.flush()
+        assert normalize(out) == normalize(
+            run_query(count_query(), {"s": [{"Time": 100}, {"Time": 95}]})
+        )
+
+    def test_late_beyond_slack_rejected(self):
+        stream = StreamingEngine(count_query(), slack=10)
+        stream.push("s", {"Time": 100})
+        with pytest.raises(ValueError, match="later"):
+            stream.push("s", {"Time": 80})
+
+    def test_zero_slack_is_strict(self):
+        stream = StreamingEngine(count_query(), slack=0)
+        stream.push("s", {"Time": 100})
+        with pytest.raises(ValueError, match="out-of-order"):
+            stream.push("s", {"Time": 99})
+
+    def test_negative_slack_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingEngine(count_query(), slack=-1)
+
+    def test_watermark_trails_by_slack(self):
+        """Results only finalize once the slack horizon passes."""
+        stream = StreamingEngine(count_query(), slack=50)
+        out = stream.push("s", {"Time": 0})
+        out += stream.push("s", {"Time": 10})
+        # nothing final yet: an event at t=0..? could still arrive late
+        assert out == []
+        out = stream.push("s", {"Time": 100})
+        assert out  # t<=50 horizon passed, early results released
+
+    def test_jittered_stream_equals_sorted(self):
+        rnd = random.Random(3)
+        times = sorted(rnd.sample(range(1000), 60))
+        rows = [{"Time": t} for t in times]
+        # arrival order = timestamp order perturbed by bounded jitter:
+        # an event can arrive at most ~2*J ticks later than a newer one
+        jitter = 40
+        arrival = sorted(rows, key=lambda r: r["Time"] + rnd.randint(0, jitter))
+        batch = run_query(count_query(), {"s": rows})
+        stream = StreamingEngine(count_query(), slack=2 * jitter)
+        out = []
+        for row in arrival:
+            out.extend(stream.push("s", row))
+        out.extend(stream.flush())
+        assert normalize(out) == normalize(batch)
+
+
+times = st.lists(st.integers(min_value=0, max_value=200), max_size=40)
+
+
+@settings(max_examples=100, deadline=None)
+@given(times, st.randoms(use_true_random=False))
+def test_slack_property_any_bounded_disorder(ts, rnd):
+    """Arbitrary arrival order is fine when slack covers the full range."""
+    rows = [{"Time": t} for t in ts]
+    arrival = list(rows)
+    rnd.shuffle(arrival)
+    q = count_query()
+    batch = run_query(q, {"s": rows})
+    stream = StreamingEngine(q, slack=201)  # covers any disorder in range
+    out = []
+    for row in arrival:
+        out.extend(stream.push("s", row))
+    out.extend(stream.flush())
+    assert normalize(out) == normalize(batch)

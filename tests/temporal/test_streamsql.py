@@ -1,0 +1,247 @@
+"""Tests for the StreamSQL front-end."""
+
+import pytest
+
+from repro.temporal import Query, normalize, run_query
+from repro.temporal.streamsql import StreamSQLError, parse, run_sql
+from repro.temporal.time import hours, minutes
+
+
+def rows(*specs):
+    return [{"Time": t, **payload} for t, payload in specs]
+
+
+CLICKS = rows(
+    (0, {"StreamId": 1, "AdId": "a", "UserId": "u"}),
+    (10, {"StreamId": 1, "AdId": "a", "UserId": "v"}),
+    (10, {"StreamId": 0, "AdId": "a", "UserId": "u"}),
+    (25, {"StreamId": 1, "AdId": "b", "UserId": "u"}),
+    (40, {"StreamId": 1, "AdId": "a", "UserId": "u"}),
+)
+
+
+class TestRunningClickCount:
+    def test_matches_fluent_query(self):
+        sql = """
+            SELECT COUNT(*) AS ClickCount
+            FROM logs
+            WHERE StreamId = 1
+            GROUP APPLY AdId
+            WINDOW 30 TICKS
+        """
+        via_sql = run_sql(sql, {"logs": CLICKS})
+        fluent = (
+            Query.source("logs")
+            .where(lambda e: e["StreamId"] == 1)
+            .group_apply("AdId", lambda g: g.window(30).count(into="ClickCount"))
+        )
+        via_fluent = run_query(fluent, {"logs": CLICKS})
+        assert normalize(via_sql) == normalize(via_fluent)
+
+    def test_duration_units(self):
+        q = parse("SELECT COUNT(*) AS n FROM s WINDOW 6 HOURS")
+        from repro.temporal.plan import subplan_extent
+
+        assert subplan_extent(q.to_plan()) == (hours(6), 0)
+
+    def test_hopping_window(self):
+        q = parse("SELECT COUNT(*) AS n FROM s WINDOW 30 MINUTES HOP 15 MINUTES")
+        from repro.temporal.plan import subplan_extent
+
+        past, _ = subplan_extent(q.to_plan())
+        assert past == minutes(30) + minutes(15)
+
+    def test_count_window_events(self):
+        rows = [{"Time": t} for t in (0, 10, 20, 30)]
+        out = run_sql("SELECT COUNT(*) AS n FROM s WINDOW 2 EVENTS", {"s": rows})
+        assert max(e.payload["n"] for e in out) == 2
+
+    def test_grouped_count_window(self):
+        rows = [{"Time": t, "k": "a"} for t in (0, 5, 9)] + [
+            {"Time": 2, "k": "b"}
+        ]
+        out = run_sql(
+            "SELECT COUNT(*) AS n FROM s GROUP APPLY k WINDOW 2 EVENTS",
+            {"s": rows},
+        )
+        a_counts = [e.payload["n"] for e in out if e.payload["k"] == "a"]
+        assert max(a_counts) == 2
+
+    def test_count_window_rejects_hop(self):
+        # HOP after an EVENTS window makes no sense; it must not parse
+        with pytest.raises(StreamSQLError):
+            parse("SELECT COUNT(*) AS n FROM s WINDOW 2 EVENTS HOP 1 MINUTES")
+
+
+class TestSelectForms:
+    def test_select_star_passthrough(self):
+        out = run_sql("SELECT * FROM logs", {"logs": CLICKS})
+        assert len(out) == len(CLICKS)
+
+    def test_projection_with_alias(self):
+        out = run_sql("SELECT AdId AS ad FROM logs", {"logs": CLICKS})
+        assert out[0].payload == {"ad": "a"}
+
+    def test_multiple_aggregates(self):
+        data = rows((0, {"v": 3}), (1, {"v": 5}))
+        out = run_sql(
+            "SELECT SUM(v) AS total, AVG(v) AS mean, COUNT(*) AS n "
+            "FROM s WINDOW 100 TICKS",
+            {"s": data},
+        )
+        # while both events are in the window the aggregates see both
+        peak = max(out, key=lambda e: e.payload["n"])
+        assert peak.payload == {"total": 8, "mean": 4.0, "n": 2}
+
+    def test_min_max_stddev(self):
+        data = rows((0, {"v": 2}), (0, {"v": 6}))
+        out = run_sql(
+            "SELECT MIN(v) AS lo, MAX(v) AS hi, STDDEV(v) AS sd FROM s",
+            {"s": data},
+        )
+        assert out[0].payload["lo"] == 2
+        assert out[0].payload["hi"] == 6
+        assert out[0].payload["sd"] == pytest.approx(2.0)
+
+
+class TestPredicates:
+    def test_and_or_not(self):
+        data = rows((0, {"a": 1, "b": 2}), (1, {"a": 1, "b": 9}), (2, {"a": 0, "b": 2}))
+        out = run_sql("SELECT * FROM s WHERE a = 1 AND NOT b > 5", {"s": data})
+        assert len(out) == 1 and out[0].le == 0
+
+    def test_or_grouping(self):
+        data = rows((0, {"a": 1}), (1, {"a": 2}), (2, {"a": 3}))
+        out = run_sql("SELECT * FROM s WHERE a = 1 OR a = 3", {"s": data})
+        assert [e.le for e in out] == [0, 2]
+
+    def test_string_literal(self):
+        data = rows((0, {"k": "x"}), (1, {"k": "y"}))
+        out = run_sql("SELECT * FROM s WHERE k = 'x'", {"s": data})
+        assert len(out) == 1
+
+    def test_quoted_quote(self):
+        data = rows((0, {"k": "it's"}),)
+        out = run_sql("SELECT * FROM s WHERE k = 'it''s'", {"s": data})
+        assert len(out) == 1
+
+    def test_comparison_operators(self):
+        data = rows((0, {"v": 5}))
+        for clause, hit in [
+            ("v >= 5", True), ("v > 5", False), ("v <= 5", True),
+            ("v < 5", False), ("v != 4", True), ("v <> 5", False),
+        ]:
+            out = run_sql(f"SELECT * FROM s WHERE {clause}", {"s": data})
+            assert bool(out) == hit, clause
+
+
+class TestComposition:
+    def test_subquery(self):
+        sql = """
+            SELECT COUNT(*) AS n
+            FROM (SELECT * FROM logs WHERE StreamId = 1) AS clicks
+            WINDOW 30 TICKS
+        """
+        out = run_sql(sql, {"logs": CLICKS})
+        # global (un-grouped) count peaks at 3 clicks inside one window
+        assert max(e.payload["n"] for e in out) == 3
+
+    def test_union(self):
+        sql = (
+            "SELECT * FROM logs WHERE StreamId = 0 "
+            "UNION SELECT * FROM logs WHERE StreamId = 1"
+        )
+        out = run_sql(sql, {"logs": CLICKS})
+        assert len(out) == len(CLICKS)
+
+    def test_join_on(self):
+        a = rows((0, {"k": 1, "x": "L"}))
+        b = rows((0, {"k": 1, "y": "R"}))
+        out = run_sql("SELECT * FROM a JOIN b ON k", {"a": a, "b": b})
+        assert out[0].payload["x"] == "L" and out[0].payload["y"] == "R"
+
+    def test_anti_join(self):
+        a = rows((0, {"k": 1}), (5, {"k": 2}))
+        b = rows((0, {"k": 1}))
+        out = run_sql("SELECT * FROM a ANTI JOIN b ON k", {"a": a, "b": b})
+        assert [e.payload["k"] for e in out] == [2]
+
+    def test_join_of_subqueries(self):
+        sql = """
+            SELECT * FROM
+            (SELECT COUNT(*) AS clicks FROM logs WHERE StreamId = 1
+             GROUP APPLY UserId WINDOW 100 TICKS)
+            JOIN
+            (SELECT COUNT(*) AS imprs FROM logs WHERE StreamId = 0
+             GROUP APPLY UserId WINDOW 100 TICKS)
+            ON UserId
+        """
+        out = run_sql(sql, {"logs": CLICKS})
+        assert all("clicks" in e.payload and "imprs" in e.payload for e in out)
+
+
+class TestErrors:
+    def test_missing_from(self):
+        with pytest.raises(StreamSQLError):
+            parse("SELECT * WHERE a = 1")
+
+    def test_group_apply_without_aggregate(self):
+        with pytest.raises(StreamSQLError, match="aggregate"):
+            parse("SELECT AdId FROM s GROUP APPLY AdId")
+
+    def test_mixed_select_rejected(self):
+        with pytest.raises(StreamSQLError, match="mixing"):
+            parse("SELECT AdId, COUNT(*) AS n FROM s GROUP APPLY AdId")
+
+    def test_sum_requires_column(self):
+        with pytest.raises(StreamSQLError):
+            parse("SELECT SUM(*) AS s FROM x")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(StreamSQLError, match="trailing"):
+            parse("SELECT * FROM s extra tokens")
+
+    def test_bad_token(self):
+        with pytest.raises(StreamSQLError):
+            parse("SELECT * FROM s WHERE a = #")
+
+    def test_bad_unit(self):
+        with pytest.raises(StreamSQLError, match="unit"):
+            parse("SELECT COUNT(*) AS n FROM s WINDOW 5 PARSECS")
+
+    def test_truncated(self):
+        with pytest.raises(StreamSQLError, match="end of query"):
+            parse("SELECT COUNT(*) AS n FROM")
+
+
+class TestTiMRIntegration:
+    def test_sql_query_through_timr(self):
+        from repro.mapreduce import Cluster, CostModel, DistributedFileSystem
+        from repro.temporal.event import rows_to_events
+        from repro.timr import TiMR
+
+        sql = """
+            SELECT COUNT(*) AS n FROM logs
+            WHERE StreamId = 1
+            GROUP APPLY AdId
+            WINDOW 30 TICKS
+        """
+        query = parse(sql)
+        expected = run_query(query, {"logs": CLICKS})
+        fs = DistributedFileSystem()
+        fs.write("logs", CLICKS)
+        cluster = Cluster(fs=fs, cost_model=CostModel(num_machines=4))
+        result = TiMR(cluster).run(query, num_partitions=2)
+        got = rows_to_events(result.output_rows())
+        assert normalize(got) == normalize(expected)
+
+    def test_sql_query_through_streaming_engine(self):
+        from repro.temporal.streaming import StreamingEngine
+
+        query = parse(
+            "SELECT COUNT(*) AS n FROM logs WHERE StreamId = 1 "
+            "GROUP APPLY AdId WINDOW 30 TICKS"
+        )
+        batch = run_query(query, {"logs": CLICKS})
+        streamed = StreamingEngine(query).run_all({"logs": CLICKS})
+        assert normalize(streamed) == normalize(batch)

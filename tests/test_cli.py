@@ -1,0 +1,132 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def snapshot(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("snap")
+    rc = main(
+        ["generate", "--users", "60", "--days", "1", "--seed", "7", "--out", str(directory)]
+    )
+    assert rc == 0
+    return str(directory)
+
+
+class TestGenerate:
+    def test_writes_snapshot(self, snapshot, capsys):
+        from repro.data.io import load_dataset
+
+        dataset = load_dataset(snapshot)
+        assert len(dataset.rows) > 100
+        assert dataset.config.num_users == 60
+
+    def test_deterministic(self, tmp_path, snapshot):
+        from repro.data.io import load_dataset
+
+        other = tmp_path / "snap2"
+        main(["generate", "--users", "60", "--days", "1", "--seed", "7", "--out", str(other)])
+        assert load_dataset(str(other)).rows == load_dataset(snapshot).rows
+
+
+class TestSQL:
+    def test_runs_query(self, snapshot, capsys):
+        rc = main(
+            [
+                "sql",
+                "SELECT COUNT(*) AS n FROM logs WHERE StreamId = 1 "
+                "GROUP APPLY KwAdId WINDOW 6 HOURS",
+                "--data",
+                snapshot,
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "result events" in out
+        assert "'n'" in out
+
+    def test_select_star(self, snapshot, capsys):
+        rc = main(["sql", "SELECT * FROM logs", "--data", snapshot, "--limit", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "... " in out  # truncation marker
+
+
+class TestTiMR:
+    def test_runs_through_cluster(self, snapshot, capsys):
+        rc = main(
+            [
+                "timr",
+                "SELECT COUNT(*) AS n FROM logs WHERE StreamId = 1 "
+                "GROUP APPLY KwAdId WINDOW 2 HOURS",
+                "--data",
+                snapshot,
+                "--machines",
+                "8",
+                "--partitions",
+                "4",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fragment" in out
+        assert "simulated" in out
+
+    def test_temporal_partitioning_flag(self, snapshot, capsys):
+        rc = main(
+            [
+                "timr",
+                "SELECT COUNT(*) AS n FROM logs WINDOW 30 MINUTES",
+                "--data",
+                snapshot,
+                "--span-width",
+                "14400",
+            ]
+        )
+        assert rc == 0
+
+
+class TestBT:
+    def test_kez_pipeline(self, snapshot, capsys):
+        rc = main(["bt", "--data", snapshot, "--selector", "kez", "--z", "1.28"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bot elimination" in out
+        assert "mean lift area" in out
+
+    def test_stemmed_kepop(self, snapshot, capsys):
+        rc = main(["bt", "--data", snapshot, "--selector", "kepop", "--stem"])
+        assert rc == 0
+        assert "stemmed-KE-pop" in capsys.readouterr().out
+
+
+class TestExplain:
+    def test_explains_plan(self, capsys):
+        rc = main(
+            [
+                "explain",
+                "SELECT COUNT(*) AS n FROM logs WHERE StreamId = 1 "
+                "GROUP APPLY AdId WINDOW 6 HOURS",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "PLAN" in out and "TIMR ANNOTATION" in out
+        assert "AdId" in out
+
+    def test_dot_output(self, capsys):
+        rc = main(["explain", "SELECT * FROM logs", "--dot"])
+        assert rc == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])

@@ -1,0 +1,75 @@
+"""Tests for on-disk persistence of datasets and the simulated DFS."""
+
+import pytest
+
+from repro.data import GeneratorConfig, generate
+from repro.data.io import load_dataset, save_dataset
+from repro.mapreduce import DistributedFileSystem
+from repro.mapreduce.persist import load_file, load_fs, save_file, save_fs
+
+
+class TestFSPersistence:
+    def test_roundtrip_single_dataset(self, tmp_path):
+        fs = DistributedFileSystem()
+        f = fs.write("logs", [{"Time": t, "v": f"x{t}"} for t in range(10)], num_partitions=3)
+        save_file(f, str(tmp_path))
+        loaded = load_file(str(tmp_path), "logs")
+        assert loaded.num_partitions == 3
+        assert loaded.all_rows() == f.all_rows()
+
+    def test_roundtrip_whole_fs(self, tmp_path):
+        fs = DistributedFileSystem()
+        fs.write("a", [{"Time": 1, "x": 1}])
+        fs.write("b", [{"Time": 2, "y": [1, 2]}])
+        save_fs(fs, str(tmp_path))
+        back = load_fs(str(tmp_path))
+        assert back.list_files() == ["a", "b"]
+        assert back.read("b").all_rows()[0]["y"] == [1, 2]
+
+    def test_dotted_names(self, tmp_path):
+        fs = DistributedFileSystem()
+        fs.write("timr.frag0", [{"Time": 0, "_re": 5}])
+        save_fs(fs, str(tmp_path))
+        assert load_fs(str(tmp_path)).read("timr.frag0").num_rows == 1
+
+    def test_missing_dataset_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_file(str(tmp_path), "nope")
+
+    def test_empty_partitions_survive(self, tmp_path):
+        fs = DistributedFileSystem()
+        f = fs.write("thin", [{"Time": 0}], num_partitions=4)
+        save_file(f, str(tmp_path))
+        loaded = load_file(str(tmp_path), "thin")
+        assert loaded.num_partitions == 4
+        assert loaded.num_rows == 1
+
+    def test_selective_load(self, tmp_path):
+        fs = DistributedFileSystem()
+        fs.write("keep", [{"Time": 0}])
+        fs.write("skip", [{"Time": 0}])
+        save_fs(fs, str(tmp_path))
+        back = load_fs(str(tmp_path), names=["keep"])
+        assert back.list_files() == ["keep"]
+
+
+class TestDatasetSnapshots:
+    def test_roundtrip(self, tmp_path):
+        dataset = generate(GeneratorConfig(num_users=40, duration_days=1, seed=2))
+        save_dataset(dataset, str(tmp_path / "snap"))
+        back = load_dataset(str(tmp_path / "snap"))
+        assert back.rows == dataset.rows
+        assert back.config == dataset.config
+        assert back.truth.bots == dataset.truth.bots
+        assert back.truth.liked == dataset.truth.liked
+
+    def test_loaded_dataset_usable_by_pipeline(self, tmp_path):
+        from repro.bt import BTConfig
+        from repro.bt.baselines import custom_bot_elimination
+
+        dataset = generate(GeneratorConfig(num_users=40, duration_days=1, seed=2))
+        save_dataset(dataset, str(tmp_path / "snap"))
+        back = load_dataset(str(tmp_path / "snap"))
+        assert custom_bot_elimination(back.rows, BTConfig()) == custom_bot_elimination(
+            dataset.rows, BTConfig()
+        )

@@ -1,0 +1,153 @@
+"""Robustness: empty inputs, degenerate configs, and boundary conditions
+across every package — the cases a downstream user hits first.
+"""
+
+import pytest
+
+from repro.bt import (
+    BTConfig,
+    BTPipeline,
+    KEZSelector,
+    assemble_examples,
+    bot_elimination_query,
+    build_examples,
+    training_data_query,
+)
+from repro.data import GeneratorConfig, generate
+from repro.mapreduce import Cluster, CostModel, DistributedFileSystem, MapReduceStage
+from repro.temporal import Engine, Query, StreamingEngine, run_query
+from repro.timr import TiMR
+
+
+class TestEmptyInputs:
+    def test_engine_empty_source(self):
+        q = Query.source("s").window(10).count(into="n")
+        assert run_query(q, {"s": []}) == []
+
+    def test_engine_empty_group_apply(self):
+        q = Query.source("s").group_apply("k", lambda g: g.count(into="n"))
+        assert run_query(q, {"s": []}) == []
+
+    def test_engine_empty_join(self):
+        q = Query.source("a").temporal_join(Query.source("b"), on="k")
+        assert run_query(q, {"a": [], "b": []}) == []
+
+    def test_streaming_empty_flush(self):
+        stream = StreamingEngine(Query.source("s").count(into="n"))
+        assert stream.flush() == []
+
+    def test_timr_empty_dataset(self):
+        fs = DistributedFileSystem()
+        fs.write("logs", [])
+        cluster = Cluster(fs=fs, cost_model=CostModel(num_machines=2))
+        q = Query.source("logs").group_apply("k", lambda g: g.count(into="n"))
+        result = TiMR(cluster).run(q, num_partitions=2)
+        assert result.output_rows() == []
+
+    def test_build_examples_empty(self):
+        assert build_examples([], BTConfig()) == []
+
+    def test_assemble_empty(self):
+        assert assemble_examples([], []) == []
+
+    def test_selector_fit_empty(self):
+        result = KEZSelector().fit([])
+        assert result.retained == {}
+
+    def test_pipeline_on_empty_rows(self):
+        result = BTPipeline().run([])
+        assert result.evaluations == {}
+        assert result.train_examples == 0
+
+    def test_reducer_on_empty_partition(self):
+        calls = []
+
+        def reducer(idx, rows):
+            calls.append((idx, len(rows)))
+            return []
+
+        fs = DistributedFileSystem()
+        fs.write("in", [{"Time": 0, "k": "x"}])
+        cluster = Cluster(fs=fs)
+        stage = MapReduceStage("s", lambda r: r["k"], reducer, num_partitions=4)
+        cluster.run_stage(stage, "in", "out")
+        assert len(calls) == 4  # every partition runs, even empty ones
+
+
+class TestDegenerateConfigs:
+    def test_generator_zero_bots(self):
+        ds = generate(GeneratorConfig(num_users=20, duration_days=0.5, seed=1,
+                                      bot_fraction=0.0))
+        assert ds.truth.bots == set()
+
+    def test_generator_single_user(self):
+        ds = generate(GeneratorConfig(num_users=1, duration_days=0.5, seed=1))
+        users = {r["UserId"] for r in ds.rows}
+        assert len(users) <= 1
+
+    def test_generator_fractional_days(self):
+        ds = generate(GeneratorConfig(num_users=20, duration_days=1.5, seed=1))
+        assert max(r["Time"] for r in ds.rows) < ds.config.duration + 300
+
+    def test_bt_all_rows_from_bots(self):
+        """If everyone is a bot, elimination leaves (almost) nothing."""
+        ds = generate(
+            GeneratorConfig(
+                num_users=6, duration_days=1, seed=4, bot_fraction=1.0,
+                bot_activity_multiplier=40.0,
+            )
+        )
+        cfg = BTConfig()
+        clean = run_query(bot_elimination_query(Query.source("l"), cfg), {"l": ds.rows})
+        assert len(clean) < len(ds.rows) * 0.6
+
+    def test_training_data_without_keywords(self):
+        rows = [
+            {"Time": 0, "StreamId": 0, "UserId": "u", "KwAdId": "ad"},
+            {"Time": 60, "StreamId": 1, "UserId": "u", "KwAdId": "ad"},
+        ]
+        out = run_query(training_data_query(Query.source("l"), BTConfig()), {"l": rows})
+        assert out == []  # no profiles to join
+
+    def test_single_event_stream(self):
+        q = Query.source("s").window(100).count(into="n")
+        out = run_query(q, {"s": [{"Time": 5}]})
+        assert len(out) == 1 and out[0].payload["n"] == 1
+
+
+class TestBoundaryConditions:
+    def test_negative_timestamps(self):
+        q = Query.source("s").window(10).count(into="n")
+        out = run_query(q, {"s": [{"Time": -100}, {"Time": -95}]})
+        assert out[0].le == -100
+
+    def test_huge_timestamps(self):
+        q = Query.source("s").count(into="n")
+        out = run_query(q, {"s": [{"Time": 2**55}]})
+        assert out[0].le == 2**55
+
+    def test_identical_timestamps_many(self):
+        rows = [{"Time": 7, "i": i} for i in range(50)]
+        q = Query.source("s").window(5).count(into="n")
+        out = run_query(q, {"s": rows})
+        assert out == [type(out[0])(7, 12, {"n": 50})]
+
+    def test_unicode_payloads(self):
+        rows = [{"Time": 0, "k": "café-ストリーム"}]
+        q = Query.source("s").group_apply("k", lambda g: g.count(into="n"))
+        out = run_query(q, {"s": rows})
+        assert out[0].payload["k"] == "café-ストリーム"
+
+    def test_non_string_keys(self):
+        rows = [{"Time": 0, "k": (1, 2)}, {"Time": 1, "k": (1, 2)}]
+        q = Query.source("s").group_apply("k", lambda g: g.window(5).count(into="n"))
+        out = run_query(q, {"s": rows})
+        assert max(e.payload["n"] for e in out) == 2
+
+    def test_timr_non_string_partition_keys(self):
+        fs = DistributedFileSystem()
+        fs.write("logs", [{"Time": t, "k": t % 3} for t in range(30)])
+        cluster = Cluster(fs=fs, cost_model=CostModel(num_machines=2))
+        q = Query.source("logs").group_apply("k", lambda g: g.count(into="n"))
+        result = TiMR(cluster).run(q, num_partitions=2)
+        assert len(result.output_rows()) > 0

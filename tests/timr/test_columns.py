@@ -1,0 +1,108 @@
+"""Tests for payload-column tracking and its use by the optimizer."""
+
+from repro.temporal import Query
+from repro.temporal.plan import ExchangeNode, topological_order
+from repro.timr import Statistics, annotate_plan, make_fragments
+
+
+def cols(query):
+    return query.to_plan().output_columns()
+
+
+class TestOutputColumns:
+    def test_declared_source(self):
+        q = Query.source("s", columns=("a", "b"))
+        assert cols(q) == {"a", "b"}
+
+    def test_undeclared_source_unknown(self):
+        assert cols(Query.source("s")) is None
+
+    def test_where_passthrough(self):
+        q = Query.source("s", columns=("a",)).where(lambda p: True)
+        assert cols(q) == {"a"}
+
+    def test_opaque_project_unknown(self):
+        q = Query.source("s", columns=("a",)).project(lambda p: {"b": 1})
+        assert cols(q) is None
+
+    def test_declared_project(self):
+        q = Query.source("s", columns=("a",)).project(
+            lambda p: {"b": p["a"]}, columns=("b",)
+        )
+        assert cols(q) == {"b"}
+
+    def test_select_columns_declares(self):
+        q = Query.source("s", columns=("a", "b")).select_columns("a")
+        assert cols(q) == {"a"}
+
+    def test_aggregate_columns_are_outputs(self):
+        q = Query.source("s", columns=("a",)).window(5).count(into="n")
+        assert cols(q) == {"n"}
+
+    def test_group_apply_adds_keys(self):
+        q = Query.source("s", columns=("k", "v")).group_apply(
+            "k", lambda g: g.count(into="n")
+        )
+        assert cols(q) == {"k", "n"}
+
+    def test_union_intersects(self):
+        a = Query.source("s", columns=("x", "y")).select_columns("x", "y")
+        b = Query.source("s", columns=("x", "z")).select_columns("x", "z")
+        assert cols(a.union(b)) == {"x"}
+
+    def test_join_default_select_unions(self):
+        a = Query.source("a", columns=("k", "x"))
+        b = Query.source("b", columns=("k", "y"))
+        assert cols(a.temporal_join(b, on="k")) == {"k", "x", "y"}
+
+    def test_join_custom_select_needs_declaration(self):
+        a = Query.source("a", columns=("k",))
+        b = Query.source("b", columns=("k",))
+        opaque = a.temporal_join(b, on="k", select=lambda l, r: {"z": 1})
+        assert cols(opaque) is None
+        declared = a.temporal_join(
+            b, on="k", select=lambda l, r: {"z": 1}, columns=("z",)
+        )
+        assert cols(declared) == {"z"}
+
+    def test_udo_unknown(self):
+        q = Query.source("s", columns=("a",)).udo_hopping(10, 5, lambda w, b: [])
+        assert cols(q) is None
+
+
+class TestOptimizerUsesColumns:
+    def test_no_exchange_on_missing_column(self):
+        """Regression: the optimizer must not route a raw stream by a
+        column that only exists after a later projection."""
+        src = Query.source("logs", columns=("StreamId", "UserId", "KwAdId"))
+        renamed = src.project(
+            lambda p: {"UserId": p["UserId"], "AdId": p["KwAdId"]},
+            columns=("UserId", "AdId"),
+        )
+        q = renamed.group_apply("AdId", lambda g: g.count(into="n"))
+        result = annotate_plan(q.to_plan(), Statistics(source_rows={"logs": 10000}))
+        for node in topological_order(result.plan):
+            if isinstance(node, ExchangeNode):
+                below = node.inputs[0].output_columns()
+                if below is not None:
+                    assert set(node.key) <= below
+
+    def test_bt_feature_selection_annotates_and_runs(self):
+        """The full Figure 13 pipeline must survive auto-annotation."""
+        from repro.bt import BTConfig, feature_selection_query
+        from repro.data import GeneratorConfig, generate
+        from repro.mapreduce import Cluster, CostModel, DistributedFileSystem
+        from repro.temporal import normalize, run_query
+        from repro.temporal.event import rows_to_events
+        from repro.temporal.time import days
+        from repro.timr import TiMR
+
+        rows = generate(GeneratorConfig(num_users=80, duration_days=1, seed=23)).rows
+        cfg = BTConfig(min_support=1, z_threshold=0.5)
+        q = feature_selection_query(Query.source("logs"), cfg, horizon=days(2))
+        local = run_query(q, {"logs": rows})
+        fs = DistributedFileSystem()
+        fs.write("logs", rows)
+        cluster = Cluster(fs=fs, cost_model=CostModel(num_machines=4))
+        result = TiMR(cluster).run(q, num_partitions=2)
+        assert normalize(rows_to_events(result.output_rows())) == normalize(local)

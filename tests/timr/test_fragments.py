@@ -1,0 +1,104 @@
+"""Unit tests for plan annotation and fragment extraction."""
+
+import pytest
+
+from repro.temporal import Query
+from repro.timr import FragmentationError, describe_fragments, make_fragments
+
+
+def click_count_query():
+    """The paper's RunningClickCount with an explicit annotation (Fig 7)."""
+    return (
+        Query.source("logs")
+        .exchange("AdId")
+        .where(lambda e: e["StreamId"] == 1)
+        .group_apply("AdId", lambda g: g.window(100).count(into="n"))
+    )
+
+
+class TestMakeFragments:
+    def test_single_fragment_plan(self):
+        frags = make_fragments(click_count_query().to_plan())
+        assert len(frags) == 1
+        assert frags[0].key == ("AdId",)
+        assert frags[0].input_names == ["logs"]
+        assert frags[0].output_name == "timr.out"
+
+    def test_no_exchange_single_unpartitioned_fragment(self):
+        q = Query.source("logs").window(10).count(into="n")
+        frags = make_fragments(q.to_plan())
+        assert len(frags) == 1
+        assert frags[0].key == ()
+        assert not frags[0].is_payload_partitioned
+
+    def test_two_fragment_plan(self):
+        q = (
+            Query.source("logs")
+            .exchange("UserId", "Keyword")
+            .group_apply(
+                ["UserId", "Keyword"], lambda g: g.window(50).count(into="c")
+            )
+            .exchange("UserId")
+            .group_apply("UserId", lambda g: g.count(into="total"))
+        )
+        frags = make_fragments(q.to_plan(), job_name="j")
+        assert len(frags) == 2
+        assert frags[0].key == ("UserId", "Keyword")
+        assert frags[1].key == ("UserId",)
+        assert frags[1].input_names == [frags[0].output_name]
+        assert frags[1].output_name == "j.out"
+
+    def test_fragment_key_must_satisfy_operators(self):
+        q = (
+            Query.source("logs")
+            .exchange("Other")
+            .group_apply("AdId", lambda g: g.count(into="n"))
+        )
+        with pytest.raises(FragmentationError, match="cannot run under"):
+            make_fragments(q.to_plan())
+
+    def test_exchange_at_root_rejected(self):
+        q = Query.source("logs").where(lambda e: True).exchange("AdId")
+        with pytest.raises(FragmentationError, match="root"):
+            make_fragments(q.to_plan())
+
+    def test_mixed_exchanged_and_raw_inputs_rejected(self):
+        a = Query.source("a").exchange("k")
+        b = Query.source("b")  # no exchange
+        q = a.temporal_join(b, on="k")
+        with pytest.raises(FragmentationError, match="raw sources"):
+            make_fragments(q.to_plan())
+
+    def test_conflicting_keys_rejected(self):
+        a = Query.source("a").exchange("k")
+        b = Query.source("b").exchange("other")
+        q = a.union(b)
+        with pytest.raises(FragmentationError, match="conflicting"):
+            make_fragments(q.to_plan())
+
+    def test_multi_input_fragment(self):
+        a = Query.source("a").exchange("k")
+        b = Query.source("b").exchange("k")
+        q = a.temporal_join(b, on="k")
+        frags = make_fragments(q.to_plan())
+        assert len(frags) == 1
+        assert sorted(frags[0].input_names) == ["a", "b"]
+
+    def test_extent_recorded(self):
+        frags = make_fragments(click_count_query().to_plan())
+        assert frags[0].extent == (100, 0)
+
+    def test_describe_smoke(self):
+        frags = make_fragments(click_count_query().to_plan())
+        assert "AdId" in describe_fragments(frags)
+
+    def test_shared_exchange_multicast(self):
+        base = (
+            Query.source("logs")
+            .exchange("UserId")
+            .group_apply("UserId", lambda g: g.window(10).count(into="n"))
+        )
+        # same annotated subquery consumed twice
+        q = base.union(base)
+        frags = make_fragments(q.to_plan())
+        assert len(frags) == 1

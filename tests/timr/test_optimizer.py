@@ -1,0 +1,105 @@
+"""Unit tests for the cost-based annotation optimizer (Section VI)."""
+
+from repro.temporal import Query
+from repro.temporal.plan import ExchangeNode, topological_order
+from repro.timr import Statistics, annotate_plan, candidate_keys, make_fragments
+
+
+def exchanges(plan):
+    return [n for n in topological_order(plan) if isinstance(n, ExchangeNode)]
+
+
+class TestCandidateKeys:
+    def test_subsets_of_group_keys(self):
+        q = Query.source("s").group_apply(
+            ["UserId", "Keyword"], lambda g: g.count(into="n")
+        )
+        keys = candidate_keys(q.to_plan())
+        assert ("UserId",) in keys
+        assert ("Keyword",) in keys
+        assert ("Keyword", "UserId") in keys
+        assert () in keys
+
+    def test_join_keys_included(self):
+        q = Query.source("a").temporal_join(Query.source("b"), on="AdId")
+        assert ("AdId",) in candidate_keys(q.to_plan())
+
+
+class TestAnnotatePlan:
+    def test_simple_group_apply_gets_one_exchange(self):
+        q = (
+            Query.source("logs")
+            .where(lambda e: e["StreamId"] == 1)
+            .group_apply("AdId", lambda g: g.window(10).count(into="n"))
+        )
+        result = annotate_plan(q.to_plan(), Statistics(source_rows={"logs": 10000}))
+        exs = exchanges(result.plan)
+        assert len(exs) == 1
+        assert exs[0].key == ("AdId",)
+
+    def test_exchange_pushed_above_filter(self):
+        # repartitioning after the filter moves fewer rows, so the
+        # optimizer should place the exchange above the Where
+        q = (
+            Query.source("logs")
+            .where(lambda e: e["StreamId"] == 1)
+            .group_apply("AdId", lambda g: g.count(into="n"))
+        )
+        result = annotate_plan(q.to_plan(), Statistics(source_rows={"logs": 10000}))
+        ex = exchanges(result.plan)[0]
+        assert ex.inputs[0].op_name == "where"
+
+    def test_example3_single_partitioning(self):
+        """Example 3: one {UserId} exchange beats {UserId,Keyword}->{UserId}."""
+        ubp = Query.source("logs").group_apply(
+            ["UserId", "Keyword"], lambda g: g.window(100).count(into="c")
+        )
+        q = Query.source("acts").temporal_join(ubp, on="UserId")
+        stats = Statistics(
+            source_rows={"logs": 100000, "acts": 100000},
+            distinct_values={"UserId": 5000, "Keyword": 2000},
+        )
+        result = annotate_plan(q.to_plan(), stats)
+        exs = exchanges(result.plan)
+        assert len(exs) == 2  # one per source, none between the operators
+        assert all(e.key == ("UserId",) for e in exs)
+        frags = make_fragments(result.plan, "opt")
+        assert len(frags) == 1  # single fragment, the 2.27x plan
+
+    def test_global_aggregate_forced_single(self):
+        q = Query.source("logs").window(10).count(into="n")
+        result = annotate_plan(q.to_plan())
+        assert result.key == ()
+
+    def test_annotated_plan_fragments_cleanly(self):
+        q = (
+            Query.source("logs")
+            .group_apply(["UserId", "Keyword"], lambda g: g.window(10).count(into="c"))
+            .group_apply("UserId", lambda g: g.count(into="total"))
+        )
+        result = annotate_plan(q.to_plan())
+        frags = make_fragments(result.plan, "j")  # must not raise
+        assert len(frags) >= 1
+
+    def test_cost_positive_and_key_valid(self):
+        q = Query.source("s").group_apply("k", lambda g: g.count(into="n"))
+        result = annotate_plan(q.to_plan())
+        assert result.cost > 0
+        assert result.key in result.candidate_keys or result.key == ()
+
+
+class TestStatistics:
+    def test_parallelism_single(self):
+        assert Statistics().parallelism(()) == 1.0
+
+    def test_parallelism_capped_by_machines(self):
+        stats = Statistics(num_machines=10, distinct_values={"u": 1000000})
+        assert stats.parallelism(("u",)) == 10.0
+
+    def test_parallelism_capped_by_distinct(self):
+        stats = Statistics(num_machines=100, distinct_values={"u": 3})
+        assert stats.parallelism(("u",)) == 3.0
+
+    def test_composite_key_multiplies(self):
+        stats = Statistics(num_machines=100, distinct_values={"a": 5, "b": 4})
+        assert stats.parallelism(("a", "b")) == 20.0

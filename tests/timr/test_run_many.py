@@ -1,0 +1,89 @@
+"""Tests for multi-output TiMR jobs (Section III-C.4)."""
+
+import random
+
+import pytest
+
+from repro.mapreduce import Cluster, CostModel, DistributedFileSystem
+from repro.temporal import Query, normalize, run_query
+from repro.temporal.event import rows_to_events
+from repro.timr import TiMR
+
+COLUMNS = ("StreamId", "UserId", "KwAdId")
+
+
+def make_rows(n=200, seed=2):
+    rnd = random.Random(seed)
+    return [
+        {
+            "Time": t,
+            "StreamId": rnd.randrange(3),
+            "UserId": f"u{rnd.randrange(6)}",
+            "KwAdId": f"k{rnd.randrange(4)}",
+        }
+        for t in sorted(rnd.randrange(4000) for _ in range(n))
+    ]
+
+
+def make_timr(rows):
+    fs = DistributedFileSystem()
+    fs.write("logs", rows)
+    return TiMR(Cluster(fs=fs, cost_model=CostModel(num_machines=4)))
+
+
+class TestRunMany:
+    def test_outputs_split_per_query(self):
+        rows = make_rows()
+        src = Query.source("logs", columns=COLUMNS)
+        queries = {
+            "per_user": src.group_apply(
+                "UserId", lambda g: g.window(500).count(into="n")
+            ),
+            "per_kw": src.group_apply(
+                "KwAdId", lambda g: g.window(500).count(into="n")
+            ),
+        }
+        outputs = make_timr(rows).run_many(queries, num_partitions=3)
+        assert set(outputs) == {"per_user", "per_kw"}
+        for name, query in queries.items():
+            local = run_query(query, {"logs": rows})
+            assert normalize(rows_to_events(outputs[name])) == normalize(local)
+
+    def test_tag_column_stripped(self):
+        rows = make_rows(50)
+        src = Query.source("logs", columns=COLUMNS)
+        outputs = make_timr(rows).run_many(
+            {"a": src.where(lambda p: p["StreamId"] == 1)}, num_partitions=2
+        )
+        for row in outputs["a"]:
+            assert "_out" not in row
+
+    def test_shared_subquery_computed_once(self):
+        """Two outputs over one grouped sub-stream share its fragment."""
+        rows = make_rows()
+        base = Query.source("logs", columns=COLUMNS).group_apply(
+            "UserId", lambda g: g.window(500).count(into="n")
+        )
+        high = base.where(lambda p: p["n"] >= 2, label="busy")
+        low = base.where(lambda p: p["n"] < 2, label="quiet")
+        outputs = make_timr(rows).run_many(
+            {"busy": high, "quiet": low}, num_partitions=3
+        )
+        got = len(outputs["busy"]) + len(outputs["quiet"])
+        want = len(run_query(base, {"logs": rows}))
+        assert got == want
+
+    def test_empty_queries_rejected(self):
+        with pytest.raises(ValueError):
+            make_timr(make_rows(10)).run_many({})
+
+    def test_single_query_equivalent_to_run(self):
+        rows = make_rows(80)
+        q = Query.source("logs", columns=COLUMNS).group_apply(
+            "UserId", lambda g: g.count(into="n")
+        )
+        many = make_timr(rows).run_many({"only": q}, num_partitions=2)
+        single = make_timr(rows).run(q, num_partitions=2)
+        assert normalize(rows_to_events(many["only"])) == normalize(
+            rows_to_events(single.output_rows())
+        )

@@ -1,0 +1,80 @@
+"""Unit tests for temporal (span) partitioning."""
+
+import pytest
+
+from repro.timr import plan_spans
+
+
+class TestSpanLayout:
+    def test_spans_cover_extended_output_range(self):
+        # window lifetimes push output up to `past` beyond the last input
+        layout = plan_spans(0, 999, span_width=100, extent=(30, 0))
+        assert layout.t0 == 0
+        assert layout.num_spans == 11  # covers output through 1029
+        last_start, last_end = layout.output_interval(layout.num_spans - 1)
+        assert last_start <= 999 + 30 < last_end
+
+    def test_future_extent_shifts_origin(self):
+        layout = plan_spans(0, 999, span_width=100, extent=(0, 10))
+        assert layout.t0 == -10  # backward shifts can emit before t_min
+
+    def test_output_intervals_tile_without_gaps(self):
+        layout = plan_spans(0, 999, span_width=100, extent=(30, 5))
+        for i in range(layout.num_spans - 1):
+            assert layout.output_interval(i)[1] == layout.output_interval(i + 1)[0]
+
+    def test_input_interval_includes_overlap(self):
+        layout = plan_spans(0, 999, span_width=100, extent=(30, 5))
+        start, end = layout.output_interval(3)
+        assert layout.input_interval(3) == (start - 30, end + 5)
+
+    def test_spans_for_time_matches_input_intervals(self):
+        layout = plan_spans(0, 499, span_width=70, extent=(25, 10))
+        for t in range(0, 500, 7):
+            expected = [
+                i
+                for i in range(layout.num_spans)
+                if layout.input_interval(i)[0] <= t < layout.input_interval(i)[1]
+            ]
+            assert layout.spans_for_time(t) == expected
+
+    def test_boundary_row_duplicated_into_overlap(self):
+        layout = plan_spans(0, 999, span_width=100, extent=(30, 0))
+        # a row just before a boundary feeds its own span and the next one
+        start, end = layout.output_interval(3)
+        t = end - 10
+        assert set(layout.spans_for_time(t)) >= {3, 4}
+
+    def test_overlap_larger_than_span(self):
+        layout = plan_spans(0, 999, span_width=50, extent=(120, 0))
+        spans = layout.spans_for_time(500)
+        assert len(spans) == 3  # own span plus the spans still looking back
+        for i in spans:
+            lo, hi = layout.input_interval(i)
+            assert lo <= 500 < hi
+
+    def test_every_output_time_covered_exactly_once(self):
+        layout = plan_spans(0, 499, span_width=70, extent=(25, 0))
+        for t in range(0, 500):
+            owners = [
+                i
+                for i in range(layout.num_spans)
+                if layout.output_interval(i)[0] <= t < layout.output_interval(i)[1]
+            ]
+            assert len(owners) == 1
+
+    def test_duplication_factor(self):
+        layout = plan_spans(0, 999, span_width=100, extent=(50, 0))
+        assert layout.duplication_factor == pytest.approx(1.5)
+
+    def test_invalid_span_width(self):
+        with pytest.raises(ValueError):
+            plan_spans(0, 10, span_width=0, extent=(0, 0))
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            plan_spans(10, 0, span_width=5, extent=(0, 0))
+
+    def test_negative_extent_rejected(self):
+        with pytest.raises(ValueError):
+            plan_spans(0, 10, span_width=5, extent=(-1, 0))
