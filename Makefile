@@ -1,0 +1,24 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: check test lint selflint ruff
+
+check: test selflint ruff
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+selflint:
+	$(PYTHON) -m repro lint --builtin --no-plan
+	$(PYTHON) -m repro lint examples/*.py --no-plan
+
+# ruff is optional in the dev container; the committed config in
+# pyproject.toml is authoritative wherever it IS available (CI).
+ruff:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests; \
+	elif command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests; \
+	else \
+		echo "ruff not installed; skipping (CI runs it)"; \
+	fi

@@ -21,6 +21,24 @@ from repro.bt import (
 from repro.data import GeneratorConfig, generate
 
 
+def lint_queries():
+    """Plans the BT pipeline executes, for ``repro lint`` over this file."""
+    from repro.bt.queries import (
+        UNIFIED_COLUMNS,
+        bot_elimination_query,
+        training_data_query,
+    )
+    from repro.bt.schema import BTConfig
+    from repro.temporal import Query
+
+    cfg = BTConfig()
+    source = Query.source("logs", UNIFIED_COLUMNS)
+    return {
+        "bot-elimination": bot_elimination_query(source, cfg),
+        "training-data": training_data_query(source, cfg),
+    }
+
+
 def main():
     dataset = generate(GeneratorConfig(num_users=800, duration_days=5, seed=21))
     print(f"generated {len(dataset.rows):,} rows "

@@ -17,6 +17,23 @@ from repro.data import GeneratorConfig, generate
 from repro.temporal.time import days
 
 
+def lint_queries():
+    """Plans behind ``build_examples``, for ``repro lint`` over this file."""
+    from repro.bt.queries import (
+        UNIFIED_COLUMNS,
+        feature_selection_query,
+        training_data_query,
+    )
+    from repro.temporal import Query
+
+    cfg = BTConfig(min_support=3)
+    source = Query.source("logs", UNIFIED_COLUMNS)
+    return {
+        "training-data": training_data_query(source, cfg),
+        "feature-selection": feature_selection_query(source, cfg, days(7)),
+    }
+
+
 def main():
     cfg = GeneratorConfig(num_users=900, duration_days=7, seed=13)
     dataset = generate(cfg)

@@ -18,17 +18,26 @@ from repro.temporal.event import rows_to_events
 from repro.timr import TiMR
 
 
+def lint_queries():
+    """Plans this example runs, for ``repro lint examples/quickstart.py``."""
+    return {"running-click-count": _running_click_count()}
+
+
+def _running_click_count():
+    return (
+        Query.source("logs", ("Time", "StreamId", "AdId"))
+        .where(lambda e: e["StreamId"] == CLICK)
+        .group_apply("AdId", lambda g: g.window(hours(6)).count(into="ClickCount"))
+    )
+
+
 def main():
     # 1. a synthetic week of advertising logs (unified schema of Fig. 9)
     dataset = generate(GeneratorConfig(num_users=300, duration_days=3, seed=7))
     print(f"generated {len(dataset.rows):,} log rows")
 
     # 2. the temporal query — declarative, scale-out-agnostic
-    running_click_count = (
-        Query.source("logs")
-        .where(lambda e: e["StreamId"] == CLICK)
-        .group_apply("AdId", lambda g: g.window(hours(6)).count(into="ClickCount"))
-    )
+    running_click_count = _running_click_count()
     # (the unified schema calls the ad column KwAdId; rename for the query)
     rows = [
         {"Time": r["Time"], "StreamId": r["StreamId"], "AdId": r["KwAdId"]}

@@ -33,6 +33,24 @@ from repro.temporal.time import days, hours
 from repro.timr import TiMR
 
 
+def lint_queries():
+    """Plans this example runs, for ``repro lint examples/realtime_replay.py``."""
+    from repro.bt.queries import UNIFIED_COLUMNS
+
+    cfg = BTConfig()
+    examples = Query.source("examples", ("UserId", "AdId", "y", "Features"))
+    model_cfg = BTConfig(model_window=days(2), model_hop=hours(12))
+    return {
+        "bot-elimination": bot_elimination_query(
+            Query.source("logs", UNIFIED_COLUMNS), cfg
+        ),
+        "model-generation": model_generation_query(examples, model_cfg),
+        "scoring": scoring_query(
+            examples, model_generation_query(examples, model_cfg)
+        ),
+    }
+
+
 def main():
     dataset = generate(GeneratorConfig(num_users=300, duration_days=3, seed=5))
     cfg = BTConfig()

@@ -12,18 +12,26 @@ from repro.data import GeneratorConfig, generate
 from repro.temporal import StreamingEngine, parse_sql, run_sql
 
 
+SQL = """
+    SELECT COUNT(*) AS Clicks
+    FROM logs
+    WHERE StreamId = 1
+    GROUP APPLY KwAdId
+    WINDOW 6 HOURS
+"""
+
+
+def lint_queries():
+    """Plans this example runs, for ``repro lint examples/streamsql_tour.py``."""
+    return {"click-count-sql": parse_sql(SQL)}
+
+
 def main():
     dataset = generate(GeneratorConfig(num_users=700, duration_days=4, seed=31))
     print(f"generated {len(dataset.rows):,} rows")
 
     # --- StreamSQL: the textual front-end --------------------------------
-    sql = """
-        SELECT COUNT(*) AS Clicks
-        FROM logs
-        WHERE StreamId = 1
-        GROUP APPLY KwAdId
-        WINDOW 6 HOURS
-    """
+    sql = SQL
     print("\nStreamSQL:", " ".join(sql.split()))
     events = run_sql(sql, {"logs": dataset.rows})
     peak = max(events, key=lambda e: e.payload["Clicks"])

@@ -1,0 +1,294 @@
+"""Introspection of the user callables embedded in a CQ plan.
+
+TiMR's determinism guarantee (Section III-C.1: restarted reducers and
+offline/live re-runs produce byte-identical output) only holds when every
+lambda and UDO in the plan is a pure function of payloads and lifetimes.
+These helpers inspect callables *statically* — bytecode via
+:mod:`dis`, default arguments, closure cells — so hazards surface before
+a job runs rather than as silently divergent output.
+
+Everything here is best-effort and conservative: when a callable cannot
+be introspected (a C builtin, a ``functools.partial`` over one, ...) the
+helpers return "don't know" and the passes stay silent rather than
+guessing.
+"""
+
+from __future__ import annotations
+
+import builtins
+import dis
+import types
+from typing import Iterable, List, Optional, Set, Tuple
+
+from ..temporal.plan import (
+    AlterLifetimeNode,
+    AntiSemiJoinNode,
+    PlanNode,
+    ProjectNode,
+    ScanUDONode,
+    SnapshotUDONode,
+    TemporalJoinNode,
+    WhereNode,
+    WindowedUDONode,
+)
+
+#: (attribute holding a callable, human name) per node type. Only
+#: *runtime* callables appear here — GroupApply's subquery builder runs
+#: at plan-construction time and is irrelevant to execution determinism.
+_CALLABLE_ATTRS = {
+    WhereNode: (("predicate", "predicate"),),
+    ProjectNode: (("fn", "projection"),),
+    TemporalJoinNode: (("residual", "join residual"), ("select", "join select")),
+    AntiSemiJoinNode: (("residual", "join residual"),),
+    WindowedUDONode: (("fn", "windowed UDO"),),
+    SnapshotUDONode: (("fn", "snapshot UDO"),),
+    ScanUDONode: (("state_factory", "scan state factory"), ("fn", "scan UDO")),
+}
+
+
+def node_callables(node: PlanNode) -> List[Tuple[object, str]]:
+    """The runtime callables a node will invoke during execution."""
+    out: List[Tuple[object, str]] = []
+    for node_type, attrs in _CALLABLE_ATTRS.items():
+        if isinstance(node, node_type):
+            for attr, name in attrs:
+                fn = getattr(node, attr, None)
+                if fn is not None:
+                    out.append((fn, name))
+    if isinstance(node, AlterLifetimeNode) and node.kind == "custom":
+        for key in ("le_fn", "re_fn"):
+            fn = node.params.get(key)
+            if fn is not None:
+                out.append((fn, f"custom lifetime {key}"))
+    return out
+
+
+def unwrap(fn):
+    """Follow functools.partial / __wrapped__ chains to the inner function."""
+    seen = 0
+    while seen < 10:
+        if hasattr(fn, "func") and not hasattr(fn, "__code__"):  # partial
+            fn = fn.func
+        elif hasattr(fn, "__wrapped__"):
+            fn = fn.__wrapped__
+        else:
+            break
+        seen += 1
+    return fn
+
+
+def function_code(fn) -> Optional[types.CodeType]:
+    fn = unwrap(fn)
+    return getattr(fn, "__code__", None)
+
+
+def _all_codes(code: types.CodeType) -> Iterable[types.CodeType]:
+    """A code object and every code object nested in its constants."""
+    yield code
+    for const in code.co_consts:
+        if isinstance(const, types.CodeType):
+            yield from _all_codes(const)
+
+
+# ---------------------------------------------------------------------------
+# Payload-column access extraction (schema pass)
+# ---------------------------------------------------------------------------
+
+
+def accessed_payload_keys(fn) -> Optional[Set[str]]:
+    """String keys the callable reads via ``x[...]`` or ``x.get(...)``.
+
+    A callable may declare its reads explicitly by carrying a
+    ``_repro_reads`` attribute (an iterable of column names) — the
+    StreamSQL parser annotates its closure-built predicates this way,
+    and user code can too. Otherwise a bytecode heuristic applies: a
+    string constant consumed directly by a subscript load, or passed
+    right after a ``.get`` attribute load, is treated as a payload
+    column read. Returns ``None`` when the callable cannot be
+    introspected at all; an empty set means "introspectable but no
+    constant-key reads found" (e.g. iterating ``p.items()``).
+    """
+    declared = getattr(fn, "_repro_reads", None)
+    if declared is not None:
+        return set(declared)
+    code = function_code(fn)
+    if code is None:
+        return None
+    keys: Set[str] = set()
+    for c in _all_codes(code):
+        instructions = list(dis.get_instructions(c))
+        for i, ins in enumerate(instructions):
+            if ins.opname == "BINARY_SUBSCR" and i > 0:
+                prev = instructions[i - 1]
+                if prev.opname == "LOAD_CONST" and isinstance(prev.argval, str):
+                    keys.add(prev.argval)
+            # 3.12+ folds BINARY_SUBSCR into BINARY_OP ([] variant)
+            elif ins.opname == "BINARY_OP" and ins.argrepr == "[]" and i > 0:
+                prev = instructions[i - 1]
+                if prev.opname == "LOAD_CONST" and isinstance(prev.argval, str):
+                    keys.add(prev.argval)
+            elif (
+                ins.opname == "LOAD_CONST"
+                and isinstance(ins.argval, str)
+                and i > 0
+                and instructions[i - 1].opname in ("LOAD_METHOD", "LOAD_ATTR")
+                and instructions[i - 1].argval == "get"
+            ):
+                keys.add(ins.argval)
+    return keys
+
+
+# ---------------------------------------------------------------------------
+# Determinism hazards
+# ---------------------------------------------------------------------------
+
+#: Mutable container types whose presence in defaults/closures is a hazard.
+MUTABLE_TYPES = (list, dict, set, bytearray)
+
+#: Modules any reference to which is nondeterministic across restarts.
+_IMPURE_MODULES = {"random", "secrets", "uuid"}
+
+#: (module name, attribute) pairs that read wall-clock/OS entropy.
+_IMPURE_ATTRS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("time", "process_time"),
+    ("time", "process_time_ns"),
+    ("time", "clock_gettime"),
+    ("time", "localtime"),
+    ("time", "gmtime"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("os", "urandom"),
+    ("os", "getrandom"),
+    ("os", "getpid"),
+}
+
+
+def mutable_defaults(fn) -> List[str]:
+    """Names of parameters whose default value is a mutable container."""
+    inner = unwrap(fn)
+    code = getattr(inner, "__code__", None)
+    defaults = getattr(inner, "__defaults__", None)
+    if code is None or not defaults:
+        return []
+    argnames = code.co_varnames[: code.co_argcount]
+    bad = []
+    for name, value in zip(argnames[-len(defaults):], defaults):
+        if isinstance(value, MUTABLE_TYPES):
+            bad.append(name)
+    return bad
+
+
+def mutable_closure_cells(fn) -> List[str]:
+    """Free-variable names bound to mutable containers in the closure."""
+    inner = unwrap(fn)
+    code = getattr(inner, "__code__", None)
+    closure = getattr(inner, "__closure__", None)
+    if code is None or not closure:
+        return []
+    bad = []
+    for name, cell in zip(code.co_freevars, closure):
+        try:
+            value = cell.cell_contents
+        except ValueError:  # empty cell
+            continue
+        if isinstance(value, MUTABLE_TYPES):
+            bad.append(name)
+    return bad
+
+
+def _resolve_global(fn, name: str):
+    inner = unwrap(fn)
+    globs = getattr(inner, "__globals__", None) or {}
+    if name in globs:
+        return globs[name]
+    return getattr(builtins, name, None)
+
+
+def _flag_for(value, attr: Optional[str]) -> Optional[str]:
+    """A human description when (value, attr) is an impure reference."""
+    if isinstance(value, types.ModuleType):
+        mod = value.__name__
+        if mod in _IMPURE_MODULES:
+            return f"{mod}.{attr}" if attr else mod
+        if attr is not None and (mod, attr) in _IMPURE_ATTRS:
+            return f"{mod}.{attr}"
+        return None
+    mod = getattr(value, "__module__", None)
+    if mod in _IMPURE_MODULES:
+        name = getattr(value, "__name__", "?")
+        return f"{mod}.{name}"
+    # `from datetime import datetime` / `date` then .now()/.today()
+    if mod == "datetime" and attr is not None and ("datetime", attr) in _IMPURE_ATTRS:
+        return f"datetime.{getattr(value, '__name__', 'datetime')}.{attr}"
+    # `from time import time` style direct function imports
+    if mod == "time" and attr is None:
+        name = getattr(value, "__name__", None)
+        if name is not None and ("time", name) in _IMPURE_ATTRS:
+            return f"time.{name}"
+    return None
+
+
+def impure_references(fn) -> List[str]:
+    """Nondeterministic globals the callable's bytecode can reach."""
+    code = function_code(fn)
+    if code is None:
+        return []
+    findings: List[str] = []
+    seen: Set[str] = set()
+    for c in _all_codes(code):
+        instructions = list(dis.get_instructions(c))
+        for i, ins in enumerate(instructions):
+            if ins.opname != "LOAD_GLOBAL":
+                continue
+            name = ins.argval
+            value = _resolve_global(fn, name)
+            if value is None:
+                continue
+            # follow up to two chained attribute loads (datetime.datetime.now)
+            attrs: List[str] = []
+            j = i + 1
+            while j < len(instructions) and len(attrs) < 2:
+                nxt = instructions[j]
+                if nxt.opname in ("LOAD_ATTR", "LOAD_METHOD"):
+                    attrs.append(nxt.argval)
+                    j += 1
+                else:
+                    break
+            flagged = _flag_for(value, attrs[0] if attrs else None)
+            if flagged is None and len(attrs) == 2:
+                # e.g. LOAD_GLOBAL datetime; LOAD_ATTR datetime; LOAD_ATTR now
+                inner_value = getattr(value, attrs[0], None)
+                if inner_value is not None:
+                    flagged = _flag_for(inner_value, attrs[1])
+            if flagged is not None and flagged not in seen:
+                seen.add(flagged)
+                findings.append(flagged)
+    return findings
+
+
+def uses_builtin_hash(fn) -> bool:
+    """True when the callable references the builtin ``hash``."""
+    code = function_code(fn)
+    if code is None:
+        return False
+    for c in _all_codes(code):
+        for ins in dis.get_instructions(c):
+            if ins.opname == "LOAD_GLOBAL" and ins.argval == "hash":
+                if _resolve_global(fn, "hash") is builtins.hash:
+                    return True
+    return False
+
+
+def callable_location(fn) -> Optional[Tuple[str, int]]:
+    """(filename, first line) of a Python callable, if available."""
+    code = function_code(fn)
+    if code is None:
+        return None
+    return (code.co_filename, code.co_firstlineno)

@@ -1,0 +1,77 @@
+"""Determinism pass.
+
+A TiMR job's correctness story (Section III-C.1) rests on reducers being
+pure functions of their input partition: M-R re-runs a failed reducer
+and must get byte-identical output, and the same CQ must produce the
+same answer offline (files) and live (feeds). Any user callable that
+reads a clock, draws randomness, or accumulates hidden mutable state
+breaks all of that — silently.
+
+This pass statically inspects every runtime callable in the plan
+(predicates, projections, join residual/select, UDO functions, custom
+lifetime functions) for the classic hazards:
+
+* references to ``random`` / ``secrets`` / ``uuid`` / ``time.time`` /
+  ``datetime.now`` / ``os.urandom`` and friends → ``determinism.impure-call``
+* mutable default arguments (the canonical Python state leak) →
+  ``determinism.mutable-default``
+* closure cells capturing a mutable list/dict/set →
+  ``determinism.mutable-closure`` (a warning: mutating it is the bug,
+  capturing it is the smell)
+* builtin ``hash()`` → ``determinism.unstable-hash`` (string hashes
+  change per process under PYTHONHASHSEED, so output is not comparable
+  across runs)
+
+``ScanUDO`` state is exempt by design: its ``state_factory`` exists
+precisely to create per-run mutable state that the engine scopes
+correctly, so only the factory's *own* captured state is inspected.
+"""
+
+from __future__ import annotations
+
+from .callables import (
+    callable_location,
+    impure_references,
+    mutable_closure_cells,
+    mutable_defaults,
+    node_callables,
+    uses_builtin_hash,
+)
+
+
+def determinism_pass(ctx) -> None:
+    for node in ctx.all_nodes():
+        for fn, what in node_callables(node):
+            location = callable_location(fn) or node.source_location
+            for ref in impure_references(fn):
+                ctx.report(
+                    "determinism.impure-call",
+                    node,
+                    f"{what} references {ref}; results would differ across "
+                    "reducer restarts and offline/live runs",
+                    location=location,
+                )
+            for arg in mutable_defaults(fn):
+                ctx.report(
+                    "determinism.mutable-default",
+                    node,
+                    f"{what} has mutable default argument {arg!r}, which "
+                    "persists state across events",
+                    location=location,
+                )
+            for cell in mutable_closure_cells(fn):
+                ctx.report(
+                    "determinism.mutable-closure",
+                    node,
+                    f"{what} captures mutable object {cell!r} in its closure; "
+                    "mutating it would leak state across events and restarts",
+                    location=location,
+                )
+            if uses_builtin_hash(fn):
+                ctx.report(
+                    "determinism.unstable-hash",
+                    node,
+                    f"{what} calls builtin hash(), whose value for strings "
+                    "changes across processes (PYTHONHASHSEED)",
+                    location=location,
+                )

@@ -1,0 +1,160 @@
+"""Schema-inference pass.
+
+Propagates the set of payload columns known to be carried by every
+node's output through the whole plan — Project/Where, joins, unions,
+aggregates, GroupApply sub-plans, UDOs — and reports operators that
+reference columns their input cannot carry, plus malformed key lists.
+
+Inference is deliberately three-valued: a node's columns are either a
+``frozenset`` (known exactly), or ``None`` (unknown — an opaque
+projection or an undeclared source). Checks only fire against *known*
+schemas, so plans over undeclared sources lint clean rather than
+drowning in false positives; declaring ``Query.source(name, columns)``
+buys the full checking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional
+
+from ..temporal.plan import (
+    AggregateNode,
+    AlterLifetimeNode,
+    AntiSemiJoinNode,
+    CountWindowNode,
+    ExchangeNode,
+    GroupApplyNode,
+    GroupInputNode,
+    PlanNode,
+    ProjectNode,
+    SessionWindowNode,
+    SourceNode,
+    TemporalJoinNode,
+    UnionNode,
+    WhereNode,
+)
+from .callables import accessed_payload_keys
+
+Columns = Optional[FrozenSet[str]]
+
+
+def _check_key_list(ctx, node: PlanNode, what: str, columns) -> None:
+    cols = tuple(columns)
+    if not cols:
+        ctx.report(
+            "schema.key-arity", node, f"{what} is empty — at least one column is required"
+        )
+    elif len(set(cols)) != len(cols):
+        dupes = sorted({c for c in cols if cols.count(c) > 1})
+        ctx.report(
+            "schema.key-arity", node, f"{what} lists duplicate column(s) {dupes}"
+        )
+
+
+def _check_membership(ctx, node: PlanNode, what: str, needed, available: Columns):
+    if available is None:
+        return
+    missing = sorted(set(needed) - available)
+    if missing:
+        ctx.report(
+            "schema.unknown-column",
+            node,
+            f"{what} references column(s) {missing} not carried by the input "
+            f"(input carries: {sorted(available) or '(nothing)'})",
+        )
+
+
+def _check_callable_reads(ctx, node: PlanNode, what: str, fn, available: Columns):
+    """Flag constant payload-key reads against a *known* input schema."""
+    if available is None or fn is None:
+        return
+    keys = accessed_payload_keys(fn)
+    if not keys:
+        return
+    _check_membership(ctx, node, what, keys, available)
+
+
+def schema_pass(ctx) -> Dict[int, Columns]:
+    """Infer per-node output columns, reporting schema violations.
+
+    Returns ``{node_id: columns}`` so later passes (partition safety)
+    can reuse the inferred schemas; results for GroupApply sub-plan
+    nodes are included.
+    """
+    memo: Dict[int, Columns] = {}
+
+    def visit(node: PlanNode, group_columns: Columns = None) -> Columns:
+        if node.node_id in memo:
+            return memo[node.node_id]
+        result = infer(node, group_columns)
+        memo[node.node_id] = result
+        return result
+
+    def infer(node: PlanNode, group_columns: Columns) -> Columns:
+        if isinstance(node, SourceNode):
+            return frozenset(node.columns) if node.columns is not None else None
+        if isinstance(node, GroupInputNode):
+            return group_columns
+
+        child = visit(node.inputs[0], group_columns) if node.inputs else None
+
+        if isinstance(node, WhereNode):
+            _check_callable_reads(ctx, node, "where predicate", node.predicate, child)
+            return child
+        if isinstance(node, ProjectNode):
+            _check_callable_reads(ctx, node, "projection", node.fn, child)
+            return frozenset(node.columns) if node.columns is not None else None
+        if isinstance(
+            node, (AlterLifetimeNode, CountWindowNode, SessionWindowNode, ExchangeNode)
+        ):
+            return child
+        if isinstance(node, AggregateNode):
+            outputs = [s.into for s in node.specs]
+            _check_key_list(ctx, node, "aggregate output column list", outputs)
+            for spec in node.specs:
+                if spec.column is not None:
+                    _check_membership(
+                        ctx, node, f"aggregate {spec.kind}({spec.column})",
+                        (spec.column,), child,
+                    )
+            return frozenset(outputs)
+        if isinstance(node, GroupApplyNode):
+            _check_key_list(ctx, node, "group_apply key list", node.keys)
+            _check_membership(ctx, node, "group_apply keys", node.keys, child)
+            sub = visit(node.subplan_root, group_columns=child)
+            if sub is None:
+                return None
+            return sub | frozenset(node.keys)
+        if isinstance(node, UnionNode):
+            right = visit(node.inputs[1], group_columns)
+            if child is None or right is None:
+                return None
+            return child & right
+        if isinstance(node, TemporalJoinNode):
+            right = visit(node.inputs[1], group_columns)
+            _check_key_list(ctx, node, "join key list", node.on)
+            _check_membership(ctx, node, "join keys (left input)", node.on, child)
+            _check_membership(ctx, node, "join keys (right input)", node.on, right)
+            combined = None if (child is None or right is None) else child | right
+            for fn, what in ((node.residual, "join residual"), (node.select, "join select")):
+                _check_callable_reads(ctx, node, what, fn, combined)
+            if node.columns is not None:
+                return frozenset(node.columns)
+            if node.select is not None:
+                return None
+            return combined
+        if isinstance(node, AntiSemiJoinNode):
+            right = visit(node.inputs[1], group_columns)
+            _check_key_list(ctx, node, "join key list", node.on)
+            _check_membership(ctx, node, "join keys (left input)", node.on, child)
+            _check_membership(ctx, node, "join keys (right input)", node.on, right)
+            combined = None if (child is None or right is None) else child | right
+            _check_callable_reads(ctx, node, "join residual", node.residual, combined)
+            return child
+        # UDOs (windowed/snapshot/scan) and anything unknown: opaque output.
+        for extra in node.inputs[1:]:
+            visit(extra, group_columns)
+        return None
+
+    visit(ctx.root)
+    return memo

@@ -11,7 +11,7 @@ before switching a new BT algorithm to the live feed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..temporal.time import days
 from .examples import Example, build_examples, split_by_ad

@@ -13,7 +13,7 @@ emits a fresh model snapshot every ``emit_every`` examples.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Optional
+from typing import Dict, Optional
 
 from ..temporal.query import Query
 from .schema import BTConfig

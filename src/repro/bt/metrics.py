@@ -11,7 +11,7 @@ curve means a more effective strategy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Sequence
 
 import numpy as np
 

@@ -17,8 +17,8 @@ from __future__ import annotations
 
 import time as _time
 from bisect import bisect_left
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 

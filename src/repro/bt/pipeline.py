@@ -16,11 +16,11 @@ from typing import Dict, List, Optional, Sequence
 from ..temporal.engine import Engine
 from ..temporal.event import events_to_rows
 from ..temporal.query import Query
-from .examples import Example, assemble_examples, build_examples, split_by_ad
+from .examples import Example, build_examples, split_by_ad
 from .feature_selection import FeatureSelector, KEZSelector, SelectionResult
 from .metrics import CurvePoint, area_under_lift, ctr, lift_coverage_curve
 from .model import LogisticModel, ModelTrainer
-from .queries import bot_elimination_query, labeled_activity_query, training_data_query
+from .queries import bot_elimination_query
 from .schema import BTConfig
 
 

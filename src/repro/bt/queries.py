@@ -10,7 +10,7 @@ The registry at the bottom is what the Figure 14 benchmark counts.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict
 
 from ..temporal.plan import SourceNode
 from ..temporal.query import Query

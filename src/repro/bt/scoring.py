@@ -12,7 +12,7 @@ live feed.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional
 
 from ..temporal.event import Event
 from ..temporal.query import Query

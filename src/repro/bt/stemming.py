@@ -10,7 +10,7 @@ by stem before any feature-selection scheme runs — so ``laptop`` and
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, Optional
 
 from .examples import Example
 from .feature_selection import FeatureSelector, SelectionResult

@@ -8,6 +8,14 @@ Commands:
   cluster, printing the fragment plan and cost report.
 * ``bt`` — run the end-to-end BT pipeline over a snapshot and print
   the evaluation summary.
+* ``explain`` — show everything the framework knows about a query's
+  plan before running it.
+* ``lint`` — run the static pre-flight analyzer over a StreamSQL query,
+  a Python file exposing plans, or the built-in BT query suite.
+
+Parse and analyzer failures print a one-line diagnostic and exit with
+status 2 instead of dumping a traceback; ``lint`` exits 1 when it finds
+error-severity problems.
 """
 
 from __future__ import annotations
@@ -18,9 +26,14 @@ from typing import List, Optional
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="TiMR + temporal Behavioral Targeting (ICDE 2012) reproduction",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -57,6 +70,37 @@ def build_parser() -> argparse.ArgumentParser:
     explain = sub.add_parser("explain", help="explain a StreamSQL query's plan")
     explain.add_argument("query")
     explain.add_argument("--dot", action="store_true", help="emit Graphviz DOT instead")
+
+    lint = sub.add_parser(
+        "lint", help="statically analyze query plans without running them"
+    )
+    lint.add_argument(
+        "targets",
+        nargs="*",
+        help="StreamSQL query text, or a path to a .py file exposing plans "
+        "(module-level Query objects or a lint_queries() function)",
+    )
+    lint.add_argument(
+        "--builtin",
+        action="store_true",
+        help="lint every built-in BT query and example plan",
+    )
+    lint.add_argument(
+        "--columns",
+        default=None,
+        help="comma-separated payload schema to declare on StreamSQL "
+        "sources (enables unknown-column checking)",
+    )
+    lint.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="suppress a rule id globally (repeatable)",
+    )
+    lint.add_argument(
+        "--no-plan", action="store_true", help="omit the caret-marked plan rendering"
+    )
     return parser
 
 
@@ -174,18 +218,128 @@ def _cmd_explain(args) -> int:
     return 0
 
 
+def _collect_py_queries(path: str) -> dict:
+    """Queries exposed by a Python file, without running its ``main()``.
+
+    The file is executed with ``__name__`` set to ``"__lint__"`` (so the
+    usual ``if __name__ == "__main__"`` guard keeps it inert). Plans are
+    taken from a ``lint_queries()`` function when defined, else from
+    module-level :class:`Query` objects.
+    """
+    import runpy
+
+    from .temporal.query import Query
+
+    namespace = runpy.run_path(path, run_name="__lint__")
+    if callable(namespace.get("lint_queries")):
+        queries = dict(namespace["lint_queries"]())
+    else:
+        queries = {
+            name: obj
+            for name, obj in namespace.items()
+            if isinstance(obj, Query) and not name.startswith("_")
+        }
+    if not queries:
+        raise ValueError(
+            f"{path} exposes no plans to lint (define lint_queries() or "
+            "module-level Query objects)"
+        )
+    return queries
+
+
+def _cmd_lint(args) -> int:
+    from .analysis import RULES, analyze, builtin_query_suite, example_plan_suite
+    from .temporal import parse_sql
+
+    if not args.targets and not args.builtin:
+        raise ValueError("nothing to lint: pass a query/file or --builtin")
+    unknown = sorted(set(args.ignore) - set(RULES))
+    if unknown:
+        raise ValueError(
+            f"--ignore names unknown rule(s) {unknown} "
+            "(see docs/LINTING.md for the catalog)"
+        )
+
+    suites: dict = {}
+    if args.builtin:
+        suites.update(builtin_query_suite())
+        suites.update(example_plan_suite())
+    for target in args.targets:
+        if target.endswith(".py"):
+            for name, q in _collect_py_queries(target).items():
+                suites[f"{target}:{name}"] = q
+        else:
+            query = parse_sql(target)
+            if args.columns:
+                from .temporal.plan import SourceNode, rewrite, source_nodes
+
+                cols = tuple(c.strip() for c in args.columns.split(",") if c.strip())
+                plan = query.to_plan()
+                replacements = {
+                    s.node_id: SourceNode(s.name, cols)
+                    for s in source_nodes(plan)
+                    if s.columns is None
+                }
+                query = rewrite(plan, replacements)
+            suites[f"query {len(suites)}"] = query
+
+    total_errors = total_warnings = 0
+    for name, query in sorted(suites.items()):
+        report = analyze(query, ignore=args.ignore)
+        if report.ok:
+            print(f"{name}: clean")
+            continue
+        total_errors += len(report.errors)
+        total_warnings += len(report.warnings)
+        print(f"{name}:")
+        print(report.render(show_plan=not args.no_plan))
+    print(
+        f"linted {len(suites)} plan(s): "
+        f"{total_errors} error(s), {total_warnings} warning(s)"
+    )
+    return 1 if total_errors else 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "sql": _cmd_sql,
     "timr": _cmd_timr,
     "bt": _cmd_bt,
     "explain": _cmd_explain,
+    "lint": _cmd_lint,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    from .analysis import PlanValidationError
+    from .temporal import StreamSQLError
+
+    try:
+        return _COMMANDS[args.command](args)
+    except StreamSQLError as exc:
+        print(f"repro {args.command}: parse error: {exc}", file=sys.stderr)
+        return 2
+    except PlanValidationError as exc:
+        first = exc.report.errors[0]
+        print(
+            f"repro {args.command}: plan rejected by pre-flight analysis: "
+            f"{first.format()}"
+            + (
+                f" (+{len(exc.report.errors) - 1} more; run 'repro lint' "
+                "for the full report)"
+                if len(exc.report.errors) > 1
+                else ""
+            ),
+            file=sys.stderr,
+        )
+        return 2
+    except ValueError as exc:
+        print(f"repro {args.command}: error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"repro {args.command}: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -12,7 +12,6 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
-from typing import Optional
 
 from ..mapreduce.fs import DistributedFile
 from ..mapreduce.persist import load_file, save_file

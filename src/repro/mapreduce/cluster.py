@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from .cost import CostModel, JobReport, StageReport
 from .fs import DistributedFile, DistributedFileSystem, Row

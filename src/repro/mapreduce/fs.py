@@ -9,7 +9,7 @@ transparently derive and maintain temporal information.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List
 
 Row = dict
 

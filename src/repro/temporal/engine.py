@@ -25,7 +25,6 @@ from .plan import (
     GroupInputNode,
     PlanNode,
     SourceNode,
-    topological_order,
 )
 from .query import Query
 
@@ -58,6 +57,7 @@ class Engine:
         query: Union[Query, PlanNode],
         sources: Dict[str, Iterable],
         time_column: str = "Time",
+        validate: bool = True,
     ) -> List[Event]:
         """Execute ``query`` and return its output events, LE-ordered.
 
@@ -67,8 +67,16 @@ class Engine:
                 are converted to point events on ``time_column``, exactly
                 as a TiMR reducer would).
             time_column: timestamp column for row inputs.
+            validate: run the static pre-flight analyzer first and refuse
+                plans with error-severity findings (memoized per plan, so
+                re-running a validated plan costs nothing). Pass False to
+                opt out.
         """
         root = query.to_plan() if isinstance(query, Query) else query
+        if validate:
+            from ..analysis import validate_plan
+
+            validate_plan(root)
         stats = EngineStats()
         start = _time.perf_counter()
 

@@ -3,8 +3,9 @@
 ``explain(query)`` produces a human-readable report of everything the
 framework knows about a CQ before running it: the operator tree, each
 operator's partitioning constraint, the plan's lifetime extent (hence
-temporal-partitioning eligibility), known payload columns, and whether
-the plan can run on the streaming engine. ``explain_timr`` extends it
+temporal-partitioning eligibility), known payload columns, whether the
+plan can run on the streaming engine, and the findings of the static
+pre-flight analyzer (:mod:`repro.analysis`). ``explain_timr`` extends it
 with the chosen annotation and the fragment/M-R-stage breakdown.
 """
 
@@ -76,6 +77,17 @@ def explain(query: Union[Query, PlanNode]) -> str:
         lines.append("  streaming: supported (push + watermarks)")
     else:
         lines.append(f"  streaming: unsupported (opaque lifetime in {offender!r})")
+
+    from ..analysis import analyze
+
+    report = analyze(root)
+    lines.append("")
+    lines.append("LINT")
+    if report.ok:
+        lines.append("  no findings")
+    else:
+        lines.append(f"  {report.summary()}")
+        lines.extend(f"  {d.format()}" for d in report.diagnostics)
     return "\n".join(lines)
 
 

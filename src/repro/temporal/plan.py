@@ -24,6 +24,8 @@ which TiMR's temporal partitioning uses to size span overlaps.
 from __future__ import annotations
 
 import itertools
+import os
+import sys
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from .operators import (
@@ -44,6 +46,36 @@ from .operators import (
 )
 
 _node_counter = itertools.count()
+
+#: Framework modules whose frames are skipped when recording where a plan
+#: node was constructed — the interesting frame is the *user's* call site
+#: (the analyzer reports it and honours ``# repro: ignore[...]`` comments
+#: found on that line). Filled in lazily because several of these modules
+#: import this one.
+_MACHINERY_BASENAMES = frozenset(
+    {
+        "plan.py",
+        "query.py",
+        "streamsql.py",
+        "optimizer.py",
+        "fragments.py",
+        "compile.py",
+        "runner.py",
+    }
+)
+
+
+def _construction_site() -> Optional[Tuple[str, int]]:
+    """(filename, lineno) of the nearest non-framework caller, if any."""
+    frame = sys._getframe(1)
+    for _ in range(12):
+        frame = frame.f_back
+        if frame is None:
+            return None
+        name = os.path.basename(frame.f_code.co_filename)
+        if name not in _MACHINERY_BASENAMES:
+            return (frame.f_code.co_filename, frame.f_lineno)
+    return None
 
 
 class PartitionConstraint:
@@ -99,6 +131,7 @@ class PlanNode:
         self.inputs: Tuple[PlanNode, ...] = tuple(inputs)
         self.label = label
         self.node_id = next(_node_counter)
+        self.source_location = _construction_site()
 
     # -- metadata for TiMR ---------------------------------------------------
 
@@ -649,14 +682,25 @@ def count_operators(root: PlanNode) -> int:
     return total
 
 
-def render(root: PlanNode, indent: str = "") -> str:
-    """A readable multi-line rendering of the plan tree (for debugging)."""
+def render(
+    root: PlanNode,
+    indent: str = "",
+    annotate: Optional[Callable[[PlanNode], Iterable[str]]] = None,
+) -> str:
+    """A readable multi-line rendering of the plan tree (for debugging).
+
+    ``annotate(node)`` may return extra lines attached under a node; the
+    analyzer uses it to point a caret at offending operators.
+    """
     lines: List[str] = []
 
     def visit(node: PlanNode, depth: int, printed: set):
         prefix = indent + "  " * depth
         again = " (shared)" if node.node_id in printed else ""
         lines.append(f"{prefix}{node.op_name}: {node.describe()}{again}")
+        if annotate is not None:
+            for note in annotate(node):
+                lines.append(f"{prefix}^~~ {note}")
         if node.node_id in printed:
             return
         printed.add(node.node_id)

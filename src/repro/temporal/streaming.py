@@ -33,7 +33,6 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from .event import Event, point_events
 from .plan import (
-    AlterLifetimeNode,
     ExchangeNode,
     GroupApplyNode,
     GroupInputNode,

@@ -39,7 +39,7 @@ and aggregates run inside each group (the CQ shape of Figure 6).
 from __future__ import annotations
 
 import re
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional
 
 from .operators import AggSpec
 from .query import Query
@@ -120,6 +120,7 @@ class _Parser:
     def __init__(self, tokens: List[_Token]):
         self.tokens = tokens
         self.pos = 0
+        self._predicate_columns: set = set()
 
     # -- token plumbing ---------------------------------------------------------
 
@@ -282,7 +283,12 @@ class _Parser:
     # -- predicates ---------------------------------------------------------------
 
     def parse_predicate(self) -> Callable[[dict], bool]:
-        return self.parse_or()
+        self._predicate_columns = set()
+        fn = self.parse_or()
+        # Tell the static analyzer which payload columns this predicate
+        # reads — closure-built lambdas hide them from bytecode scans.
+        fn._repro_reads = frozenset(self._predicate_columns)
+        return fn
 
     def parse_or(self):
         terms = [self.parse_and()]
@@ -335,6 +341,7 @@ class _Parser:
         tok = self.next()
         if tok.kind == "ident":
             name = tok.value
+            self._predicate_columns.add(name)
             return lambda p, _n=name: p[_n]
         if tok.kind in ("number", "string"):
             value = tok.value

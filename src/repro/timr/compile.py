@@ -141,8 +141,11 @@ def make_reducer(fragment: Fragment, span_layout: Optional[SpanLayout] = None):
         else:
             sources = {input_names[0]: rows_to_events(rows)}
 
+        # TiMR.run validated the whole plan before fragmenting; fragment
+        # plans are derived from it, so re-validating per partition would
+        # only burn time (and fragments share the caller's suppressions).
         engine = Engine()
-        events = engine.run(fragment.root, sources)
+        events = engine.run(fragment.root, sources, validate=False)
 
         if span_layout is not None:
             # The span owns exactly its output interval: clip every result

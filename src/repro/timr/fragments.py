@@ -15,7 +15,7 @@ original input file or a lower fragment's output.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..temporal.plan import (
@@ -23,7 +23,6 @@ from ..temporal.plan import (
     PlanNode,
     SourceNode,
     rewrite,
-    source_nodes,
     subplan_extent,
     topological_order,
 )

@@ -30,7 +30,6 @@ from typing import Dict, List, Optional, Tuple
 from ..temporal.plan import (
     AntiSemiJoinNode,
     ExchangeNode,
-    GroupApplyNode,
     PlanNode,
     SourceNode,
     TemporalJoinNode,

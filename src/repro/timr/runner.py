@@ -64,6 +64,7 @@ class TiMR:
         num_partitions: Optional[int] = None,
         span_width: Optional[int] = None,
         auto_annotate: bool = True,
+        validate: bool = True,
     ) -> TiMRResult:
         """Execute a temporal query over datasets in the cluster's FS.
 
@@ -76,8 +77,14 @@ class TiMR:
                 fragments with bounded lifetime extent (Section III-B).
             auto_annotate: run the cost-based optimizer when the plan has
                 no explicit ``.exchange()`` hints.
+            validate: run the static pre-flight analyzer and reject plans
+                with error-severity findings before any stage executes.
         """
         plan = query.to_plan() if isinstance(query, Query) else query
+        if validate:
+            from ..analysis import validate_plan
+
+            validate_plan(plan)
         annotation: Optional[AnnotationResult] = None
         if not _has_exchanges(plan) and auto_annotate:
             annotation = annotate_plan(plan, self.statistics)

@@ -1,0 +1,100 @@
+"""The pre-flight gate: Engine.run / TiMR.run refuse error-severity plans."""
+
+import pytest
+
+from repro.analysis import PlanValidationError, validate_plan
+from repro.mapreduce import Cluster, CostModel, DistributedFileSystem
+from repro.temporal import Query, run_query
+from repro.temporal.engine import Engine
+from repro.temporal.time import hours
+from repro.timr import TiMR
+
+ROWS = [
+    {"Time": t, "StreamId": 1, "UserId": f"u{t % 3}", "AdId": "a"}
+    for t in range(10)
+]
+COLS = ("StreamId", "UserId", "AdId")
+
+
+def bad_query():
+    return Query.source("logs", COLS).where(lambda p: p["Bogus"] == 1)
+
+
+def good_query():
+    return Query.source("logs", COLS).group_apply(
+        "AdId", lambda g: g.window(hours(1)).count(into="n")
+    )
+
+
+class TestEngineGate:
+    def test_engine_rejects_bad_plan(self):
+        with pytest.raises(PlanValidationError) as exc:
+            Engine().run(bad_query(), {"logs": ROWS})
+        assert "schema.unknown-column" in str(exc.value)
+
+    def test_run_query_rejects_bad_plan(self):
+        with pytest.raises(PlanValidationError):
+            run_query(bad_query(), {"logs": ROWS})
+
+    def test_validate_false_opts_out(self):
+        # Statically "unknown" column, but the rows do carry StreamId, so
+        # the plan is executable once the gate is skipped.
+        q = Query.source("logs", ("UserId",)).where(lambda p: p["StreamId"] == 1)
+        with pytest.raises(PlanValidationError):
+            Engine().run(q, {"logs": ROWS})
+        out = Engine().run(q, {"logs": ROWS}, validate=False)
+        assert len(out) == len(ROWS)
+
+    def test_clean_plan_runs(self):
+        out = Engine().run(good_query(), {"logs": ROWS})
+        assert out
+
+    def test_warnings_do_not_block(self):
+        seen = []
+        q = Query.source("logs", COLS).where(lambda p: p["UserId"] not in seen)
+        out = Engine().run(q, {"logs": ROWS})
+        assert len(out) == len(ROWS)
+
+
+class TestTiMRGate:
+    def _cluster(self):
+        fs = DistributedFileSystem()
+        fs.write("logs", ROWS)
+        return Cluster(fs=fs, cost_model=CostModel(num_machines=2))
+
+    def test_timr_rejects_bad_plan_before_any_stage(self):
+        cluster = self._cluster()
+        with pytest.raises(PlanValidationError):
+            TiMR(cluster).run(bad_query())
+        assert cluster.fs.list_files() == ["logs"]  # nothing executed
+
+    def test_timr_runs_clean_plan(self):
+        result = TiMR(self._cluster()).run(good_query(), num_partitions=2)
+        assert result.output_rows()
+
+    def test_timr_validate_false_opts_out(self):
+        q = Query.source("logs", ("UserId",)).where(lambda p: p["StreamId"] == 1)
+        result = TiMR(self._cluster()).run(q, validate=False, num_partitions=2)
+        assert len(result.output_rows()) == len(ROWS)
+
+
+class TestValidatePlan:
+    def test_raises_with_report_attached(self):
+        with pytest.raises(PlanValidationError) as exc:
+            validate_plan(bad_query().to_plan())
+        assert exc.value.report.errors
+
+    def test_memoized_on_success(self):
+        root = good_query().to_plan()
+        validate_plan(root)
+        from repro.analysis.core import _VALIDATED_OK
+
+        assert root.node_id in _VALIDATED_OK
+        validate_plan(root)  # second call hits the memo
+
+    def test_message_mentions_escape_hatches(self):
+        with pytest.raises(PlanValidationError) as exc:
+            validate_plan(bad_query().to_plan())
+        msg = str(exc.value)
+        assert "repro: ignore[" in msg
+        assert "validate=False" in msg

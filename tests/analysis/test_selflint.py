@@ -1,0 +1,48 @@
+"""Self-lint: every plan the repository ships must be clean."""
+
+import pathlib
+
+import pytest
+
+from repro.analysis import builtin_query_suite, example_plan_suite, lint_suite
+
+EXAMPLES = sorted(
+    str(p)
+    for p in (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+class TestBuiltinQueries:
+    def test_suite_is_nonempty(self):
+        assert len(builtin_query_suite()) >= 10
+
+    def test_all_builtin_queries_lint_clean(self):
+        reports = lint_suite(builtin_query_suite())
+        dirty = {
+            name: [d.format() for d in report.diagnostics]
+            for name, report in reports.items()
+            if not report.ok
+        }
+        assert dirty == {}
+
+
+class TestExamplePlans:
+    def test_all_example_plans_lint_clean(self):
+        reports = lint_suite(example_plan_suite())
+        dirty = {
+            name: [d.format() for d in report.diagnostics]
+            for name, report in reports.items()
+            if not report.ok
+        }
+        assert dirty == {}
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=[p.split("/")[-1] for p in EXAMPLES])
+    def test_example_file_exposes_clean_plans(self, path):
+        from repro.analysis import analyze
+        from repro.cli import _collect_py_queries
+
+        queries = _collect_py_queries(path)
+        assert queries
+        for name, q in queries.items():
+            report = analyze(q)
+            assert report.ok, f"{path}:{name}: {report.summary()}"

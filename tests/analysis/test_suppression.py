@@ -1,0 +1,72 @@
+"""Suppression: `# repro: ignore[...]` comments and the --ignore flag."""
+
+from repro.analysis import analyze
+from repro.temporal import Query
+
+COLS = ("StreamId", "UserId", "AdId")
+
+
+def src():
+    return Query.source("logs", COLS)
+
+
+class TestIgnoreComments:
+    def test_comment_on_construction_line_suppresses(self):
+        q = src().where(lambda p: p["Bogus"] == 1)  # repro: ignore[schema.unknown-column]
+        report = analyze(q)
+        assert "schema.unknown-column" not in report.rule_ids()
+        assert report.ok
+
+    def test_wildcard_suppresses_everything(self):
+        q = src().where(lambda p: p["Bogus"] == 1).window(0)  # repro: ignore[*]
+        assert analyze(q).ok
+
+    def test_comment_only_covers_its_own_node(self):
+        q = (
+            src()
+            .window(0)
+            .where(lambda p: p["Bogus"] == 1)  # repro: ignore[schema.unknown-column]
+        )
+        report = analyze(q)
+        assert "schema.unknown-column" not in report.rule_ids()
+        assert "lifetime.bad-window" in report.rule_ids()
+
+    def test_comment_for_a_different_rule_does_not_suppress(self):
+        q = src().where(lambda p: p["Bogus"] == 1)  # repro: ignore[lifetime.bad-window, suppression.unknown-rule]
+        # The comment names real rules (no unknown-rule warning) but not
+        # the one that fires here.
+        assert "schema.unknown-column" in analyze(q).rule_ids()
+
+    def test_multiple_rules_in_one_comment(self):
+        seen = []
+        q = src().where(lambda p: p["Bogus"] == 1 or p["UserId"] in seen)  # repro: ignore[schema.unknown-column, determinism.mutable-closure]
+        assert analyze(q).ok
+
+
+class TestUnknownRuleIds:
+    def test_unknown_rule_in_comment_is_flagged(self):
+        q = src().where(lambda p: True)  # repro: ignore[schema.no-such-rule]
+        report = analyze(q)
+        assert "suppression.unknown-rule" in report.rule_ids()
+        assert any("schema.no-such-rule" in d.message for d in report.warnings)
+
+    def test_unknown_rule_warning_survives_wildcard(self):
+        # A stale id cannot hide behind the very comment that carries it.
+        q = src().where(lambda p: True)  # repro: ignore[bogus.rule, *]
+        assert "suppression.unknown-rule" in analyze(q).rule_ids()
+
+    def test_known_rules_are_not_flagged(self):
+        q = src().where(lambda p: True)  # repro: ignore[schema.unknown-column]
+        assert analyze(q).ok
+
+
+class TestGlobalIgnore:
+    def test_ignore_parameter_drops_rule_everywhere(self):
+        q = src().where(lambda p: p["Bogus"] == 1)
+        report = analyze(q, ignore=["schema.unknown-column"])
+        assert report.ok
+
+    def test_ignore_parameter_keeps_other_rules(self):
+        q = src().where(lambda p: p["Bogus"] == 1).window(0)
+        report = analyze(q, ignore=["schema.unknown-column"])
+        assert report.rule_ids() == {"lifetime.bad-window"}

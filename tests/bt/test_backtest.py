@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.bt.backtest import Backtester, BacktestReport
+from repro.bt.backtest import Backtester
 from repro.bt import KEZSelector
 from repro.temporal.time import days
 

@@ -1,6 +1,5 @@
 """Tests for the hand-written custom-reducer baselines."""
 
-import pytest
 
 from repro.bt import BTConfig
 from repro.bt.baselines import lines_of_code
@@ -10,7 +9,7 @@ from repro.bt.baselines.custom import (
     custom_running_click_count,
     custom_training_rows,
 )
-from repro.bt.schema import CLICK, IMPRESSION, KEYWORD
+from repro.bt.schema import CLICK, IMPRESSION
 from repro.temporal import Query, normalize, run_query
 from repro.temporal.event import rows_to_events
 

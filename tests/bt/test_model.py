@@ -1,7 +1,6 @@
 """Tests for logistic-regression training and CTR calibration."""
 
 import numpy as np
-import pytest
 
 from repro.bt import Example, ModelTrainer
 

@@ -5,7 +5,6 @@ KE-z must beat F-Ex and KE-pop on CTR lift at low coverage (Figs 22-23).
 import pytest
 
 from repro.bt import (
-    BTConfig,
     BTPipeline,
     FExSelector,
     KEPopSelector,

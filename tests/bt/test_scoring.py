@@ -1,7 +1,6 @@
 """Tests for streaming model generation and scoring queries."""
 
 import numpy as np
-import pytest
 
 from repro.bt import (
     BTConfig,

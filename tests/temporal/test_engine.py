@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.temporal import Engine, Event, Query, equivalent, normalize, run_query
+from repro.temporal import Engine, Event, Query, normalize, run_query
 
 
 def rows(*specs):

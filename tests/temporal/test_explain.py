@@ -1,6 +1,5 @@
 """Tests for the explain diagnostics."""
 
-import pytest
 
 from repro.temporal import Query, explain, explain_timr
 from repro.temporal.time import hours

@@ -11,7 +11,6 @@ from repro.temporal.operators import (
     Union,
     WindowedUDO,
     hopping_window,
-    sliding_window,
 )
 
 

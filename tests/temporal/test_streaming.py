@@ -13,7 +13,6 @@ from hypothesis import strategies as st
 
 from repro.temporal import Event, Query, normalize, run_query
 from repro.temporal.streaming import StreamingEngine, StreamingUnsupported
-from repro.temporal.time import MAX_TIME
 
 
 def make_rows(n=120, seed=0, t_range=2000):

@@ -130,3 +130,117 @@ class TestParser:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["bogus"])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert capsys.readouterr().out.startswith("repro ")
+
+
+class TestErrorHandling:
+    def test_parse_error_is_one_line(self, snapshot, capsys):
+        rc = main(["sql", "SELECT COUNT( FROM logs", "--data", snapshot])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "parse error" in err
+        assert "Traceback" not in err
+
+    def test_missing_snapshot_dir(self, capsys):
+        rc = main(["sql", "SELECT * FROM logs", "--data", "/nonexistent/dir"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error" in err
+        assert "Traceback" not in err
+
+
+BAD_SQL = (
+    "SELECT COUNT(*) AS n FROM logs WHERE Bogus = 1 "
+    "GROUP APPLY KwAdId WINDOW 6 HOURS"
+)
+CLEAN_SQL = (
+    "SELECT COUNT(*) AS n FROM logs WHERE StreamId = 1 "
+    "GROUP APPLY KwAdId WINDOW 6 HOURS"
+)
+
+
+class TestLint:
+    def test_builtin_suite_is_clean(self, capsys):
+        rc = main(["lint", "--builtin", "--no-plan"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+        assert "clean" in out
+
+    def test_unknown_column_in_sql(self, capsys):
+        rc = main(["lint", BAD_SQL, "--columns", "StreamId,UserId,KwAdId"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "schema.unknown-column" in out
+        assert "^~~" in out  # caret-marked plan rendering
+
+    def test_clean_sql_with_columns(self, capsys):
+        rc = main(["lint", CLEAN_SQL, "--columns", "StreamId,UserId,KwAdId"])
+        assert rc == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_sql_without_columns_cannot_check_schema(self, capsys):
+        rc = main(["lint", BAD_SQL])
+        assert rc == 0  # undeclared source: three-valued inference stays quiet
+
+    def test_ignore_flag_suppresses_globally(self, capsys):
+        rc = main(
+            [
+                "lint",
+                BAD_SQL,
+                "--columns",
+                "StreamId,UserId,KwAdId",
+                "--ignore",
+                "schema.unknown-column",
+            ]
+        )
+        assert rc == 0
+
+    def test_python_file_with_lint_queries_hook(self, tmp_path, capsys):
+        target = tmp_path / "plans.py"
+        target.write_text(
+            "from repro.temporal import Query\n"
+            "def lint_queries():\n"
+            "    q = Query.source('s', ('A',)).where(lambda p: p['B'] == 1)\n"
+            "    return {'bad': q}\n"
+        )
+        rc = main(["lint", str(target), "--no-plan"])
+        assert rc == 1
+        assert "schema.unknown-column" in capsys.readouterr().out
+
+    def test_python_file_with_module_level_queries(self, tmp_path, capsys):
+        target = tmp_path / "plans.py"
+        target.write_text(
+            "from repro.temporal import Query\n"
+            "clean = Query.source('s', ('A',)).where(lambda p: p['A'] == 1)\n"
+        )
+        rc = main(["lint", str(target)])
+        assert rc == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_python_file_without_plans(self, tmp_path, capsys):
+        target = tmp_path / "empty.py"
+        target.write_text("x = 1\n")
+        rc = main(["lint", str(target)])
+        assert rc == 2
+        assert "no plans" in capsys.readouterr().err
+
+    def test_nothing_to_lint(self, capsys):
+        rc = main(["lint"])
+        assert rc == 2
+        assert "nothing to lint" in capsys.readouterr().err
+
+    def test_lint_parse_error(self, capsys):
+        rc = main(["lint", "SELECT COUNT( FROM logs"])
+        assert rc == 2
+        assert "parse error" in capsys.readouterr().err
+
+    def test_unknown_rule_in_ignore_flag(self, capsys):
+        rc = main(["lint", CLEAN_SQL, "--ignore", "bogus.not-a-rule"])
+        assert rc == 2
+        assert "unknown rule" in capsys.readouterr().err

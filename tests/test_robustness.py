@@ -2,7 +2,6 @@
 across every package — the cases a downstream user hits first.
 """
 
-import pytest
 
 from repro.bt import (
     BTConfig,
@@ -15,7 +14,7 @@ from repro.bt import (
 )
 from repro.data import GeneratorConfig, generate
 from repro.mapreduce import Cluster, CostModel, DistributedFileSystem, MapReduceStage
-from repro.temporal import Engine, Query, StreamingEngine, run_query
+from repro.temporal import Query, StreamingEngine, run_query
 from repro.timr import TiMR
 
 

@@ -2,7 +2,7 @@
 
 from repro.temporal import Query
 from repro.temporal.plan import ExchangeNode, topological_order
-from repro.timr import Statistics, annotate_plan, make_fragments
+from repro.timr import Statistics, annotate_plan
 
 
 def cols(query):

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.temporal import Event, Query
-from repro.temporal.event import events_to_rows
+from repro.temporal import Query
 from repro.timr import SRC_COLUMN, compile_fragment, make_fragments, make_reducer
 from repro.timr.compile import fold_stateless_fragments, stateless_row_transform
 

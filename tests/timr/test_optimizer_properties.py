@@ -7,7 +7,6 @@ for randomly shaped grouped/joined queries.
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

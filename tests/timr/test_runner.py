@@ -8,7 +8,6 @@ identical results on one node, on a cluster, after reducer restarts, and
 
 import random
 
-import pytest
 
 from repro.mapreduce import Cluster, CostModel, DistributedFileSystem, FailureInjector
 from repro.temporal import Query, normalize, run_query
