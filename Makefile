@@ -1,12 +1,18 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test lint selflint ruff
+.PHONY: check test lint selflint ruff chaos
 
-check: test selflint ruff
+check: test selflint chaos ruff
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# end-to-end fault-tolerance suite: full BT pipeline fault-free vs under
+# a seeded fault schedule vs killed-and-resumed; asserts byte-identical
+# output (see docs/FAULT_TOLERANCE.md)
+chaos:
+	$(PYTHON) -m repro chaos
 
 selflint:
 	$(PYTHON) -m repro lint --builtin --no-plan

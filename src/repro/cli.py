@@ -12,6 +12,10 @@ Commands:
   plan before running it.
 * ``lint`` — run the static pre-flight analyzer over a StreamSQL query,
   a Python file exposing plans, or the built-in BT query suite.
+* ``chaos`` — run the full BT pipeline through TiMR under a seeded
+  probabilistic fault schedule (map, shuffle, reduce, FS I/O), assert
+  the output is byte-identical to a fault-free run, then kill the job
+  mid-run and prove it resumes from the checkpoint manifest.
 
 Parse and analyzer failures print a one-line diagnostic and exit with
 status 2 instead of dumping a traceback; ``lint`` exits 1 when it finds
@@ -100,6 +104,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--no-plan", action="store_true", help="omit the caret-marked plan rendering"
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the BT pipeline under seeded fault injection and verify "
+        "byte-identical output plus checkpoint/resume",
+    )
+    chaos.add_argument(
+        "--data", default=None, help="snapshot directory (default: generate a small log)"
+    )
+    chaos.add_argument("--users", type=int, default=40, help="users when generating")
+    chaos.add_argument("--days", type=float, default=1.0, help="days when generating")
+    chaos.add_argument("--seed", type=int, default=7, help="fault schedule seed")
+    chaos.add_argument(
+        "--rate", type=float, default=0.15, help="per-site fault probability"
+    )
+    chaos.add_argument("--machines", type=int, default=8)
+    chaos.add_argument("--partitions", type=int, default=4)
+    chaos.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="where the kill/resume phase writes its manifest "
+        "(default: a temporary directory)",
     )
     return parser
 
@@ -300,6 +327,109 @@ def _cmd_lint(args) -> int:
     return 1 if total_errors else 0
 
 
+def _cmd_chaos(args) -> int:
+    import tempfile
+
+    from .bt.queries import UNIFIED_COLUMNS, bot_elimination_query, feature_selection_query
+    from .bt.schema import BTConfig
+    from .mapreduce import ChaosPolicy, Cluster, CostModel, DistributedFileSystem
+    from .mapreduce import InjectedFault, StageKiller
+    from .mapreduce.persist import dataset_sha256
+    from .temporal import Query
+    from .temporal.time import days
+    from .timr import TiMR
+
+    if args.data is not None:
+        rows = _load_rows(args.data).rows
+    else:
+        from .data import GeneratorConfig, generate
+
+        rows = generate(
+            GeneratorConfig(num_users=args.users, duration_days=args.days, seed=42)
+        ).rows
+        print(f"generated {len(rows):,} rows ({args.users} users, {args.days:g} days)")
+
+    # The full BT pipeline as one temporal job: bot elimination feeding
+    # KE-z feature selection (training data, per-keyword counts, totals,
+    # and the z-test join all inside). Thresholds are loosened so the
+    # small synthetic dataset still selects keywords — an empty output
+    # would make the byte-identical assertions vacuous.
+    cfg = BTConfig(min_support=2, z_threshold=1.0)
+    clean = bot_elimination_query(Query.source("logs", UNIFIED_COLUMNS), cfg)
+    query = feature_selection_query(clean, cfg, days(3))
+
+    def make_timr(fault_policy=None):
+        fs = DistributedFileSystem()
+        fs.write("logs", rows)
+        # a reduce attempt passes two fault sites (shuffle + reduce), each
+        # with a blacklist_after budget — so the restart budget must cover
+        # 2 * blacklist_after injections before the scheduler steers away
+        cluster = Cluster(
+            fs=fs,
+            cost_model=CostModel(num_machines=args.machines),
+            fault_policy=fault_policy,
+            max_restarts=2 * ChaosPolicy().blacklist_after + 1,
+        )
+        return TiMR(cluster), cluster
+
+    def run(timr, **kwargs):
+        return timr.run(query, num_partitions=args.partitions, **kwargs)
+
+    # 1. fault-free baseline
+    timr, _ = make_timr()
+    baseline = run(timr)
+    baseline_hash = dataset_sha256(baseline.output)
+    print(
+        f"baseline: {len(baseline.fragments)} stage(s), "
+        f"{baseline.output.num_rows} output row(s), hash {baseline_hash[:12]}"
+    )
+
+    # 2. the same job under a seeded probabilistic fault schedule
+    policy = ChaosPolicy(seed=args.seed, rates=args.rate)
+    timr, cluster = make_timr(policy)
+    chaotic = run(timr)
+    chaos_hash = dataset_sha256(chaotic.output)
+    stats = policy.stats
+    restarted = sum(s.restarted_partitions for s in chaotic.report.stages)
+    print(
+        f"chaos(seed={args.seed}, rate={args.rate:g}): injected {stats.injected} "
+        f"fault(s) ({stats.transient} transient / {stats.permanent} permanent, "
+        f"{stats.blacklisted} site(s) blacklisted) across "
+        f"{dict(sorted(stats.by_site.items()))}; {restarted} reducer restart(s)"
+    )
+    chaos_ok = chaos_hash == baseline_hash
+    print(
+        f"chaos output {'is byte-identical to' if chaos_ok else 'DIFFERS from'} "
+        f"the fault-free run (hash {chaos_hash[:12]})"
+    )
+
+    # 3. kill the job at its final stage, then resume from the manifest
+    checkpoint_dir = args.checkpoint_dir or tempfile.mkdtemp(prefix="repro-chaos-")
+    final_stage = baseline.fragments[-1].output_name
+    timr, _ = make_timr(StageKiller(final_stage))
+    try:
+        run(timr, checkpoint_dir=checkpoint_dir)
+        print("kill phase: stage killer failed to kill the job", file=sys.stderr)
+        return 1
+    except InjectedFault as exc:
+        print(f"killed mid-run as scheduled: {exc}")
+    timr, _ = make_timr()
+    resumed = run(timr, checkpoint_dir=checkpoint_dir, resume=True)
+    resume_hash = dataset_sha256(resumed.output)
+    resume_ok = resume_hash == baseline_hash
+    print(
+        f"resume: {resumed.resumed_stages}/{len(resumed.fragments)} stage(s) "
+        f"restored from the manifest (replay determinism verified), "
+        f"output {'is byte-identical to' if resume_ok else 'DIFFERS from'} "
+        f"the fault-free run"
+    )
+    if chaos_ok and resume_ok:
+        print("chaos suite passed")
+        return 0
+    print("chaos suite FAILED", file=sys.stderr)
+    return 1
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "sql": _cmd_sql,
@@ -307,6 +437,7 @@ _COMMANDS = {
     "bt": _cmd_bt,
     "explain": _cmd_explain,
     "lint": _cmd_lint,
+    "chaos": _cmd_chaos,
 }
 
 

@@ -9,19 +9,45 @@ cluster makespans.
 
 from .cluster import Cluster, FailureInjector, ReducerKilled
 from .cost import CostModel, JobReport, StageReport
+from .faults import (
+    FS_READ,
+    FS_WRITE,
+    MAP,
+    REDUCE,
+    SHUFFLE,
+    SITES,
+    ChaosPolicy,
+    FaultPolicy,
+    FaultStats,
+    InjectedFault,
+    StageExecutionError,
+    StageKiller,
+)
 from .fs import DistributedFile, DistributedFileSystem
 from .job import MapReduceJob, MapReduceStage, key_by_columns, random_key, stable_hash
 
 __all__ = [
+    "ChaosPolicy",
     "Cluster",
     "CostModel",
     "DistributedFile",
     "DistributedFileSystem",
+    "FS_READ",
+    "FS_WRITE",
     "FailureInjector",
+    "FaultPolicy",
+    "FaultStats",
+    "InjectedFault",
     "JobReport",
+    "MAP",
     "MapReduceJob",
     "MapReduceStage",
+    "REDUCE",
     "ReducerKilled",
+    "SHUFFLE",
+    "SITES",
+    "StageExecutionError",
+    "StageKiller",
     "StageReport",
     "key_by_columns",
     "random_key",

@@ -4,12 +4,20 @@ Runs every reduce partition for real (measuring its wall time), charges
 simulated shuffle costs, and reports both measured and simulated
 makespans through :class:`repro.mapreduce.cost.JobReport`.
 
-Failure handling reproduces M-R's restart strategy (Section III-C.1): a
-:class:`FailureInjector` can kill a reducer attempt mid-flight; the
-cluster simply re-runs it on the same input partition, and — because
-the embedded DSMS is founded on a deterministic temporal algebra — the
-regenerated output is guaranteed identical. ``verify_restart_determinism``
-asserts exactly that.
+Failure handling reproduces M-R's restart strategy (Section III-C.1),
+generalized by :mod:`repro.mapreduce.faults`: a pluggable
+:class:`~repro.mapreduce.faults.FaultPolicy` can strike the map phase,
+the shuffle, a reduce attempt, or the FS read/write bracketing a stage,
+with transient-vs-permanent semantics, bounded retries under an
+exponential backoff budget, and per-partition blacklisting. Because the
+embedded DSMS is founded on a deterministic temporal algebra, any
+re-run regenerates identical output — ``verify_restart_determinism``
+asserts exactly that, and the seeded chaos suite asserts it end-to-end.
+
+With ``quarantine=True`` the cluster additionally survives *poison
+events*: rows that crash user callables (or lack the mandatory ``Time``
+column) are retried, then diverted to a dead-letter dataset with full
+diagnostics instead of failing the job.
 """
 
 from __future__ import annotations
@@ -19,17 +27,32 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Set, Tuple
 
 from .cost import CostModel, JobReport, StageReport
+from .faults import (
+    FS_READ,
+    FS_WRITE,
+    MAP,
+    REDUCE,
+    SHUFFLE,
+    FaultPolicy,
+    InjectedFault,
+    StageExecutionError,
+)
 from .fs import DistributedFile, DistributedFileSystem, Row
 from .job import MapReduceJob, MapReduceStage
 
 
-class ReducerKilled(RuntimeError):
+class ReducerKilled(InjectedFault):
     """Raised inside a reducer attempt that the injector chose to kill."""
 
 
 @dataclass
 class FailureInjector:
-    """Kill the first attempt of selected (stage, partition) pairs."""
+    """Kill the first attempt of selected (stage, partition) pairs.
+
+    The original hand-targeted injector; :class:`repro.mapreduce.faults.
+    ChaosPolicy` is its probabilistic generalization. Kept because "kill
+    exactly this attempt" is still the sharpest tool for unit tests.
+    """
 
     kill: Set[Tuple[str, int]] = field(default_factory=set)
     _killed: Set[Tuple[str, int]] = field(default_factory=set)
@@ -38,15 +61,49 @@ class FailureInjector:
         key = (stage, partition)
         if key in self.kill and key not in self._killed:
             self._killed.add(key)
-            raise ReducerKilled(f"injected failure in {stage}[{partition}]")
+            raise ReducerKilled(
+                f"injected failure in {stage}[{partition}]",
+                site=REDUCE,
+                stage=stage,
+                partition=partition,
+            )
 
     @property
     def injected(self) -> int:
         return len(self._killed)
 
 
+class _InjectorPolicy(FaultPolicy):
+    """Adapts the legacy :class:`FailureInjector` to the policy protocol."""
+
+    def __init__(self, injector: FailureInjector):
+        super().__init__()
+        self.injector = injector
+
+    def maybe_fail(self, site: str, stage: str, partition: int, attempt: int) -> None:
+        if site == REDUCE:
+            self.injector.maybe_kill(stage, partition)
+
+
 class Cluster:
-    """A simulated M-R cluster over a :class:`DistributedFileSystem`."""
+    """A simulated M-R cluster over a :class:`DistributedFileSystem`.
+
+    Args:
+        fs: the distributed file system holding named datasets.
+        cost_model: unit costs used for simulated makespans and backoff.
+        failure_injector: legacy hand-targeted reducer killer (adapted
+            into a :class:`FaultPolicy`; mutually exclusive with
+            ``fault_policy``).
+        max_restarts: re-runs allowed per task before the fault
+            propagates (each retry charges exponential simulated
+            backoff).
+        fault_policy: pluggable chaos source (see
+            :mod:`repro.mapreduce.faults`).
+        quarantine: when True, rows that deterministically crash user
+            callables — or lack a usable ``Time`` — are diverted to a
+            ``{job}.quarantine`` dead-letter dataset instead of failing
+            the stage.
+    """
 
     def __init__(
         self,
@@ -54,12 +111,21 @@ class Cluster:
         cost_model: Optional[CostModel] = None,
         failure_injector: Optional[FailureInjector] = None,
         max_restarts: int = 3,
+        fault_policy: Optional[FaultPolicy] = None,
+        quarantine: bool = False,
     ):
+        if failure_injector is not None and fault_policy is not None:
+            raise ValueError("pass either failure_injector or fault_policy, not both")
         self.fs = fs or DistributedFileSystem()
         self.cost_model = cost_model or CostModel()
         self.failure_injector = failure_injector
+        self.fault_policy = fault_policy
+        if failure_injector is not None:
+            self.fault_policy = _InjectorPolicy(failure_injector)
         self.max_restarts = max_restarts
+        self.quarantine = quarantine
         self.last_report: Optional[JobReport] = None
+        self.last_quarantined: List[Row] = []
 
     # -- execution ----------------------------------------------------------
 
@@ -70,55 +136,72 @@ class Cluster:
 
         Intermediate datasets are materialized in the file system as
         ``{job.name}.stage{i}``; the final output is stored under
-        ``output_name`` (default ``{job.name}.out``).
+        ``output_name`` (default ``{job.name}.out``). Quarantined rows,
+        if any, land in ``{job.name}.quarantine``.
         """
         if not job.stages:
             raise ValueError(f"job {job.name!r} has no stages")
         report = JobReport()
+        self.last_quarantined = []
         current = self.fs.read(input_name)
+        quarantined: List[Row] = []
         for i, stage in enumerate(job.stages):
             is_last = i == len(job.stages) - 1
             if is_last:
                 name = output_name or f"{job.name}.out"
             else:
                 name = f"{job.name}.stage{i}"
-            current, stage_report = self._run_stage(stage, current, name)
+            current, stage_report, stage_quarantine = self._run_stage(
+                stage, current, name
+            )
             report.stages.append(stage_report)
+            quarantined.extend(stage_quarantine)
         self.last_report = report
+        self.last_quarantined = quarantined
+        if quarantined:
+            self._flush_quarantine(f"{job.name}.quarantine", quarantined)
         return current
 
     def run_stage(
-        self, stage: MapReduceStage, input_name: str, output_name: str
+        self,
+        stage: MapReduceStage,
+        input_name: str,
+        output_name: str,
+        quarantine_name: Optional[str] = None,
     ) -> DistributedFile:
-        """Execute a single stage (convenience for tests and TiMR)."""
+        """Execute a single stage (convenience for tests and TiMR).
+
+        Quarantined rows are appended to ``quarantine_name`` (default
+        ``{output_name}.quarantine``), so a multi-stage caller can funnel
+        every stage's dead letters into one job-level dataset.
+        """
         current = self.fs.read(input_name)
-        out, stage_report = self._run_stage(stage, current, output_name)
+        out, stage_report, quarantined = self._run_stage(stage, current, output_name)
         self.last_report = JobReport(stages=[stage_report])
+        self.last_quarantined = quarantined
+        if quarantined:
+            self._flush_quarantine(
+                quarantine_name or f"{output_name}.quarantine", quarantined
+            )
         return out
 
     def _run_stage(
         self, stage: MapReduceStage, data: DistributedFile, output_name: str
-    ) -> Tuple[DistributedFile, StageReport]:
+    ) -> Tuple[DistributedFile, StageReport, List[Row]]:
         report = StageReport(name=stage.name, rows_in=data.num_rows)
+        quarantined: List[Row] = []
+
+        # Simulated input (re-)read; a fault here is retried like any task.
+        self._fault_point(FS_READ, stage.name, -1, report)
 
         # Map phase: transform (optional) then route rows to partitions.
         partitions: List[List[Row]] = [[] for _ in range(stage.num_partitions)]
         routed_rows = 0
-        for part in data.partitions:
-            for source_row in part:
-                if stage.map_fn is not None:
-                    mapped = stage.map_fn(source_row)
-                else:
-                    mapped = (source_row,)
-                for row in mapped:
-                    for idx in stage.route(row):
-                        if not 0 <= idx < stage.num_partitions:
-                            raise IndexError(
-                                f"stage {stage.name!r} routed row to partition "
-                                f"{idx} of {stage.num_partitions}"
-                            )
-                        partitions[idx].append(row)
-                        routed_rows += 1
+        for pi, part in enumerate(data.partitions):
+            routed = self._run_map_partition(stage, pi, part, report, quarantined)
+            for idx, row in routed:
+                partitions[idx].append(row)
+                routed_rows += 1
         report.shuffle_seconds = self.cost_model.shuffle_seconds(routed_rows)
         report.num_partitions = stage.num_partitions
 
@@ -126,29 +209,244 @@ class Cluster:
         outputs: List[List[Row]] = []
         for idx, rows in enumerate(partitions):
             if stage.sort_by_time:
-                rows.sort(key=lambda r: r["Time"])
-            out_rows, seconds, restarts = self._run_reducer(stage, idx, rows)
+                rows = self._sort_partition(stage, idx, rows, quarantined)
+            out_rows, seconds, restarts = self._run_reducer(
+                stage, idx, rows, report, quarantined
+            )
             outputs.append(out_rows)
             report.partition_seconds.append(seconds)
             report.restarted_partitions += restarts
-        report.rows_out = sum(len(p) for p in outputs)
-        return self.fs.write_partitioned(output_name, outputs), report
 
-    def _run_reducer(
-        self, stage: MapReduceStage, idx: int, rows: List[Row]
-    ) -> Tuple[List[Row], float, int]:
+        # Simulated output write; likewise retried on injected faults.
+        self._fault_point(FS_WRITE, stage.name, -1, report)
+        report.rows_out = sum(len(p) for p in outputs)
+        report.quarantined_rows = len(quarantined)
+        return self.fs.write_partitioned(output_name, outputs), report, quarantined
+
+    # -- phases --------------------------------------------------------------
+
+    def _fault_point(
+        self, site: str, stage_name: str, partition: int, report: StageReport
+    ) -> None:
+        """One injectable lifecycle point with the standard retry loop."""
+        if self.fault_policy is None:
+            return
         restarts = 0
         while True:
-            start = _time.perf_counter()
             try:
-                if self.failure_injector is not None:
-                    self.failure_injector.maybe_kill(stage.name, idx)
-                out_rows = list(stage.reducer(idx, rows))
-                return out_rows, _time.perf_counter() - start, restarts
-            except ReducerKilled:
+                self.fault_policy.maybe_fail(site, stage_name, partition, restarts + 1)
+                return
+            except InjectedFault:
                 restarts += 1
+                report.retry_backoff_seconds += (
+                    self.cost_model.retry_backoff_base * (1 << (restarts - 1))
+                )
                 if restarts > self.max_restarts:
                     raise
+
+    def _run_map_partition(
+        self,
+        stage: MapReduceStage,
+        pi: int,
+        rows: List[Row],
+        report: StageReport,
+        quarantined: List[Row],
+    ) -> List[Tuple[int, Row]]:
+        """Map + route one input partition, retrying on injected faults.
+
+        Returns ``(partition_index, row)`` pairs. Rows whose map or
+        routing raises are quarantined (when enabled) rather than
+        poisoning the stage; the whole partition re-runs from scratch on
+        an injected fault, which is safe because map is stateless.
+        """
+        restarts = 0
+        while True:
+            try:
+                if self.fault_policy is not None:
+                    self.fault_policy.maybe_fail(MAP, stage.name, pi, restarts + 1)
+                routed: List[Tuple[int, Row]] = []
+                poisoned: List[Row] = []
+                for source_row in rows:
+                    try:
+                        if stage.map_fn is not None:
+                            mapped = stage.map_fn(source_row)
+                        else:
+                            mapped = (source_row,)
+                        row_routes: List[Tuple[int, Row]] = []
+                        for row in mapped:
+                            for idx in stage.route(row):
+                                if not 0 <= idx < stage.num_partitions:
+                                    raise IndexError(
+                                        f"stage {stage.name!r} routed row to partition "
+                                        f"{idx} of {stage.num_partitions}"
+                                    )
+                                row_routes.append((idx, row))
+                    except InjectedFault:
+                        raise
+                    except Exception as exc:
+                        if not self.quarantine:
+                            raise
+                        poisoned.append(
+                            self._quarantine_record(stage.name, pi, MAP, source_row, exc)
+                        )
+                        continue
+                    routed.extend(row_routes)
+                quarantined.extend(poisoned)
+                return routed
+            except InjectedFault:
+                restarts += 1
+                report.retry_backoff_seconds += (
+                    self.cost_model.retry_backoff_base * (1 << (restarts - 1))
+                )
+                if restarts > self.max_restarts:
+                    raise
+
+    def _sort_partition(
+        self,
+        stage: MapReduceStage,
+        idx: int,
+        rows: List[Row],
+        quarantined: List[Row],
+    ) -> List[Row]:
+        """Secondary sort by Time; malformed rows quarantine instead of crash."""
+        if self.quarantine:
+            usable: List[Row] = []
+            for row in rows:
+                time_value = row.get("Time") if isinstance(row, dict) else None
+                if isinstance(time_value, (int, float)) and not isinstance(
+                    time_value, bool
+                ):
+                    usable.append(row)
+                else:
+                    quarantined.append(
+                        self._quarantine_record(
+                            stage.name,
+                            idx,
+                            "sort",
+                            row,
+                            ValueError(f"row has no usable 'Time' column: {time_value!r}"),
+                        )
+                    )
+            rows = usable
+        rows.sort(key=lambda r: r["Time"])
+        return rows
+
+    def _run_reducer(
+        self,
+        stage: MapReduceStage,
+        idx: int,
+        rows: List[Row],
+        report: StageReport,
+        quarantined: List[Row],
+    ) -> Tuple[List[Row], float, int]:
+        restarts = 0
+        real_retries = 0
+        attempt = 0
+        while True:
+            attempt += 1
+            start = _time.perf_counter()
+            try:
+                if self.fault_policy is not None:
+                    self.fault_policy.maybe_fail(SHUFFLE, stage.name, idx, attempt)
+                    self.fault_policy.maybe_fail(REDUCE, stage.name, idx, attempt)
+                out_rows = list(stage.reducer(idx, rows))
+                return out_rows, _time.perf_counter() - start, restarts
+            except InjectedFault:
+                restarts += 1
+                report.retry_backoff_seconds += (
+                    self.cost_model.retry_backoff_base * (1 << (restarts - 1))
+                )
+                if restarts > self.max_restarts:
+                    raise
+            except Exception as exc:
+                # A *real* failure: user code or malformed data. Retry
+                # once (the restart strategy costs nothing to try), then
+                # isolate poison rows or fail with full context.
+                if real_retries == 0:
+                    real_retries = 1
+                    restarts += 1
+                    report.retry_backoff_seconds += self.cost_model.retry_backoff_base
+                    continue
+                if self.quarantine:
+                    isolated = self._isolate_poison(stage, idx, rows)
+                    if isolated is not None:
+                        poison, out_rows, seconds = isolated
+                        for row in poison:
+                            quarantined.append(
+                                self._quarantine_record(stage.name, idx, REDUCE, row, exc)
+                            )
+                        return out_rows, seconds, restarts
+                raise StageExecutionError(
+                    stage.name, idx, attempt, len(rows), exc
+                ) from exc
+
+    def _isolate_poison(
+        self, stage: MapReduceStage, idx: int, rows: List[Row]
+    ) -> Optional[Tuple[List[Row], List[Row], float]]:
+        """Bisect a deterministically failing partition to its poison rows.
+
+        Divide and conquer over the (already sorted) input: any subset
+        that still fails is split until single offending rows remain —
+        O(P log n) reducer probes for P poison rows. Returns ``(poison
+        rows, output of the reducer over the surviving rows, measured
+        seconds)``, or ``None`` when the failure is an interaction
+        between rows that single-row removal cannot explain (the caller
+        then fails the stage with context).
+        """
+
+        def failing(sub: Sequence[Row]) -> bool:
+            try:
+                list(stage.reducer(idx, list(sub)))
+                return False
+            except Exception:
+                return True
+
+        poison: List[Row] = []
+
+        def find(sub: List[Row]) -> None:
+            if not sub or not failing(sub):
+                return
+            if len(sub) == 1:
+                poison.append(sub[0])
+                return
+            mid = len(sub) // 2
+            find(sub[:mid])
+            find(sub[mid:])
+
+        find(rows)
+        if not poison:
+            return None
+        poison_ids = {id(r) for r in poison}
+        survivors = [r for r in rows if id(r) not in poison_ids]
+        start = _time.perf_counter()
+        try:
+            out_rows = list(stage.reducer(idx, survivors))
+        except Exception:
+            return None  # still failing without the isolated rows
+        return poison, out_rows, _time.perf_counter() - start
+
+    # -- quarantine -----------------------------------------------------------
+
+    @staticmethod
+    def _quarantine_record(
+        stage: str, partition: int, site: str, row: object, error: BaseException
+    ) -> Row:
+        """A dead-letter row: the offending row plus full diagnostics."""
+        as_dict = dict(row) if isinstance(row, dict) else {"value": repr(row)}
+        return {
+            "Time": as_dict.get("Time"),
+            "_stage": stage,
+            "_partition": partition,
+            "_site": site,
+            "_error": repr(error),
+            "_row": as_dict,
+        }
+
+    def _flush_quarantine(self, name: str, records: List[Row]) -> None:
+        existing: List[Row] = []
+        if self.fs.exists(name):
+            existing = self.fs.read(name).all_rows()
+        self.fs.write(name, existing + records, require_time_column=False)
 
     # -- verification --------------------------------------------------------
 

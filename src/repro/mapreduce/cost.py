@@ -39,6 +39,10 @@ class CostModel:
             machine also gets a backup copy on the fastest idle machine
             once the cluster drains (Dean & Ghemawat's backup tasks);
             the task finishes at the earlier of the two completions.
+        retry_backoff_base: simulated seconds the scheduler waits before
+            the first re-run of a failed task; retry *n* waits
+            ``base * 2^(n-1)`` (the exponential attempt budget of
+            ``repro.mapreduce.faults``).
     """
 
     num_machines: int = 150
@@ -47,6 +51,7 @@ class CostModel:
     stage_overhead: float = 0.5
     machine_speeds: Optional[List[float]] = None
     speculative_execution: bool = False
+    retry_backoff_base: float = 0.25
 
     def _speeds(self, count: int) -> List[float]:
         speeds = list(self.machine_speeds or [])
@@ -126,6 +131,8 @@ class StageReport:
     partition_seconds: List[float] = field(default_factory=list)
     shuffle_seconds: float = 0.0
     restarted_partitions: int = 0
+    retry_backoff_seconds: float = 0.0
+    quarantined_rows: int = 0
 
     @property
     def reduce_cpu_seconds(self) -> float:
@@ -138,6 +145,7 @@ class StageReport:
             model.stage_overhead
             + self.shuffle_seconds
             + model.makespan(self.partition_seconds)
+            + self.retry_backoff_seconds
         )
 
     def single_node_seconds(self, model: CostModel) -> float:

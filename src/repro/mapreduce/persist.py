@@ -7,13 +7,24 @@ TiMR outputs across processes (and for the CLI's ``generate`` command).
 
 Layout for a dataset named ``logs``::
 
-    <dir>/logs/_meta.json          {"name": ..., "num_partitions": N}
+    <dir>/logs/_meta.json          {"name": ..., "num_partitions": N,
+                                    "partitions": [{"rows": ..., "sha256": ...}, ...]}
     <dir>/logs/part-00000.jsonl
     <dir>/logs/part-00001.jsonl
+
+Writes are *crash-safe*: every partition file and the metadata file are
+written to a temp name and atomically renamed into place, with the
+metadata last. A dataset is only considered valid once ``_meta.json``
+exists, so a killed process can never leave a half-written dataset that
+later loads as complete — and the per-partition row counts and content
+hashes recorded in the metadata let :func:`load_file` detect torn or
+tampered partitions (raising :class:`CorruptDatasetError`), which is
+what TiMR's checkpoint/resume manifest relies on.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from typing import List, Optional
@@ -23,46 +34,107 @@ from .fs import DistributedFile, DistributedFileSystem, Row
 _META = "_meta.json"
 
 
+class CorruptDatasetError(RuntimeError):
+    """A persisted dataset does not match its recorded integrity metadata."""
+
+
 def _dataset_dir(directory: str, name: str) -> str:
     # dataset names may contain dots (timr.frag0); they are file-safe
     return os.path.join(directory, name)
 
 
+def _partition_bytes(partition: List[Row]) -> bytes:
+    lines = []
+    for row in partition:
+        lines.append(json.dumps(row, sort_keys=True))
+        lines.append("\n")
+    return "".join(lines).encode("utf-8")
+
+
+def _atomic_write(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` via a temp file + atomic rename."""
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "wb") as f:
+        f.write(data)
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)
+
+
+def dataset_sha256(dfile: DistributedFile) -> str:
+    """Content hash of a whole dataset (partition-order sensitive)."""
+    digest = hashlib.sha256()
+    for partition in dfile.partitions:
+        digest.update(_partition_bytes(partition))
+        digest.update(b"\x00")  # partition boundary
+    return digest.hexdigest()
+
+
 def save_file(dfile: DistributedFile, directory: str) -> str:
-    """Write one dataset under ``directory``; returns its path."""
+    """Write one dataset under ``directory``; returns its path.
+
+    Partition files first, metadata last, each atomically renamed into
+    place — interrupting this function at any point leaves either the
+    previous complete dataset or no valid dataset at all.
+    """
     path = _dataset_dir(directory, dfile.name)
     os.makedirs(path, exist_ok=True)
+    partition_meta = []
     for i, partition in enumerate(dfile.partitions):
-        part_path = os.path.join(path, f"part-{i:05d}.jsonl")
-        with open(part_path, "w", encoding="utf-8") as f:
-            for row in partition:
-                f.write(json.dumps(row, sort_keys=True))
-                f.write("\n")
-    with open(os.path.join(path, _META), "w", encoding="utf-8") as f:
-        json.dump(
-            {"name": dfile.name, "num_partitions": dfile.num_partitions}, f
+        data = _partition_bytes(partition)
+        _atomic_write(os.path.join(path, f"part-{i:05d}.jsonl"), data)
+        partition_meta.append(
+            {"rows": len(partition), "sha256": hashlib.sha256(data).hexdigest()}
         )
+    meta = {
+        "name": dfile.name,
+        "num_partitions": dfile.num_partitions,
+        "partitions": partition_meta,
+    }
+    _atomic_write(
+        os.path.join(path, _META), json.dumps(meta, sort_keys=True).encode("utf-8")
+    )
     return path
 
 
-def load_file(directory: str, name: str) -> DistributedFile:
-    """Read one dataset previously written by :func:`save_file`."""
+def load_file(directory: str, name: str, verify: bool = True) -> DistributedFile:
+    """Read one dataset previously written by :func:`save_file`.
+
+    When the metadata carries per-partition integrity records (datasets
+    written by this version) and ``verify`` is true, row counts and
+    content hashes are checked and a mismatch raises
+    :class:`CorruptDatasetError`. Older datasets without the records
+    load unverified.
+    """
     path = _dataset_dir(directory, name)
     meta_path = os.path.join(path, _META)
     if not os.path.exists(meta_path):
         raise FileNotFoundError(f"no dataset {name!r} under {directory!r}")
     with open(meta_path, encoding="utf-8") as f:
         meta = json.load(f)
+    integrity = meta.get("partitions")
     partitions: List[List[Row]] = []
     for i in range(meta["num_partitions"]):
         part_path = os.path.join(path, f"part-{i:05d}.jsonl")
         rows: List[Row] = []
+        data = b""
         if os.path.exists(part_path):
-            with open(part_path, encoding="utf-8") as f:
-                for line in f:
-                    line = line.strip()
-                    if line:
-                        rows.append(json.loads(line))
+            with open(part_path, "rb") as f:
+                data = f.read()
+            for line in data.decode("utf-8").splitlines():
+                line = line.strip()
+                if line:
+                    rows.append(json.loads(line))
+        if verify and integrity is not None and i < len(integrity):
+            expected = integrity[i]
+            actual_hash = hashlib.sha256(data).hexdigest()
+            if len(rows) != expected["rows"] or actual_hash != expected["sha256"]:
+                raise CorruptDatasetError(
+                    f"partition {i} of dataset {name!r} does not match its "
+                    f"recorded integrity metadata ({len(rows)} rows, "
+                    f"hash {actual_hash[:12]}…): the file is torn or was "
+                    "modified after the write"
+                )
         partitions.append(rows)
     return DistributedFile(meta["name"], partitions)
 

@@ -13,7 +13,12 @@ from .explain import explain, explain_timr
 from .event import Event, events_to_rows, point_events, rows_to_events
 from .query import Query
 from .relation import equivalent, normalize, snapshot
-from .streaming import StreamingEngine, StreamingUnsupported
+from .streaming import (
+    EVENT_POLICIES,
+    QuarantinedEvent,
+    StreamingEngine,
+    StreamingUnsupported,
+)
 from .streamsql import StreamSQLError, parse as parse_sql, run_sql
 from .time import MAX_TIME, MIN_TIME, TICK, days, hours, minutes, seconds
 
@@ -25,6 +30,8 @@ __all__ = [
     "MIN_TIME",
     "Query",
     "StreamSQLError",
+    "EVENT_POLICIES",
+    "QuarantinedEvent",
     "StreamingEngine",
     "StreamingUnsupported",
     "TICK",

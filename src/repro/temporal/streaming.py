@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from .event import Event, point_events
@@ -46,6 +47,25 @@ from .time import MAX_TIME, MIN_TIME
 
 class StreamingUnsupported(ValueError):
     """The plan cannot run incrementally (unbounded lifetime rewrites)."""
+
+
+#: Valid values of :class:`StreamingEngine`'s ``event_policy``.
+EVENT_POLICIES = ("raise", "drop", "quarantine")
+
+
+@dataclass
+class QuarantinedEvent:
+    """A rejected input the engine set aside instead of failing on.
+
+    Attributes:
+        source: the source name the item was pushed on.
+        item: the original row/event as pushed.
+        reason: why it was rejected (too late, malformed, ...).
+    """
+
+    source: str
+    item: object
+    reason: str
 
 
 def _future_extent(node: PlanNode) -> int:
@@ -248,17 +268,39 @@ class StreamingEngine:
     newest timestamp by the slack, so every downstream result stays
     exact — latency is traded for disorder tolerance. Events later than
     the slack are rejected.
+
+    ``event_policy`` decides what *rejected* means for inputs a live
+    feed inevitably produces — events later than the slack allows and
+    malformed rows (missing/invalid ``Time``):
+
+    * ``"raise"`` (default): fail fast with ``ValueError`` — the
+      strict mode batch-equivalence proofs assume.
+    * ``"drop"``: silently discard, counting into :attr:`dropped`.
+    * ``"quarantine"``: set the offending item aside in
+      :attr:`quarantined` with its source and rejection reason — the
+      streaming twin of the cluster's dead-letter dataset.
+
+    Accepted events are processed identically under every policy, so
+    outputs remain exact over the events that made it in.
     """
 
     def __init__(
         self,
         query: Union[Query, PlanNode],
         slack: int = 0,
+        event_policy: str = "raise",
         _group_input: Optional[GroupInputNode] = None,
     ):
         if slack < 0:
             raise ValueError("slack must be non-negative")
+        if event_policy not in EVENT_POLICIES:
+            raise ValueError(
+                f"event_policy must be one of {EVENT_POLICIES}, got {event_policy!r}"
+            )
         self.slack = slack
+        self.event_policy = event_policy
+        self.quarantined: List[QuarantinedEvent] = []
+        self.dropped = 0
         self._reorder: Dict[str, List] = {}
         self._reorder_seq = itertools.count()
         root = query.to_plan() if isinstance(query, Query) else query
@@ -295,20 +337,30 @@ class StreamingEngine:
     def push(self, source: str, item: Union[Event, dict]) -> List[Event]:
         """Push one event (or row with a Time column) and return new
         final outputs of the query. Events must arrive in LE order per
-        source; the push advances that source's watermark to the LE."""
-        event = item if isinstance(item, Event) else point_events([item])[0]
+        source; the push advances that source's watermark to the LE.
+
+        Malformed items (no usable ``Time``) are handled per the
+        engine's ``event_policy``."""
+        self._source(source)  # unknown sources always raise, whatever the policy
+        try:
+            event = item if isinstance(item, Event) else point_events([item])[0]
+        except Exception as exc:
+            return self._reject(source, item, f"malformed event: {exc!r}")
         return self.push_event(source, event)
 
     def push_event(self, source: str, event: Event) -> List[Event]:
         if self.slack:
             return self._push_with_slack(source, event)
         nodes = self._source(source)
+        late_behind = max((n.watermark for n in nodes), default=MIN_TIME)
+        if any(event.le < node.watermark for node in nodes):
+            return self._reject(
+                source,
+                event,
+                f"out-of-order push on {source!r}: LE {event.le} < "
+                f"watermark {late_behind}",
+            )
         for node in nodes:
-            if event.le < node.watermark:
-                raise ValueError(
-                    f"out-of-order push on {source!r}: LE {event.le} < "
-                    f"watermark {node.watermark}"
-                )
             node.outputs.append(event)
             node.watermark = event.le
         return self._propagate()
@@ -321,9 +373,11 @@ class StreamingEngine:
         newest = max(newest, event.le)
         watermark = newest - self.slack
         if event.le < watermark:
-            raise ValueError(
+            return self._reject(
+                source,
+                event,
                 f"event on {source!r} is {watermark - event.le} ticks later "
-                f"than the slack of {self.slack} allows"
+                f"than the slack of {self.slack} allows",
             )
         heapq.heappush(buffer, (event.le, next(self._reorder_seq), event))
         released: List[Event] = []
@@ -382,6 +436,16 @@ class StreamingEngine:
         return out
 
     # -- internals --------------------------------------------------------------
+
+    def _reject(self, source: str, item: object, reason: str) -> List[Event]:
+        """Apply the event policy to a late or malformed input."""
+        if self.event_policy == "raise":
+            raise ValueError(reason)
+        if self.event_policy == "quarantine":
+            self.quarantined.append(QuarantinedEvent(source, item, reason))
+        else:
+            self.dropped += 1
+        return []
 
     def _source(self, name: str) -> List[_Node]:
         try:

@@ -20,10 +20,26 @@ from .optimizer import (
     candidate_keys,
     estimate_rows,
 )
+from .recovery import (
+    JobManifest,
+    ResumeError,
+    StageCheckpoint,
+    load_manifest,
+    manifest_path,
+    plan_fingerprint,
+    save_manifest,
+)
 from .runner import TiMR, TiMRResult
 from .temporal_partition import SpanLayout, plan_spans
 
 __all__ = [
+    "JobManifest",
+    "ResumeError",
+    "StageCheckpoint",
+    "load_manifest",
+    "manifest_path",
+    "plan_fingerprint",
+    "save_manifest",
     "AnnotationResult",
     "CompiledStage",
     "Fragment",

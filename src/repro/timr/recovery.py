@@ -1,0 +1,108 @@
+"""Job-level checkpoint/resume for TiMR (the ReStore argument).
+
+TiMR already materializes every fragment's output as a dataset in the
+distributed file system — exactly the property ReStore (Elghandour &
+Aboulnaga, VLDB 2012) exploits to reuse intermediate M-R results across
+runs. This module makes that reuse *safe* across process crashes: when
+``TiMR.run(..., checkpoint_dir=...)`` completes a stage, the output
+dataset is persisted via :mod:`repro.mapreduce.persist` (crash-safe
+atomic writes) and recorded in a **job manifest** together with its
+content hash. A job killed mid-run can then resume
+(``TiMR.run(..., resume=True)``) from the last completed stage instead
+of recomputing the whole plan.
+
+Reuse is only sound because the temporal algebra is deterministic
+(Section III-C.1): the same fragment over the same input produces
+byte-identical output. Resume *verifies* that instead of assuming it —
+the last checkpointed stage is replayed and re-hashed against the
+manifest, so a non-deterministic reducer or a changed input surfaces as
+a :class:`ResumeError` rather than silently corrupt output.
+
+Manifest layout (``<dir>/<job>.manifest.json``)::
+
+    {"job": "timr", "fingerprint": "<sha256 of the fragment plan>",
+     "entries": [{"stage": "timr.timr.frag0", "dataset": "timr.frag0",
+                  "sha256": "...", "rows": 123, "num_partitions": 4}, ...]}
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import List, Optional, Sequence
+
+from ..mapreduce.persist import _atomic_write
+from .fragments import Fragment
+
+
+class ResumeError(RuntimeError):
+    """The manifest cannot be safely resumed from (stale, foreign, or
+    contradicted by a replay — the error message says which)."""
+
+
+@dataclass
+class StageCheckpoint:
+    """One completed stage: where its output lives and what it hashed to."""
+
+    stage: str
+    dataset: str
+    sha256: str
+    rows: int
+    num_partitions: int
+
+
+@dataclass
+class JobManifest:
+    """Everything needed to resume one TiMR job."""
+
+    job: str
+    fingerprint: str
+    entries: List[StageCheckpoint] = field(default_factory=list)
+
+
+def plan_fingerprint(fragments: Sequence[Fragment]) -> str:
+    """Identity of a fragment plan: resuming requires the same one.
+
+    Hashes the structural skeleton — per fragment, its output dataset,
+    input datasets, and partitioning key, in execution order. Reducer
+    *code* is not hashed (closures have no stable serialization); the
+    replay re-hash at resume time is what catches a changed or
+    non-deterministic reducer.
+    """
+    digest = hashlib.sha256()
+    for f in fragments:
+        digest.update(
+            repr((f.output_name, tuple(f.input_names), tuple(f.key))).encode("utf-8")
+        )
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def manifest_path(directory: str, job: str) -> str:
+    return os.path.join(directory, f"{job}.manifest.json")
+
+
+def save_manifest(manifest: JobManifest, directory: str) -> str:
+    """Atomically write the manifest (after each completed stage)."""
+    os.makedirs(directory, exist_ok=True)
+    path = manifest_path(directory, manifest.job)
+    _atomic_write(
+        path, json.dumps(asdict(manifest), sort_keys=True, indent=2).encode("utf-8")
+    )
+    return path
+
+
+def load_manifest(directory: str, job: str) -> Optional[JobManifest]:
+    """Load a job's manifest, or ``None`` when no checkpoint exists."""
+    path = manifest_path(directory, job)
+    if not os.path.exists(path):
+        return None
+    with open(path, encoding="utf-8") as f:
+        raw = json.load(f)
+    return JobManifest(
+        job=raw["job"],
+        fingerprint=raw["fingerprint"],
+        entries=[StageCheckpoint(**e) for e in raw["entries"]],
+    )

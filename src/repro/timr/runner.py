@@ -39,6 +39,8 @@ class TiMRResult:
     stages: List[CompiledStage]
     report: JobReport
     annotation: Optional[AnnotationResult]
+    resumed_stages: int = 0
+    quarantined_rows: int = 0
 
     def output_rows(self) -> List[dict]:
         return self.output.all_rows()
@@ -65,6 +67,9 @@ class TiMR:
         span_width: Optional[int] = None,
         auto_annotate: bool = True,
         validate: bool = True,
+        checkpoint_dir: Optional[str] = None,
+        resume: bool = False,
+        verify_replay: bool = True,
     ) -> TiMRResult:
         """Execute a temporal query over datasets in the cluster's FS.
 
@@ -79,7 +84,18 @@ class TiMR:
                 no explicit ``.exchange()`` hints.
             validate: run the static pre-flight analyzer and reject plans
                 with error-severity findings before any stage executes.
+            checkpoint_dir: when set, persist every completed stage's
+                output plus a job manifest there (crash-safe), enabling
+                resume after a mid-run crash.
+            resume: load the manifest from ``checkpoint_dir`` and skip
+                stages whose checkpointed output verifies, recomputing
+                only from the first incomplete stage onward.
+            verify_replay: on resume, re-execute the last checkpointed
+                stage and require its re-hashed output to match the
+                manifest — the determinism check that makes reuse sound.
         """
+        if resume and checkpoint_dir is None:
+            raise ValueError("resume=True requires a checkpoint_dir")
         plan = query.to_plan() if isinstance(query, Query) else query
         if validate:
             from ..analysis import validate_plan
@@ -95,29 +111,69 @@ class TiMR:
         if num_partitions is None:
             num_partitions = self.cluster.cost_model.num_machines
 
+        manifest = None
+        resume_upto = 0
+        if checkpoint_dir is not None:
+            from . import recovery
+
+            fingerprint = recovery.plan_fingerprint(fragments)
+            if resume:
+                manifest = recovery.load_manifest(checkpoint_dir, job_name)
+                if manifest is not None and manifest.fingerprint != fingerprint:
+                    raise recovery.ResumeError(
+                        f"checkpoint under {checkpoint_dir!r} was written by a "
+                        f"different plan for job {job_name!r}; refusing to reuse "
+                        "its stage outputs"
+                    )
+                resume_upto = len(manifest.entries) if manifest is not None else 0
+            if manifest is None:
+                manifest = recovery.JobManifest(job=job_name, fingerprint=fingerprint)
+
+        quarantine_name = f"{job_name}.quarantine"
         report = JobReport()
         stages: List[CompiledStage] = []
         output: Optional[DistributedFile] = None
-        for fragment in fragments:
+        resumed = 0
+        for i, fragment in enumerate(fragments):
             bindings, extent = fold_plans[fragment.output_name]
             compiled = self._compile(
                 fragment, bindings, extent, num_partitions, span_width
             )
             stages.append(compiled)
+            if i < resume_upto:
+                output = self._restore_stage(
+                    checkpoint_dir, manifest.entries[i], compiled, fragment
+                )
+                resumed += 1
+                if i == resume_upto - 1 and verify_replay:
+                    self._verify_replay(
+                        manifest.entries[i], compiled, fragment, bindings
+                    )
+                continue
             if compiled.needs_input_union:
                 self._materialize_union(fragment, bindings)
             output = self.cluster.run_stage(
-                compiled.stage, compiled.input_name, fragment.output_name
+                compiled.stage,
+                compiled.input_name,
+                fragment.output_name,
+                quarantine_name=quarantine_name,
             )
             report.stages.extend(self.cluster.last_report.stages)
+            if checkpoint_dir is not None:
+                self._checkpoint_stage(checkpoint_dir, manifest, compiled, output)
 
         assert output is not None, "make_fragments always yields >= 1 fragment"
+        quarantined = 0
+        if self.cluster.fs.exists(quarantine_name):
+            quarantined = self.cluster.fs.read(quarantine_name).num_rows
         return TiMRResult(
             output=output,
             fragments=fragments,
             stages=stages,
             report=report,
             annotation=annotation,
+            resumed_stages=resumed,
+            quarantined_rows=quarantined,
         )
 
     def run_many(
@@ -140,6 +196,16 @@ class TiMR:
         if not queries:
             raise ValueError("run_many needs at least one query")
         tag = "_out"
+        for name in sorted(queries):
+            query = queries[name]
+            q = query if isinstance(query, Query) else Query(query)
+            cols = q.to_plan().output_columns()
+            if cols is not None and tag in cols:
+                raise ValueError(
+                    f"query {name!r} already outputs a column named {tag!r}, "
+                    "which run_many uses to tag each query's rows; rename "
+                    "that payload column (the tag would silently overwrite it)"
+                )
         combined: Optional[Query] = None
         for name in sorted(queries):
             query = queries[name]
@@ -157,6 +223,82 @@ class TiMR:
             row = dict(row)
             outputs[row.pop(tag)].append(row)
         return outputs
+
+    # -- checkpoint/resume --------------------------------------------------
+
+    def _checkpoint_stage(self, checkpoint_dir, manifest, compiled, output) -> None:
+        """Persist a completed stage's output and extend the manifest.
+
+        The dataset is written first (atomically), the manifest entry
+        after — a crash between the two just recomputes that stage on
+        resume.
+        """
+        from ..mapreduce import persist
+        from . import recovery
+
+        persist.save_file(output, checkpoint_dir)
+        manifest.entries.append(
+            recovery.StageCheckpoint(
+                stage=compiled.stage.name,
+                dataset=output.name,
+                sha256=persist.dataset_sha256(output),
+                rows=output.num_rows,
+                num_partitions=output.num_partitions,
+            )
+        )
+        recovery.save_manifest(manifest, checkpoint_dir)
+
+    def _restore_stage(self, checkpoint_dir, entry, compiled, fragment):
+        """Load one checkpointed stage output back into the cluster FS."""
+        from ..mapreduce import persist
+        from . import recovery
+
+        if entry.dataset != fragment.output_name or entry.stage != compiled.stage.name:
+            raise recovery.ResumeError(
+                f"manifest entry {entry.stage!r} -> {entry.dataset!r} does not "
+                f"line up with fragment {fragment.output_name!r}; the plan "
+                "changed since the checkpoint was written"
+            )
+        try:
+            dfile = persist.load_file(checkpoint_dir, entry.dataset)
+        except (FileNotFoundError, persist.CorruptDatasetError) as exc:
+            raise recovery.ResumeError(
+                f"checkpointed dataset {entry.dataset!r} is missing or corrupt: {exc}"
+            ) from exc
+        if persist.dataset_sha256(dfile) != entry.sha256:
+            raise recovery.ResumeError(
+                f"checkpointed dataset {entry.dataset!r} hashes differently from "
+                "its manifest entry; refusing to resume from it"
+            )
+        return self.cluster.fs.write_partitioned(entry.dataset, dfile.partitions)
+
+    def _verify_replay(self, entry, compiled, fragment, bindings) -> None:
+        """Re-run the last checkpointed stage; its output must re-hash equal.
+
+        This is the paper's determinism claim (Section III-C.1) checked
+        at the exact moment it is relied upon: if the replayed stage
+        hashes differently — non-deterministic reducer, changed input
+        data, changed user code — resuming would splice incompatible
+        halves of a job together, so we refuse.
+        """
+        from ..mapreduce import persist
+        from . import recovery
+
+        if compiled.needs_input_union:
+            self._materialize_union(fragment, bindings)
+        replay_name = f"{fragment.output_name}.replay"
+        replayed = self.cluster.run_stage(
+            compiled.stage, compiled.input_name, replay_name
+        )
+        replay_hash = persist.dataset_sha256(replayed)
+        self.cluster.fs.delete(replay_name)
+        if replay_hash != entry.sha256:
+            raise recovery.ResumeError(
+                f"replaying checkpointed stage {entry.stage!r} produced different "
+                "output than the manifest records — the stage is not "
+                "deterministic over the current inputs, so its checkpoint "
+                "cannot be reused"
+            )
 
     # -- internals ---------------------------------------------------------
 

@@ -244,3 +244,44 @@ class TestLint:
         rc = main(["lint", CLEAN_SQL, "--ignore", "bogus.not-a-rule"])
         assert rc == 2
         assert "unknown rule" in capsys.readouterr().err
+
+
+class TestChaos:
+    def test_full_suite_passes(self, tmp_path, capsys):
+        rc = main(
+            [
+                "chaos",
+                "--users",
+                "25",
+                "--days",
+                "1",
+                "--checkpoint-dir",
+                str(tmp_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "byte-identical" in out
+        assert "killed mid-run" in out
+        assert "chaos suite passed" in out
+
+    def test_seed_changes_fault_schedule(self, tmp_path, capsys):
+        def stats_line(seed):
+            rc = main(
+                [
+                    "chaos",
+                    "--users",
+                    "25",
+                    "--days",
+                    "1",
+                    "--seed",
+                    str(seed),
+                    "--checkpoint-dir",
+                    str(tmp_path / f"s{seed}"),
+                ]
+            )
+            assert rc == 0
+            out = capsys.readouterr().out
+            return next(line for line in out.splitlines() if "chaos(" in line)
+
+        assert stats_line(3) != stats_line(4)

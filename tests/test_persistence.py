@@ -73,3 +73,66 @@ class TestDatasetSnapshots:
         assert custom_bot_elimination(back.rows, BTConfig()) == custom_bot_elimination(
             dataset.rows, BTConfig()
         )
+
+
+class TestCrashSafetyAndIntegrity:
+    """The checkpoint/resume path leans on these guarantees."""
+
+    def write_sample(self, tmp_path, name="d", num_partitions=3):
+        fs = DistributedFileSystem()
+        f = fs.write(
+            name,
+            [{"Time": t, "v": t * t} for t in range(12)],
+            num_partitions=num_partitions,
+        )
+        save_file(f, str(tmp_path))
+        return f
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        import glob
+
+        self.write_sample(tmp_path)
+        assert glob.glob(str(tmp_path / "**" / "*.tmp.*"), recursive=True) == []
+
+    def test_tampered_partition_detected(self, tmp_path):
+        from repro.mapreduce.persist import CorruptDatasetError
+
+        self.write_sample(tmp_path)
+        victim = next((tmp_path / "d").glob("part-*.jsonl"))
+        victim.write_text(victim.read_text() + '{"Time": 7, "evil": true}\n')
+        with pytest.raises(CorruptDatasetError, match="d"):
+            load_file(str(tmp_path), "d")
+
+    def test_truncated_partition_detected(self, tmp_path):
+        from repro.mapreduce.persist import CorruptDatasetError
+
+        self.write_sample(tmp_path)
+        victim = next((tmp_path / "d").glob("part-*.jsonl"))
+        lines = victim.read_text().splitlines(keepends=True)
+        if not lines:
+            pytest.skip("empty partition drawn")
+        victim.write_text("".join(lines[:-1]))
+        with pytest.raises(CorruptDatasetError):
+            load_file(str(tmp_path), "d")
+
+    def test_verification_can_be_disabled(self, tmp_path):
+        self.write_sample(tmp_path)
+        victim = next((tmp_path / "d").glob("part-*.jsonl"))
+        victim.write_text(victim.read_text() + '{"Time": 7, "evil": true}\n')
+        loaded = load_file(str(tmp_path), "d", verify=False)
+        assert any(r.get("evil") for r in loaded.all_rows())
+
+    def test_dataset_sha256_roundtrip_stable(self, tmp_path):
+        from repro.mapreduce.persist import dataset_sha256
+
+        f = self.write_sample(tmp_path)
+        loaded = load_file(str(tmp_path), "d")
+        assert dataset_sha256(loaded) == dataset_sha256(f)
+
+    def test_dataset_sha256_partition_order_sensitive(self):
+        from repro.mapreduce.fs import DistributedFile
+        from repro.mapreduce.persist import dataset_sha256
+
+        a = DistributedFile("x", [[{"Time": 1}], [{"Time": 2}]])
+        b = DistributedFile("x", [[{"Time": 2}], [{"Time": 1}]])
+        assert dataset_sha256(a) != dataset_sha256(b)

@@ -87,3 +87,14 @@ class TestRunMany:
         assert normalize(rows_to_events(many["only"])) == normalize(
             rows_to_events(single.output_rows())
         )
+
+    def test_tag_column_collision_rejected(self):
+        """A query already emitting ``_out`` would silently lose it to the
+        tag; run_many must refuse up front instead."""
+        rows = make_rows(20)
+        clashing = Query.source("logs", columns=COLUMNS).project(
+            lambda p: {"UserId": p["UserId"], "_out": 1},
+            columns=("UserId", "_out"),
+        )
+        with pytest.raises(ValueError, match="_out"):
+            make_timr(rows).run_many({"clash": clashing}, num_partitions=2)
