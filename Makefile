@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test lint selflint ruff chaos
+.PHONY: check test lint selflint ruff chaos bench-smoke
 
 check: test selflint chaos ruff
 
@@ -13,6 +13,12 @@ test:
 # output (see docs/FAULT_TOLERANCE.md)
 chaos:
 	$(PYTHON) -m repro chaos
+
+# fast machine-readable benchmark: events/sec per builtin BT query plus
+# per-stage wall times of the combined TiMR job, written to
+# BENCH_pr3.json (CI uploads it as a non-gating artifact)
+bench-smoke:
+	$(PYTHON) benchmarks/bench_smoke.py --out BENCH_pr3.json
 
 selflint:
 	$(PYTHON) -m repro lint --builtin --no-plan

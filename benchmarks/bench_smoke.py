@@ -1,0 +1,167 @@
+"""Smoke benchmark: machine-readable throughput + stage timings for CI.
+
+Unlike the figure benchmarks (pytest-benchmark suites sized for
+EXPERIMENTS.md), this is a fast standalone script — ``make bench-smoke``
+— that emits one JSON artifact (default ``BENCH_pr3.json``) CI uploads
+on every push:
+
+* ``queries`` — events/sec of every built-in BT query that runs over
+  the unified log, measured on the single-node engine (EngineStats).
+* ``stages`` — per-stage wall seconds and row counts of the combined
+  BT pipeline (bot elimination + KE-z feature selection) through TiMR,
+  taken from the telemetry layer's ``cluster.stage`` spans.
+
+Wall times vary run to run (this is a benchmark, not a determinism
+check); row/byte counts are exact under the fixed seed. The numbers are
+tracking data, not gates — CI runs this step non-blocking.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_smoke.py --out BENCH_pr3.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _logs_only(query) -> bool:
+    """True when every source the query reads is the unified log."""
+    from repro.temporal.plan import source_nodes
+
+    return {s.name for s in source_nodes(query.to_plan())} == {"logs"}
+
+
+def run_query_benchmarks(rows, repeats: int) -> dict:
+    """Events/sec per builtin BT query on the single-node engine."""
+    from repro.analysis import builtin_query_suite
+    from repro.temporal import Engine
+
+    results = {}
+    skipped = []
+    engine = Engine()
+    for name, query in sorted(builtin_query_suite().items()):
+        if not _logs_only(query):
+            skipped.append(name)  # needs example/profile sources, not raw logs
+            continue
+        best = None
+        for _ in range(repeats):
+            engine.run(query, {"logs": rows})
+            stats = engine.last_stats
+            if best is None or stats.wall_seconds < best.wall_seconds:
+                best = stats
+        results[name] = {
+            "input_events": best.input_events,
+            "output_events": best.output_events,
+            "wall_seconds": round(best.wall_seconds, 6),
+            "events_per_second": round(best.events_per_second, 1),
+        }
+    return {"queries": results, "skipped": skipped}
+
+
+def run_stage_benchmarks(rows, machines: int, partitions: int) -> dict:
+    """Per-stage wall times of the combined BT job, from cluster spans."""
+    from repro.bt.queries import (
+        UNIFIED_COLUMNS,
+        bot_elimination_query,
+        feature_selection_query,
+    )
+    from repro.bt.schema import BTConfig
+    from repro.mapreduce import Cluster, CostModel, DistributedFileSystem
+    from repro.obs import Tracer
+    from repro.temporal import Query
+    from repro.temporal.time import days
+    from repro.timr import TiMR
+
+    cfg = BTConfig(min_support=2, z_threshold=1.0)
+    clean = bot_elimination_query(Query.source("logs", UNIFIED_COLUMNS), cfg)
+    query = feature_selection_query(clean, cfg, days(3))
+
+    tracer = Tracer()
+    fs = DistributedFileSystem()
+    fs.write("logs", rows)
+    cluster = Cluster(
+        fs=fs, cost_model=CostModel(num_machines=machines), tracer=tracer
+    )
+    result = TiMR(cluster).run(query, num_partitions=partitions)
+
+    stages = []
+    for span in tracer.finished():
+        if span.name != "cluster.stage":
+            continue
+        stages.append(
+            {
+                "stage": span.attrs["stage"],
+                "wall_seconds": round(span.wall_seconds, 6),
+                "rows_in": span.attrs["rows_in"],
+                "rows_out": span.attrs["rows_out"],
+                "shuffle_bytes": span.attrs["shuffle_bytes"],
+                "skew_ratio": span.attrs["skew_ratio"],
+            }
+        )
+    return {
+        "stages": stages,
+        "output_rows": result.output.num_rows,
+        "simulated_seconds": round(
+            result.report.simulated_seconds(cluster.cost_model), 4
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_pr3.json")
+    parser.add_argument("--users", type=int, default=150)
+    parser.add_argument("--days", type=float, default=2.0)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument("--machines", type=int, default=8)
+    parser.add_argument("--partitions", type=int, default=4)
+    args = parser.parse_args(argv)
+
+    from repro.data import GeneratorConfig, generate
+
+    dataset = generate(
+        GeneratorConfig(
+            num_users=args.users, duration_days=args.days, seed=args.seed
+        )
+    )
+    rows = dataset.rows
+    print(
+        f"bench-smoke: {len(rows):,} rows "
+        f"({args.users} users, {args.days:g} days, seed {args.seed})"
+    )
+
+    doc = {
+        "benchmark": "bench_smoke",
+        "config": {
+            "users": args.users,
+            "days": args.days,
+            "seed": args.seed,
+            "repeats": args.repeats,
+            "machines": args.machines,
+            "partitions": args.partitions,
+            "rows": len(rows),
+        },
+    }
+    doc.update(run_query_benchmarks(rows, args.repeats))
+    doc.update(run_stage_benchmarks(rows, args.machines, args.partitions))
+
+    with open(args.out, "w", encoding="utf-8") as fp:
+        json.dump(doc, fp, indent=2, sort_keys=True)
+    slowest = max(doc["queries"].items(), key=lambda kv: kv[1]["wall_seconds"])
+    print(
+        f"measured {len(doc['queries'])} queries "
+        f"(skipped {len(doc['skipped'])}: non-log sources), "
+        f"{len(doc['stages'])} cluster stages; "
+        f"slowest query: {slowest[0]} at "
+        f"{slowest[1]['events_per_second']:,.0f} events/sec"
+    )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,10 +16,25 @@ Commands:
   probabilistic fault schedule (map, shuffle, reduce, FS I/O), assert
   the output is byte-identical to a fault-free run, then kill the job
   mid-run and prove it resumes from the checkpoint manifest.
+* ``profile`` — run a pipeline with the telemetry layer enabled and
+  export the span tree + metrics (Chrome ``trace_event`` JSON for
+  Perfetto, JSON-lines for CI, a terminal tree) plus the optimizer's
+  estimated-vs-observed calibration table.
 
-Parse and analyzer failures print a one-line diagnostic and exit with
-status 2 instead of dumping a traceback; ``lint`` exits 1 when it finds
-error-severity problems.
+Exit codes (stable; CI relies on them):
+
+* ``0`` — success. For ``lint``: no error-severity findings (warnings
+  alone still exit 0). For ``chaos``: every phase byte-identical.
+* ``1`` — the command ran but its checks failed: ``lint`` found
+  error-severity problems; ``chaos`` produced divergent output or could
+  not be killed/resumed as scheduled.
+* ``2`` — usage or input errors: StreamSQL parse failures, plans
+  rejected by pre-flight analysis, bad flags, unreadable files. The
+  diagnostic is a single line on stderr, never a traceback.
+
+``lint``, ``chaos``, and ``profile`` accept ``--json``, which replaces
+the human-readable output with one JSON document on stdout (the exit
+code is unchanged and is mirrored in the document where applicable).
 """
 
 from __future__ import annotations
@@ -105,6 +120,11 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--no-plan", action="store_true", help="omit the caret-marked plan rendering"
     )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one machine-readable JSON report on stdout (for CI)",
+    )
 
     chaos = sub.add_parser(
         "chaos",
@@ -127,6 +147,51 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="where the kill/resume phase writes its manifest "
         "(default: a temporary directory)",
+    )
+    chaos.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one machine-readable JSON report on stdout (for CI)",
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help="run a pipeline with tracing on and export spans + metrics "
+        "(Chrome trace_event JSON, JSON-lines, terminal tree)",
+    )
+    profile.add_argument(
+        "--pipeline",
+        choices=["bt"],
+        default="bt",
+        help="which built-in pipeline to profile",
+    )
+    profile.add_argument(
+        "--data", default=None, help="snapshot directory (default: generate a small log)"
+    )
+    profile.add_argument("--users", type=int, default=40, help="users when generating")
+    profile.add_argument("--days", type=float, default=1.0, help="days when generating")
+    profile.add_argument("--machines", type=int, default=8)
+    profile.add_argument("--partitions", type=int, default=4)
+    profile.add_argument(
+        "--trace-out",
+        default="trace.json",
+        help="Chrome trace_event output path (open in ui.perfetto.dev)",
+    )
+    profile.add_argument(
+        "--metrics-out",
+        default="metrics.jsonl",
+        help="JSON-lines spans+metrics output path",
+    )
+    profile.add_argument(
+        "--max-depth",
+        type=int,
+        default=2,
+        help="span-tree depth printed to the terminal (deeper spans are counted)",
+    )
+    profile.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one machine-readable JSON summary on stdout (for CI)",
     )
     return parser
 
@@ -311,20 +376,62 @@ def _cmd_lint(args) -> int:
             suites[f"query {len(suites)}"] = query
 
     total_errors = total_warnings = 0
+    json_targets = []
     for name, query in sorted(suites.items()):
         report = analyze(query, ignore=args.ignore)
+        total_errors += len(report.errors)
+        total_warnings += len(report.warnings)
+        if args.json:
+            json_targets.append(
+                {
+                    "name": name,
+                    "ok": report.ok,
+                    "diagnostics": [
+                        {
+                            "rule": d.rule,
+                            "severity": d.effective_severity,
+                            "message": d.message,
+                            "node": d.node,
+                            "location": (
+                                None
+                                if d.location is None
+                                else {"file": d.location[0], "line": d.location[1]}
+                            ),
+                        }
+                        for d in report.diagnostics
+                    ],
+                }
+            )
+            continue
         if report.ok:
             print(f"{name}: clean")
             continue
-        total_errors += len(report.errors)
-        total_warnings += len(report.warnings)
         print(f"{name}:")
         print(report.render(show_plan=not args.no_plan))
+    exit_code = 1 if total_errors else 0
+    if args.json:
+        import json as _json
+
+        print(
+            _json.dumps(
+                {
+                    "command": "lint",
+                    "plans": len(suites),
+                    "errors": total_errors,
+                    "warnings": total_warnings,
+                    "exit_code": exit_code,
+                    "targets": json_targets,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return exit_code
     print(
         f"linted {len(suites)} plan(s): "
         f"{total_errors} error(s), {total_warnings} warning(s)"
     )
-    return 1 if total_errors else 0
+    return exit_code
 
 
 def _cmd_chaos(args) -> int:
@@ -339,6 +446,12 @@ def _cmd_chaos(args) -> int:
     from .temporal.time import days
     from .timr import TiMR
 
+    quiet = getattr(args, "json", False)
+
+    def say(text: str) -> None:
+        if not quiet:
+            print(text)
+
     if args.data is not None:
         rows = _load_rows(args.data).rows
     else:
@@ -347,7 +460,7 @@ def _cmd_chaos(args) -> int:
         rows = generate(
             GeneratorConfig(num_users=args.users, duration_days=args.days, seed=42)
         ).rows
-        print(f"generated {len(rows):,} rows ({args.users} users, {args.days:g} days)")
+        say(f"generated {len(rows):,} rows ({args.users} users, {args.days:g} days)")
 
     # The full BT pipeline as one temporal job: bot elimination feeding
     # KE-z feature selection (training data, per-keyword counts, totals,
@@ -379,7 +492,7 @@ def _cmd_chaos(args) -> int:
     timr, _ = make_timr()
     baseline = run(timr)
     baseline_hash = dataset_sha256(baseline.output)
-    print(
+    say(
         f"baseline: {len(baseline.fragments)} stage(s), "
         f"{baseline.output.num_rows} output row(s), hash {baseline_hash[:12]}"
     )
@@ -391,14 +504,14 @@ def _cmd_chaos(args) -> int:
     chaos_hash = dataset_sha256(chaotic.output)
     stats = policy.stats
     restarted = sum(s.restarted_partitions for s in chaotic.report.stages)
-    print(
+    say(
         f"chaos(seed={args.seed}, rate={args.rate:g}): injected {stats.injected} "
         f"fault(s) ({stats.transient} transient / {stats.permanent} permanent, "
         f"{stats.blacklisted} site(s) blacklisted) across "
         f"{dict(sorted(stats.by_site.items()))}; {restarted} reducer restart(s)"
     )
     chaos_ok = chaos_hash == baseline_hash
-    print(
+    say(
         f"chaos output {'is byte-identical to' if chaos_ok else 'DIFFERS from'} "
         f"the fault-free run (hash {chaos_hash[:12]})"
     )
@@ -407,27 +520,150 @@ def _cmd_chaos(args) -> int:
     checkpoint_dir = args.checkpoint_dir or tempfile.mkdtemp(prefix="repro-chaos-")
     final_stage = baseline.fragments[-1].output_name
     timr, _ = make_timr(StageKiller(final_stage))
+    killed = False
     try:
         run(timr, checkpoint_dir=checkpoint_dir)
+    except InjectedFault as exc:
+        killed = True
+        say(f"killed mid-run as scheduled: {exc}")
+    if not killed:
         print("kill phase: stage killer failed to kill the job", file=sys.stderr)
         return 1
-    except InjectedFault as exc:
-        print(f"killed mid-run as scheduled: {exc}")
     timr, _ = make_timr()
     resumed = run(timr, checkpoint_dir=checkpoint_dir, resume=True)
     resume_hash = dataset_sha256(resumed.output)
     resume_ok = resume_hash == baseline_hash
-    print(
+    say(
         f"resume: {resumed.resumed_stages}/{len(resumed.fragments)} stage(s) "
         f"restored from the manifest (replay determinism verified), "
         f"output {'is byte-identical to' if resume_ok else 'DIFFERS from'} "
         f"the fault-free run"
     )
-    if chaos_ok and resume_ok:
+    passed = chaos_ok and resume_ok
+    if quiet:
+        import json as _json
+
+        print(
+            _json.dumps(
+                {
+                    "command": "chaos",
+                    "rows_in": len(rows),
+                    "baseline": {
+                        "stages": len(baseline.fragments),
+                        "output_rows": baseline.output.num_rows,
+                        "sha256": baseline_hash,
+                    },
+                    "chaos": {
+                        "seed": args.seed,
+                        "rate": args.rate,
+                        "injected": stats.injected,
+                        "transient": stats.transient,
+                        "permanent": stats.permanent,
+                        "blacklisted": stats.blacklisted,
+                        "by_site": dict(sorted(stats.by_site.items())),
+                        "reducer_restarts": restarted,
+                        "sha256": chaos_hash,
+                        "byte_identical": chaos_ok,
+                    },
+                    "resume": {
+                        "killed_stage": final_stage,
+                        "resumed_stages": resumed.resumed_stages,
+                        "total_stages": len(resumed.fragments),
+                        "sha256": resume_hash,
+                        "byte_identical": resume_ok,
+                    },
+                    "passed": passed,
+                    "exit_code": 0 if passed else 1,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0 if passed else 1
+    if passed:
         print("chaos suite passed")
         return 0
     print("chaos suite FAILED", file=sys.stderr)
     return 1
+
+
+def _cmd_profile(args) -> int:
+    import json as _json
+
+    from .bt.queries import (
+        UNIFIED_COLUMNS,
+        bot_elimination_query,
+        feature_selection_query,
+    )
+    from .bt.schema import BTConfig
+    from .mapreduce import Cluster, CostModel, DistributedFileSystem
+    from .obs import Tracer, calibrate, render_tree, write_chrome_trace, write_jsonl
+    from .temporal import Query
+    from .temporal.time import days
+    from .timr import TiMR
+
+    if args.data is not None:
+        rows = _load_rows(args.data).rows
+    else:
+        from .data import GeneratorConfig, generate
+
+        rows = generate(
+            GeneratorConfig(num_users=args.users, duration_days=args.days, seed=42)
+        ).rows
+
+    # Same combined BT job as `repro chaos`: bot elimination feeding KE-z
+    # feature selection, so the trace exercises every layer (TiMR
+    # fragments, cluster stages/partitions, embedded engine operators).
+    cfg = BTConfig(min_support=2, z_threshold=1.0)
+    clean = bot_elimination_query(Query.source("logs", UNIFIED_COLUMNS), cfg)
+    query = feature_selection_query(clean, cfg, days(3))
+
+    tracer = Tracer()
+    fs = DistributedFileSystem()
+    fs.write("logs", rows)
+    cluster = Cluster(
+        fs=fs, cost_model=CostModel(num_machines=args.machines), tracer=tracer
+    )
+    timr = TiMR(cluster)
+    result = timr.run(query, num_partitions=args.partitions)
+
+    calibration = calibrate(
+        result.fragments, result.report, timr.statistics, {"logs": len(rows)}
+    )
+    trace_events = write_chrome_trace(tracer, args.trace_out)
+    jsonl_lines = write_jsonl(tracer, args.metrics_out)
+
+    spans = tracer.finished()
+    by_category: dict = {}
+    for span in spans:
+        by_category[span.category] = by_category.get(span.category, 0) + 1
+    summary = {
+        "command": "profile",
+        "pipeline": args.pipeline,
+        "rows_in": len(rows),
+        "output_rows": result.output.num_rows,
+        "spans": len(spans),
+        "spans_by_category": dict(sorted(by_category.items())),
+        "trace_out": args.trace_out,
+        "trace_events": trace_events,
+        "metrics_out": args.metrics_out,
+        "jsonl_lines": jsonl_lines,
+        "calibration": calibration.as_dict(),
+    }
+    if args.json:
+        print(_json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(render_tree(tracer, max_depth=args.max_depth))
+    print()
+    print("optimizer calibration (estimated vs observed cardinalities):")
+    print(calibration.render())
+    print()
+    print(
+        f"wrote {trace_events} trace events to {args.trace_out} "
+        "(open in ui.perfetto.dev or chrome://tracing)"
+    )
+    print(f"wrote {jsonl_lines} span/metric lines to {args.metrics_out}")
+    return 0
 
 
 _COMMANDS = {
@@ -438,6 +674,7 @@ _COMMANDS = {
     "explain": _cmd_explain,
     "lint": _cmd_lint,
     "chaos": _cmd_chaos,
+    "profile": _cmd_profile,
 }
 
 

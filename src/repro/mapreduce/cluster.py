@@ -26,6 +26,7 @@ import time as _time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Set, Tuple
 
+from ..obs.trace import NULL_TRACER
 from .cost import CostModel, JobReport, StageReport
 from .faults import (
     FS_READ,
@@ -103,6 +104,10 @@ class Cluster:
             callables — or lack a usable ``Time`` — are diverted to a
             ``{job}.quarantine`` dead-letter dataset instead of failing
             the stage.
+        tracer: a :class:`repro.obs.Tracer` recording per-stage and
+            per-partition spans plus cluster metrics (rows, shuffle
+            bytes, skew, restarts, quarantine, simulated backoff).
+            Defaults to the shared no-op tracer.
     """
 
     def __init__(
@@ -113,11 +118,13 @@ class Cluster:
         max_restarts: int = 3,
         fault_policy: Optional[FaultPolicy] = None,
         quarantine: bool = False,
+        tracer=None,
     ):
         if failure_injector is not None and fault_policy is not None:
             raise ValueError("pass either failure_injector or fault_policy, not both")
         self.fs = fs or DistributedFileSystem()
         self.cost_model = cost_model or CostModel()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.failure_injector = failure_injector
         self.fault_policy = fault_policy
         if failure_injector is not None:
@@ -190,38 +197,122 @@ class Cluster:
     ) -> Tuple[DistributedFile, StageReport, List[Row]]:
         report = StageReport(name=stage.name, rows_in=data.num_rows)
         quarantined: List[Row] = []
+        tracer = self.tracer
 
-        # Simulated input (re-)read; a fault here is retried like any task.
-        self._fault_point(FS_READ, stage.name, -1, report)
+        with tracer.span(
+            "cluster.stage", category="cluster", stage=stage.name
+        ) as stage_span:
+            # Simulated input (re-)read; a fault here is retried like any task.
+            self._fault_point(FS_READ, stage.name, -1, report)
 
-        # Map phase: transform (optional) then route rows to partitions.
-        partitions: List[List[Row]] = [[] for _ in range(stage.num_partitions)]
-        routed_rows = 0
-        for pi, part in enumerate(data.partitions):
-            routed = self._run_map_partition(stage, pi, part, report, quarantined)
-            for idx, row in routed:
-                partitions[idx].append(row)
-                routed_rows += 1
-        report.shuffle_seconds = self.cost_model.shuffle_seconds(routed_rows)
-        report.num_partitions = stage.num_partitions
+            # Map phase: transform (optional) then route rows to partitions.
+            partitions: List[List[Row]] = [[] for _ in range(stage.num_partitions)]
+            routed_rows = 0
+            shuffle_bytes = 0
+            for pi, part in enumerate(data.partitions):
+                with tracer.span(
+                    "cluster.map",
+                    category="cluster",
+                    stage=stage.name,
+                    partition=pi,
+                    rows_in=len(part),
+                ) as map_span:
+                    routed = self._run_map_partition(
+                        stage, pi, part, report, quarantined
+                    )
+                    if tracer.enabled:
+                        map_span.set("rows_mapped", len(routed))
+                        shuffle_bytes += sum(
+                            len(repr(row)) for _, row in routed
+                        )
+                for idx, row in routed:
+                    partitions[idx].append(row)
+                    routed_rows += 1
+            report.shuffle_seconds = self.cost_model.shuffle_seconds(routed_rows)
+            report.num_partitions = stage.num_partitions
 
-        # Reduce phase: run the reducer per partition, measuring work.
-        outputs: List[List[Row]] = []
-        for idx, rows in enumerate(partitions):
-            if stage.sort_by_time:
-                rows = self._sort_partition(stage, idx, rows, quarantined)
-            out_rows, seconds, restarts = self._run_reducer(
-                stage, idx, rows, report, quarantined
-            )
-            outputs.append(out_rows)
-            report.partition_seconds.append(seconds)
-            report.restarted_partitions += restarts
+            # Reduce phase: run the reducer per partition, measuring work.
+            outputs: List[List[Row]] = []
+            for idx, rows in enumerate(partitions):
+                with tracer.span(
+                    "cluster.partition",
+                    category="cluster",
+                    stage=stage.name,
+                    partition=idx,
+                    rows_in=len(rows),
+                ) as part_span:
+                    if stage.sort_by_time:
+                        sort_start = _time.perf_counter() if tracer.enabled else 0.0
+                        rows = self._sort_partition(stage, idx, rows, quarantined)
+                        if tracer.enabled:
+                            part_span.set(
+                                "sort_seconds",
+                                round(_time.perf_counter() - sort_start, 6),
+                            )
+                    out_rows, seconds, restarts = self._run_reducer(
+                        stage, idx, rows, report, quarantined
+                    )
+                    if tracer.enabled:
+                        part_span.set("rows_out", len(out_rows))
+                        part_span.set("restarts", restarts)
+                outputs.append(out_rows)
+                report.partition_seconds.append(seconds)
+                report.restarted_partitions += restarts
 
-        # Simulated output write; likewise retried on injected faults.
-        self._fault_point(FS_WRITE, stage.name, -1, report)
-        report.rows_out = sum(len(p) for p in outputs)
-        report.quarantined_rows = len(quarantined)
+            # Simulated output write; likewise retried on injected faults.
+            self._fault_point(FS_WRITE, stage.name, -1, report)
+            report.rows_out = sum(len(p) for p in outputs)
+            report.quarantined_rows = len(quarantined)
+
+            if tracer.enabled:
+                self._record_stage_telemetry(
+                    stage_span, stage, report, partitions, routed_rows, shuffle_bytes
+                )
         return self.fs.write_partitioned(output_name, outputs), report, quarantined
+
+    def _record_stage_telemetry(
+        self,
+        span,
+        stage: MapReduceStage,
+        report: StageReport,
+        partitions: List[List[Row]],
+        routed_rows: int,
+        shuffle_bytes: int,
+    ) -> None:
+        """Fill the stage span and cluster metrics (deterministic values only)."""
+        sizes = [len(p) for p in partitions]
+        mean = sum(sizes) / len(sizes) if sizes else 0.0
+        skew = round(max(sizes) / mean, 4) if mean > 0 else 0.0
+        span.set("rows_in", report.rows_in)
+        span.set("rows_out", report.rows_out)
+        span.set("partitions", report.num_partitions)
+        span.set("rows_mapped", routed_rows)
+        span.set("shuffle_bytes", shuffle_bytes)
+        span.set("skew_ratio", skew)
+        span.set("restarts", report.restarted_partitions)
+        span.set("quarantined", report.quarantined_rows)
+        span.set("sim_shuffle_seconds", round(report.shuffle_seconds, 9))
+        span.set("sim_backoff_seconds", round(report.retry_backoff_seconds, 9))
+
+        metrics = self.tracer.metrics
+        name = stage.name
+        metrics.counter("cluster.rows_in", stage=name).inc(report.rows_in)
+        metrics.counter("cluster.rows_out", stage=name).inc(report.rows_out)
+        metrics.counter("cluster.rows_mapped", stage=name).inc(routed_rows)
+        metrics.counter("cluster.shuffle_bytes", stage=name).inc(shuffle_bytes)
+        metrics.counter("cluster.reducer_restarts", stage=name).inc(
+            report.restarted_partitions
+        )
+        metrics.counter("cluster.quarantined_rows", stage=name).inc(
+            report.quarantined_rows
+        )
+        metrics.counter("cluster.retry_backoff_seconds", stage=name).inc(
+            report.retry_backoff_seconds
+        )
+        metrics.gauge("cluster.partition_skew", stage=name).set(skew)
+        rows_hist = metrics.histogram("cluster.partition_rows", stage=name)
+        for size in sizes:
+            rows_hist.observe(size)
 
     # -- phases --------------------------------------------------------------
 

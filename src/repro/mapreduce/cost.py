@@ -187,3 +187,12 @@ class JobReport:
 
     def by_stage(self) -> Dict[str, StageReport]:
         return {s.name: s for s in self.stages}
+
+    def observed_cardinalities(self) -> Dict[str, Tuple[int, int]]:
+        """Stage name -> ``(rows_in, rows_out)`` as actually measured.
+
+        This is the observed side of the optimizer calibration loop
+        (:func:`repro.obs.calibrate`): the cost-based annotator's
+        estimated cardinalities are compared against these counts.
+        """
+        return {s.name: (s.rows_in, s.rows_out) for s in self.stages}

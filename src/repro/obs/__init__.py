@@ -1,0 +1,54 @@
+"""``repro.obs`` — the unified telemetry layer.
+
+Spans (:mod:`~repro.obs.trace`), metrics (:mod:`~repro.obs.metrics`),
+exporters (:mod:`~repro.obs.export`), and optimizer calibration
+(:mod:`~repro.obs.calibration`) shared by the temporal engine, the
+simulated cluster, TiMR, and the streaming engine. See
+``docs/OBSERVABILITY.md`` for the span model and metric catalog.
+
+Tracing is off by default everywhere: every instrumented constructor
+takes ``tracer=None`` and substitutes :data:`NULL_TRACER`, whose spans
+and instruments are shared no-ops, so disabled runs execute the exact
+pre-instrumentation code path.
+"""
+
+from .calibration import CalibrationReport, OperatorCalibration, calibrate
+from .export import (
+    chrome_trace,
+    render_tree,
+    span_record,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    NULL_REGISTRY,
+)
+from .trace import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "CalibrationReport",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "NullRegistry",
+    "NullTracer",
+    "OperatorCalibration",
+    "Span",
+    "Tracer",
+    "calibrate",
+    "chrome_trace",
+    "render_tree",
+    "span_record",
+    "write_chrome_trace",
+    "write_jsonl",
+]

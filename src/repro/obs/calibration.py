@@ -1,0 +1,136 @@
+"""Optimizer calibration: estimated vs observed cardinalities.
+
+The cost-based annotator (Section VI) picks exchange placements from
+*estimated* per-node cardinalities. Once a job has actually run, the
+cluster's stage reports carry the *observed* row counts — this module
+joins the two into a per-fragment calibration table so the optimizer's
+model can be validated, and produces a corrected
+:class:`~repro.timr.optimizer.Statistics` whose source cardinalities are
+the observed ones (the feedstock for adaptive re-optimization).
+
+Estimates are recomputed per fragment with the observed sizes of that
+fragment's *inputs* substituted in, so the table isolates each
+fragment's own selectivity-model error instead of compounding errors
+from lower stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class OperatorCalibration:
+    """One fragment's estimated output cardinality vs what actually ran."""
+
+    name: str
+    key: Tuple[str, ...]
+    estimated_rows: float
+    observed_rows: int
+    input_rows: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """observed / estimated; None when the estimate was zero."""
+        if self.estimated_rows <= 0:
+            return None
+        return self.observed_rows / self.estimated_rows
+
+
+@dataclass
+class CalibrationReport:
+    """Per-fragment calibration rows plus the corrected statistics."""
+
+    rows: List[OperatorCalibration]
+
+    def as_dict(self) -> dict:
+        return {
+            "fragments": [
+                {
+                    "name": r.name,
+                    "key": list(r.key),
+                    "estimated_rows": round(r.estimated_rows, 1),
+                    "observed_rows": r.observed_rows,
+                    "ratio": None if r.ratio is None else round(r.ratio, 4),
+                }
+                for r in self.rows
+            ]
+        }
+
+    def render(self) -> str:
+        """An aligned estimated-vs-observed table for the terminal."""
+        header = f"{'fragment':<28} {'key':<20} {'estimated':>12} {'observed':>10} {'obs/est':>8}"
+        lines = [header, "-" * len(header)]
+        for r in self.rows:
+            key = ",".join(r.key) if r.key else "<none>"
+            ratio = f"{r.ratio:.3f}" if r.ratio is not None else "n/a"
+            lines.append(
+                f"{r.name:<28} {key:<20} {r.estimated_rows:>12.0f} "
+                f"{r.observed_rows:>10} {ratio:>8}"
+            )
+        return "\n".join(lines)
+
+    def observed_source_rows(self) -> Dict[str, int]:
+        """Dataset name -> observed rows, for feeding back into Statistics."""
+        out: Dict[str, int] = {}
+        for r in self.rows:
+            out.update(r.input_rows)
+            out[r.name] = r.observed_rows
+        return out
+
+    def calibrated_statistics(self, base):
+        """A copy of ``base`` Statistics with observed source cardinalities.
+
+        Re-running :func:`repro.timr.optimizer.annotate_plan` with the
+        result validates (or revises) the original exchange placement
+        against reality.
+        """
+        return replace(
+            base,
+            source_rows={**base.source_rows, **self.observed_source_rows()},
+        )
+
+
+def calibrate(fragments, report, statistics, source_rows: Dict[str, int]) -> CalibrationReport:
+    """Join fragments, their stage reports, and input sizes into a report.
+
+    Args:
+        fragments: the kept (non-folded) :class:`~repro.timr.fragments.
+            Fragment` list of a TiMR run, bottom-up.
+        report: the :class:`~repro.mapreduce.cost.JobReport` of that run
+            (stage names ``timr.{fragment.output_name}``).
+        statistics: the :class:`~repro.timr.optimizer.Statistics` the
+            optimizer annotated with.
+        source_rows: observed row counts of the *raw* input datasets
+            (``cluster.fs.read(name).num_rows``).
+    """
+    from ..timr.optimizer import estimate_rows  # lazy: avoid import cycles
+
+    observed = report.observed_cardinalities()
+    known: Dict[str, int] = dict(source_rows)
+    rows: List[OperatorCalibration] = []
+    for fragment in fragments:
+        stage_name = f"timr.{fragment.output_name}"
+        if stage_name not in observed:
+            continue  # stage restored from a checkpoint: nothing measured
+        _, rows_out = observed[stage_name]
+        input_rows = {
+            name: known[name] for name in fragment.input_names if name in known
+        }
+        local_stats = replace(
+            statistics, source_rows={**statistics.source_rows, **known}
+        )
+        estimates = estimate_rows(fragment.root, local_stats)
+        estimated = estimates[fragment.root.node_id]
+        rows.append(
+            OperatorCalibration(
+                name=fragment.output_name,
+                key=fragment.key,
+                estimated_rows=estimated,
+                observed_rows=rows_out,
+                input_rows=input_rows,
+            )
+        )
+        known[fragment.output_name] = rows_out
+    return CalibrationReport(rows=rows)

@@ -11,6 +11,12 @@ output event list is computed once and shared by all parents (Multicast
 for free). Every stateful operator is freshly instantiated per run, so an
 ``Engine`` is reusable and plans are shareable across runs, partitions,
 and processes.
+
+Telemetry: construct with ``Engine(tracer=...)`` to record one span per
+plan-node evaluation (input/output event counts, selectivity, latency)
+under the caller's current span — inside a TiMR reducer that nests the
+operator spans under the cluster's reduce-partition span automatically.
+The default is the shared no-op tracer, which costs nothing.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ from __future__ import annotations
 import time as _time
 from typing import Dict, Iterable, List, Optional, Union
 
+from ..obs.trace import NULL_TRACER
 from .event import Event, point_events
 from .plan import (
     ExchangeNode,
@@ -25,17 +32,26 @@ from .plan import (
     GroupInputNode,
     PlanNode,
     SourceNode,
+    topological_order,
 )
 from .query import Query
 
 
 class EngineStats:
-    """Lightweight per-run instrumentation (drives the Fig 15 benchmark)."""
+    """Lightweight per-run instrumentation (drives the Fig 15 benchmark).
+
+    ``operator_events`` is keyed by *plan path* — the node's position in
+    the plan's topological order plus its operator name — so two
+    identical operators in one plan (say two ``where`` nodes with the
+    same label) keep separate counts. ``operator_labels`` maps each key
+    back to the node's human-readable ``describe()`` text.
+    """
 
     def __init__(self):
         self.input_events = 0
         self.output_events = 0
         self.operator_events: Dict[str, int] = {}
+        self.operator_labels: Dict[str, str] = {}
         self.wall_seconds = 0.0
 
     @property
@@ -46,10 +62,24 @@ class EngineStats:
         return self.input_events / self.wall_seconds
 
 
+def plan_node_keys(root: PlanNode) -> Dict[int, str]:
+    """Stable per-node keys: topological position + operator name.
+
+    Unlike ``node_id`` (a process-global counter) the topological index
+    is identical across plan rebuilds, so metrics keyed this way compare
+    across runs of the same query.
+    """
+    return {
+        node.node_id: f"{i:03d}.{node.op_name}"
+        for i, node in enumerate(topological_order(root))
+    }
+
+
 class Engine:
     """Executes CQ plans over bounded event streams."""
 
-    def __init__(self):
+    def __init__(self, tracer=None):
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.last_stats: Optional[EngineStats] = None
 
     def run(
@@ -87,8 +117,19 @@ class Engine:
             bound[name] = events
             stats.input_events += len(events)
 
+        keys = plan_node_keys(root)
         cache: Dict[int, List[Event]] = {}
-        output = self._evaluate(root, bound, cache, stats)
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span("engine.run", category="engine") as span:
+                output = self._evaluate(root, bound, cache, stats, keys)
+                span.set("input_events", stats.input_events)
+                span.set("output_events", len(output))
+            metrics = tracer.metrics
+            metrics.counter("engine.input_events").inc(stats.input_events)
+            metrics.counter("engine.output_events").inc(len(output))
+        else:
+            output = self._evaluate(root, bound, cache, stats, keys)
         stats.output_events = len(output)
         stats.wall_seconds = _time.perf_counter() - start
         self.last_stats = stats
@@ -102,47 +143,79 @@ class Engine:
         sources: Dict[str, List[Event]],
         cache: Dict[int, List[Event]],
         stats: EngineStats,
+        keys: Dict[int, str],
     ) -> List[Event]:
         if node.node_id in cache:
             return cache[node.node_id]
 
+        if self.tracer.enabled and not isinstance(node, (SourceNode, GroupInputNode)):
+            with self.tracer.span(
+                "engine." + node.op_name,
+                category="engine",
+                node=keys.get(node.node_id, str(node.node_id)),
+                label=node.describe(),
+            ) as span:
+                result = self._apply(node, sources, cache, stats, keys)
+                events_in = sum(len(cache.get(c.node_id, ())) for c in node.inputs)
+                span.set("events_in", events_in)
+                span.set("events_out", len(result))
+                if events_in:
+                    span.set("selectivity", round(len(result) / events_in, 6))
+            self.tracer.metrics.counter(
+                "engine.operator_events",
+                op=keys.get(node.node_id, str(node.node_id)),
+            ).inc(len(result))
+        else:
+            result = self._apply(node, sources, cache, stats, keys)
+
+        key = keys.get(node.node_id)
+        if key is None:  # a node outside the precomputed order (defensive)
+            key = f"{node.node_id}.{node.op_name}"
+        stats.operator_events[key] = stats.operator_events.get(key, 0) + len(result)
+        stats.operator_labels[key] = node.describe()
+        cache[node.node_id] = result
+        return result
+
+    def _apply(
+        self,
+        node: PlanNode,
+        sources: Dict[str, List[Event]],
+        cache: Dict[int, List[Event]],
+        stats: EngineStats,
+        keys: Dict[int, str],
+    ) -> List[Event]:
+        """Compute one node's output (children first), without recording."""
         if isinstance(node, SourceNode):
             try:
-                result = sources[node.name]
+                return sources[node.name]
             except KeyError:
                 raise KeyError(
                     f"query references source {node.name!r} but only "
                     f"{sorted(sources)} were provided"
                 ) from None
-        elif isinstance(node, GroupInputNode):
+        if isinstance(node, GroupInputNode):
             raise RuntimeError(
                 "GroupInputNode reached outside a GroupApply sub-plan"
             )
-        elif isinstance(node, ExchangeNode):
+        if isinstance(node, ExchangeNode):
             # Logical repartitioning is a no-op on a single node.
-            result = self._evaluate(node.inputs[0], sources, cache, stats)
-        elif isinstance(node, GroupApplyNode):
-            child = self._evaluate(node.inputs[0], sources, cache, stats)
+            return self._evaluate(node.inputs[0], sources, cache, stats, keys)
+        if isinstance(node, GroupApplyNode):
+            child = self._evaluate(node.inputs[0], sources, cache, stats, keys)
             runner = self._subplan_runner(node, stats)
             op = _make_group_apply(node, runner)
-            result = op.apply(child)
-        else:
-            children = [
-                self._evaluate(c, sources, cache, stats) for c in node.inputs
-            ]
-            op = node.make_operator()
-            if len(children) == 1:
-                result = op.apply(children[0])
-            elif len(children) == 2:
-                result = op.apply(children[0], children[1])
-            else:  # pragma: no cover - no 3-input operators exist
-                raise RuntimeError(f"{node!r} has {len(children)} inputs")
-
-        stats.operator_events[node.describe()] = (
-            stats.operator_events.get(node.describe(), 0) + len(result)
+            return op.apply(child)
+        children = [
+            self._evaluate(c, sources, cache, stats, keys) for c in node.inputs
+        ]
+        op = node.make_operator()
+        if len(children) == 1:
+            return op.apply(children[0])
+        if len(children) == 2:
+            return op.apply(children[0], children[1])
+        raise RuntimeError(  # pragma: no cover - no 3-input operators exist
+            f"{node!r} has {len(children)} inputs"
         )
-        cache[node.node_id] = result
-        return result
 
     def _subplan_runner(self, node: GroupApplyNode, stats: EngineStats):
         """A callable executing the GroupApply sub-plan over one group.

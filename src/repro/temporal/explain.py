@@ -36,8 +36,14 @@ def _streamable(root: PlanNode) -> Optional[str]:
     return None
 
 
-def explain(query: Union[Query, PlanNode]) -> str:
-    """A multi-line report about a temporal query's execution properties."""
+def explain(query: Union[Query, PlanNode], stats=None) -> str:
+    """A multi-line report about a temporal query's execution properties.
+
+    With ``stats`` (an :class:`~repro.temporal.engine.EngineStats` from a
+    prior run, e.g. ``engine.last_stats``) the report gains a
+    TRACE/METRICS section: totals, throughput, and per-operator event
+    counts keyed by plan path.
+    """
     root = query.to_plan() if isinstance(query, Query) else query
     lines: List[str] = ["PLAN", render(root, indent="  "), "", "PROPERTIES"]
 
@@ -88,6 +94,28 @@ def explain(query: Union[Query, PlanNode]) -> str:
     else:
         lines.append(f"  {report.summary()}")
         lines.extend(f"  {d.format()}" for d in report.diagnostics)
+
+    if stats is not None:
+        lines.append("")
+        lines.append("TRACE/METRICS")
+        lines.append(
+            f"  input events: {stats.input_events}  "
+            f"output events: {stats.output_events}"
+        )
+        if stats.wall_seconds > 0:
+            lines.append(
+                f"  wall: {stats.wall_seconds:.4f}s "
+                f"({stats.events_per_second:,.0f} events/sec)"
+            )
+        if stats.operator_events:
+            lines.append("  operator events (plan-path keyed):")
+            width = max(len(k) for k in stats.operator_events)
+            for key in sorted(stats.operator_events):
+                label = stats.operator_labels.get(key, "")
+                lines.append(
+                    f"    {key:<{width}}  {stats.operator_events[key]:>8}"
+                    + (f"  {label}" if label and label not in key else "")
+                )
     return "\n".join(lines)
 
 
@@ -95,6 +123,7 @@ def explain_timr(
     query: Union[Query, PlanNode],
     statistics=None,
     job_name: str = "timr",
+    stats=None,
 ) -> str:
     """``explain`` plus TiMR's annotation choice and fragment breakdown."""
     from ..timr.fragments import make_fragments
@@ -103,7 +132,7 @@ def explain_timr(
     from .plan import ExchangeNode
 
     root = query.to_plan() if isinstance(query, Query) else query
-    lines = [explain(root), "", "TIMR ANNOTATION"]
+    lines = [explain(root, stats=stats), "", "TIMR ANNOTATION"]
     has_hints = any(
         isinstance(n, ExchangeNode) for n in topological_order(root)
     )

@@ -32,6 +32,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from ..obs.trace import NULL_TRACER
 from .event import Event, point_events
 from .plan import (
     ExchangeNode,
@@ -289,6 +290,7 @@ class StreamingEngine:
         query: Union[Query, PlanNode],
         slack: int = 0,
         event_policy: str = "raise",
+        tracer=None,
         _group_input: Optional[GroupInputNode] = None,
     ):
         if slack < 0:
@@ -299,6 +301,7 @@ class StreamingEngine:
             )
         self.slack = slack
         self.event_policy = event_policy
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.quarantined: List[QuarantinedEvent] = []
         self.dropped = 0
         self._reorder: Dict[str, List] = {}
@@ -363,6 +366,10 @@ class StreamingEngine:
         for node in nodes:
             node.outputs.append(event)
             node.watermark = event.le
+        if self.tracer.enabled:
+            self.tracer.metrics.counter(
+                "streaming.events_in", source=source
+            ).inc()
         return self._propagate()
 
     def _push_with_slack(self, source: str, event: Event) -> List[Event]:
@@ -380,6 +387,10 @@ class StreamingEngine:
                 f"than the slack of {self.slack} allows",
             )
         heapq.heappush(buffer, (event.le, next(self._reorder_seq), event))
+        if self.tracer.enabled:
+            self.tracer.metrics.counter(
+                "streaming.events_in", source=source
+            ).inc()
         released: List[Event] = []
         while buffer and buffer[0][0] <= watermark:
             released.append(heapq.heappop(buffer)[2])
@@ -439,6 +450,12 @@ class StreamingEngine:
 
     def _reject(self, source: str, item: object, reason: str) -> List[Event]:
         """Apply the event policy to a late or malformed input."""
+        if self.tracer.enabled:
+            self.tracer.metrics.counter(
+                "streaming.events_rejected",
+                source=source,
+                policy=self.event_policy,
+            ).inc()
         if self.event_policy == "raise":
             raise ValueError(reason)
         if self.event_policy == "quarantine":
@@ -468,4 +485,21 @@ class StreamingEngine:
             node.advance()
         out = self._root.outputs[self._released :]
         self._released = len(self._root.outputs)
+        if self.tracer.enabled:
+            metrics = self.tracer.metrics
+            if out:
+                metrics.counter("streaming.events_out").inc(len(out))
+            # Watermark lag: how far finalized output trails the freshest
+            # source promise, in *application-time* ticks (deterministic).
+            src_w = max(
+                (
+                    n.watermark
+                    for nodes in self._sources.values()
+                    for n in nodes
+                ),
+                default=MIN_TIME,
+            )
+            if MIN_TIME < src_w < MAX_TIME:
+                lag = max(0, src_w - self._root.watermark)
+                metrics.gauge("streaming.watermark_lag").set(lag)
         return out

@@ -118,12 +118,19 @@ def stateless_row_transform(plan: PlanNode):
     return transform
 
 
-def make_reducer(fragment: Fragment, span_layout: Optional[SpanLayout] = None):
+def make_reducer(
+    fragment: Fragment,
+    span_layout: Optional[SpanLayout] = None,
+    tracer=None,
+):
     """Build the stand-alone reducer ``P`` for a fragment.
 
     The reducer is a pure function of its input partition: it creates a
     fresh embedded engine every invocation, so M-R can re-run it after a
-    failure and obtain byte-identical output (Section III-C.1).
+    failure and obtain byte-identical output (Section III-C.1). When a
+    ``tracer`` is given each embedded engine records its operator spans
+    on it, nesting under whatever span is open at call time (the
+    cluster's reduce-partition span).
     """
     multi_input = len(fragment.input_names) > 1
     input_names = list(fragment.input_names)
@@ -144,7 +151,7 @@ def make_reducer(fragment: Fragment, span_layout: Optional[SpanLayout] = None):
         # TiMR.run validated the whole plan before fragmenting; fragment
         # plans are derived from it, so re-validating per partition would
         # only burn time (and fragments share the caller's suppressions).
-        engine = Engine()
+        engine = Engine(tracer=tracer)
         events = engine.run(fragment.root, sources, validate=False)
 
         if span_layout is not None:
@@ -252,6 +259,7 @@ def compile_fragment(
     num_partitions: int,
     span_layout: Optional[SpanLayout] = None,
     bindings: Optional[List[InputBinding]] = None,
+    tracer=None,
 ) -> CompiledStage:
     """Turn a fragment into an M-R stage.
 
@@ -272,7 +280,7 @@ def compile_fragment(
         stage = MapReduceStage(
             name=f"timr.{fragment.output_name}",
             key_fn=key_by_columns(fragment.key),
-            reducer=make_reducer(fragment),
+            reducer=make_reducer(fragment, tracer=tracer),
             num_partitions=max(1, num_partitions),
             map_fn=map_fn,
         )
@@ -280,7 +288,7 @@ def compile_fragment(
         stage = MapReduceStage(
             name=f"timr.{fragment.output_name}",
             key_fn=lambda row: 0,
-            reducer=make_reducer(fragment, span_layout),
+            reducer=make_reducer(fragment, span_layout, tracer=tracer),
             num_partitions=span_layout.num_spans,
             partition_fn=lambda row: span_layout.spans_for_time(row["Time"]),
             map_fn=map_fn,
@@ -289,7 +297,7 @@ def compile_fragment(
         stage = MapReduceStage(
             name=f"timr.{fragment.output_name}",
             key_fn=lambda row: 0,
-            reducer=make_reducer(fragment),
+            reducer=make_reducer(fragment, tracer=tracer),
             num_partitions=1,
             map_fn=map_fn,
         )

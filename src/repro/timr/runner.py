@@ -53,11 +53,20 @@ def _has_exchanges(plan: PlanNode) -> bool:
 class TiMR:
     """The TiMR framework bound to a simulated cluster."""
 
-    def __init__(self, cluster: Cluster, statistics: Optional[Statistics] = None):
+    def __init__(
+        self,
+        cluster: Cluster,
+        statistics: Optional[Statistics] = None,
+        tracer=None,
+    ):
         self.cluster = cluster
         self.statistics = statistics or Statistics(
             num_machines=cluster.cost_model.num_machines
         )
+        # Default to the cluster's tracer so one Tracer handed to the
+        # Cluster covers all three layers; the embedded engines get it
+        # via compile_fragment.
+        self.tracer = tracer if tracer is not None else cluster.tracer
 
     def run(
         self,
@@ -134,38 +143,79 @@ class TiMR:
         stages: List[CompiledStage] = []
         output: Optional[DistributedFile] = None
         resumed = 0
-        for i, fragment in enumerate(fragments):
-            bindings, extent = fold_plans[fragment.output_name]
-            compiled = self._compile(
-                fragment, bindings, extent, num_partitions, span_width
-            )
-            stages.append(compiled)
-            if i < resume_upto:
-                output = self._restore_stage(
-                    checkpoint_dir, manifest.entries[i], compiled, fragment
+        tracer = self.tracer
+        with tracer.span(
+            "timr.job", category="timr", job=job_name, fragments=len(fragments)
+        ) as job_span:
+            for i, fragment in enumerate(fragments):
+                bindings, extent = fold_plans[fragment.output_name]
+                compiled = self._compile(
+                    fragment, bindings, extent, num_partitions, span_width
                 )
-                resumed += 1
-                if i == resume_upto - 1 and verify_replay:
-                    self._verify_replay(
-                        manifest.entries[i], compiled, fragment, bindings
+                stages.append(compiled)
+                with tracer.span(
+                    "timr.fragment",
+                    category="timr",
+                    fragment=fragment.output_name,
+                    key=",".join(fragment.key) if fragment.key else "",
+                ) as frag_span:
+                    if i < resume_upto:
+                        with tracer.span(
+                            "timr.restore",
+                            category="timr",
+                            fragment=fragment.output_name,
+                        ):
+                            output = self._restore_stage(
+                                checkpoint_dir, manifest.entries[i], compiled, fragment
+                            )
+                        resumed += 1
+                        frag_span.set("resumed", True)
+                        if i == resume_upto - 1 and verify_replay:
+                            with tracer.span(
+                                "timr.verify_replay",
+                                category="timr",
+                                fragment=fragment.output_name,
+                            ):
+                                self._verify_replay(
+                                    manifest.entries[i], compiled, fragment, bindings
+                                )
+                        continue
+                    if compiled.needs_input_union:
+                        self._materialize_union(fragment, bindings)
+                    output = self.cluster.run_stage(
+                        compiled.stage,
+                        compiled.input_name,
+                        fragment.output_name,
+                        quarantine_name=quarantine_name,
                     )
-                continue
-            if compiled.needs_input_union:
-                self._materialize_union(fragment, bindings)
-            output = self.cluster.run_stage(
-                compiled.stage,
-                compiled.input_name,
-                fragment.output_name,
-                quarantine_name=quarantine_name,
-            )
-            report.stages.extend(self.cluster.last_report.stages)
-            if checkpoint_dir is not None:
-                self._checkpoint_stage(checkpoint_dir, manifest, compiled, output)
+                    report.stages.extend(self.cluster.last_report.stages)
+                    if tracer.enabled:
+                        frag_span.set("rows_out", output.num_rows)
+                        tracer.metrics.counter(
+                            "timr.fragment_rows", fragment=fragment.output_name
+                        ).inc(output.num_rows)
+                    if checkpoint_dir is not None:
+                        with tracer.span(
+                            "timr.checkpoint",
+                            category="timr",
+                            fragment=fragment.output_name,
+                        ):
+                            self._checkpoint_stage(
+                                checkpoint_dir, manifest, compiled, output
+                            )
 
-        assert output is not None, "make_fragments always yields >= 1 fragment"
-        quarantined = 0
-        if self.cluster.fs.exists(quarantine_name):
-            quarantined = self.cluster.fs.read(quarantine_name).num_rows
+            assert output is not None, "make_fragments always yields >= 1 fragment"
+            quarantined = 0
+            if self.cluster.fs.exists(quarantine_name):
+                quarantined = self.cluster.fs.read(quarantine_name).num_rows
+            if tracer.enabled:
+                job_span.set("rows_out", output.num_rows)
+                job_span.set("resumed", resumed)
+                job_span.set("quarantined", quarantined)
+                metrics = tracer.metrics
+                metrics.counter("timr.fragments", job=job_name).inc(len(fragments))
+                metrics.counter("timr.resumed_stages", job=job_name).inc(resumed)
+                metrics.counter("timr.quarantined_rows", job=job_name).inc(quarantined)
         return TiMRResult(
             output=output,
             fragments=fragments,
@@ -317,7 +367,9 @@ class TiMR:
             and extent is not None
         ):
             layout = self._layout_spans(bindings, extent, span_width)
-        return compile_fragment(fragment, num_partitions, layout, bindings)
+        return compile_fragment(
+            fragment, num_partitions, layout, bindings, tracer=self.tracer
+        )
 
     def _layout_spans(
         self, bindings: List[InputBinding], extent, span_width: int

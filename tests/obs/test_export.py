@@ -1,0 +1,93 @@
+"""Tests for the JSON-lines, Chrome trace_event, and tree exporters."""
+
+import io
+import json
+
+from repro.obs import Tracer, chrome_trace, render_tree, span_record, write_jsonl
+
+
+def traced():
+    tracer = Tracer()
+    with tracer.span("timr.job", category="timr", job="j") as job:
+        job.set("rows_out", 10)
+        with tracer.span("cluster.stage", category="cluster", stage="s1"):
+            with tracer.span("engine.where", category="engine") as op:
+                op.set("events_in", 100)
+                op.set("events_out", 40)
+    tracer.metrics.counter("cluster.rows_in", stage="s1").inc(100)
+    return tracer
+
+
+class TestJsonl:
+    def test_one_json_doc_per_line(self):
+        tracer = traced()
+        buf = io.StringIO()
+        n = write_jsonl(tracer, buf)
+        lines = buf.getvalue().strip().splitlines()
+        assert len(lines) == n == 4  # 3 spans + 1 metric
+        docs = [json.loads(line) for line in lines]
+        assert [d["type"] for d in docs] == ["span", "span", "span", "metric"]
+
+    def test_span_record_fields(self):
+        tracer = traced()
+        rec = span_record(tracer.finished()[0])
+        assert rec["name"] == "timr.job"
+        assert rec["category"] == "timr"
+        assert rec["parent"] is None
+        assert rec["attrs"] == {"job": "j", "rows_out": 10}
+        assert rec["wall_ms"] >= 0
+
+    def test_unjsonable_attrs_fall_back_to_repr(self):
+        tracer = Tracer()
+        with tracer.span("s", obj=object()) as span:
+            pass
+        rec = span_record(span)
+        json.dumps(rec)  # must not raise
+        assert rec["attrs"]["obj"].startswith("<object")
+
+    def test_writes_to_path(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        n = write_jsonl(traced(), str(path))
+        assert len(path.read_text().strip().splitlines()) == n
+
+
+class TestChromeTrace:
+    def test_document_shape(self):
+        doc = chrome_trace(traced())
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        json.dumps(doc)  # loadable by Perfetto means serializable first
+        metadata = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {m["name"] for m in metadata} == {"process_name", "thread_name"}
+        assert len(complete) == 3
+
+    def test_complete_events_nest_by_time_containment(self):
+        doc = chrome_trace(traced())
+        events = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+        job, op = events["timr.job"], events["engine.where"]
+        # same pid/tid, child fully inside parent: viewers infer nesting
+        assert job["pid"] == op["pid"] == 1
+        assert job["tid"] == op["tid"] == 1
+        assert job["ts"] <= op["ts"]
+        assert op["ts"] + op["dur"] <= job["ts"] + job["dur"] + 1e-3
+        assert op["cat"] == "engine"
+        assert op["args"]["events_in"] == 100
+
+
+class TestRenderTree:
+    def test_indented_tree_with_attrs(self):
+        text = render_tree(traced())
+        lines = text.splitlines()
+        assert lines[0].startswith("timr:timr.job")
+        assert lines[1].startswith("  cluster:cluster.stage")
+        assert lines[2].startswith("    engine:engine.where")
+        assert "events_in=100" in lines[2]
+        assert "rows_out=10" in lines[0]
+
+    def test_max_depth_prunes_and_counts(self):
+        text = render_tree(traced(), max_depth=0)
+        assert "engine.where" not in text
+        assert "(+2 spans)" in text
+
+    def test_empty_tracer(self):
+        assert render_tree(Tracer()) == ""

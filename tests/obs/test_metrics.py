@@ -1,0 +1,94 @@
+"""Tests for the deterministic metrics registry."""
+
+import pytest
+
+from repro.obs import DEFAULT_BUCKETS, MetricsRegistry, NULL_REGISTRY
+
+
+class TestCounter:
+    def test_increments(self):
+        reg = MetricsRegistry()
+        c = reg.counter("rows")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("rows").inc(-1)
+
+    def test_get_or_create_by_labels(self):
+        reg = MetricsRegistry()
+        assert reg.counter("rows", stage="a") is reg.counter("rows", stage="a")
+        assert reg.counter("rows", stage="a") is not reg.counter("rows", stage="b")
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x", a=1, b=2) is reg.counter("x", b=2, a=1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = MetricsRegistry().gauge("lag")
+        g.set(5)
+        g.set(2)
+        assert g.value == 2
+
+
+class TestHistogram:
+    def test_fixed_buckets_and_overflow(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("sizes", buckets=(10, 100))
+        for v in (1, 10, 11, 100, 101, 10_000):
+            h.observe(v)
+        snap = h.snapshot_value()
+        assert snap["count"] == 6
+        assert snap["sum"] == 1 + 10 + 11 + 100 + 101 + 10_000
+        assert snap["buckets"] == {"10": 2, "100": 2, "+inf": 2}
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("h", buckets=(5, 1))
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("h", buckets=())
+
+
+class TestSnapshot:
+    def _populate(self, reg):
+        reg.counter("b.rows", stage="s2").inc(7)
+        reg.counter("a.rows", stage="s1").inc(3)
+        reg.gauge("skew", stage="s1").set(1.5)
+        reg.histogram("sizes", buckets=(10,)).observe(4)
+
+    def test_deterministic_order_and_shape(self):
+        reg = MetricsRegistry()
+        self._populate(reg)
+        snap = reg.snapshot()
+        assert [m["name"] for m in snap] == ["a.rows", "b.rows", "skew", "sizes"]
+        assert snap[0] == {
+            "kind": "counter",
+            "name": "a.rows",
+            "labels": {"stage": "s1"},
+            "value": 3,
+        }
+
+    def test_identical_recordings_identical_snapshots(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        self._populate(a)
+        self._populate(b)
+        assert a.snapshot() == b.snapshot()
+
+
+class TestNullRegistry:
+    def test_absorbs_and_reports_nothing(self):
+        NULL_REGISTRY.counter("c", x=1).inc(10)
+        NULL_REGISTRY.gauge("g").set(3)
+        NULL_REGISTRY.histogram("h").observe(1)
+        assert NULL_REGISTRY.snapshot() == []
+        assert NULL_REGISTRY.enabled is False
+
+    def test_shared_instrument(self):
+        assert NULL_REGISTRY.counter("a") is NULL_REGISTRY.gauge("b")

@@ -1,0 +1,107 @@
+"""Tests for the span tracer core."""
+
+import pytest
+
+from repro.obs import NULL_TRACER, NullTracer, Tracer
+
+
+class TestSpans:
+    def test_parent_child_nesting(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert inner.depth == 1 and outer.depth == 0
+
+    def test_nesting_across_layers_without_plumbing(self):
+        """A span opened by nested code lands under the caller's span."""
+        tracer = Tracer()
+
+        def inner_layer():
+            with tracer.span("engine.op", category="engine"):
+                pass
+
+        with tracer.span("cluster.partition", category="cluster") as parent:
+            inner_layer()
+        children = tracer.children(parent)
+        assert [c.name for c in children] == ["engine.op"]
+
+    def test_category_inherited_from_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer", category="timr"):
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.category == "timr"
+
+    def test_attrs_set_and_add(self):
+        tracer = Tracer()
+        with tracer.span("s", rows=3) as span:
+            span.set("extra", "x").add("count", 2).add("count", 5)
+        assert span.attrs == {"rows": 3, "extra": "x", "count": 7}
+
+    def test_wall_time_recorded(self):
+        tracer = Tracer()
+        with tracer.span("s") as span:
+            pass
+        assert span.end is not None
+        assert span.wall_seconds >= 0
+        assert span.start >= tracer.epoch
+
+    def test_exception_recorded_and_stack_unwound(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom") as span:
+                raise RuntimeError("x")
+        assert span.attrs["error"] == "RuntimeError"
+        assert tracer.current() is None  # stack fully unwound
+
+    def test_finished_excludes_open_spans(self):
+        tracer = Tracer()
+        open_span = tracer.span("open")
+        with tracer.span("closed"):
+            pass
+        names = [s.name for s in tracer.finished()]
+        assert "closed" in names and "open" not in names
+        open_span.__exit__(None, None, None)
+
+    def test_roots_and_span_ids_unique(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        with tracer.span("c"):
+            pass
+        assert [s.name for s in tracer.roots()] == ["a", "c"]
+        ids = [s.span_id for s in tracer.spans]
+        assert len(ids) == len(set(ids))
+
+
+class TestNullTracer:
+    def test_disabled_flag(self):
+        assert NULL_TRACER.enabled is False
+        assert Tracer().enabled is True
+
+    def test_span_is_shared_noop(self):
+        a = NULL_TRACER.span("x", category="c", rows=1)
+        b = NULL_TRACER.span("y")
+        assert a is b  # one shared object: no allocation per span
+
+    def test_noop_span_interface(self):
+        with NULL_TRACER.span("x") as span:
+            span.set("k", 1)
+            span.add("k", 2)
+        assert NULL_TRACER.finished() == []
+        assert NULL_TRACER.current() is None
+        assert NULL_TRACER.roots() == []
+
+    def test_null_metrics_absorb_everything(self):
+        reg = NULL_TRACER.metrics
+        reg.counter("c", stage="s").inc(5)
+        reg.gauge("g").set(1.0)
+        reg.histogram("h").observe(10)
+        assert reg.snapshot() == []
+
+    def test_fresh_nulltracer_equivalent(self):
+        assert NullTracer().enabled is False

@@ -52,6 +52,51 @@ class TestExplain:
         assert "(unknown)" in report
 
 
+class TestExplainLint:
+    def test_clean_plan_has_lint_section(self):
+        report = explain(click_count())
+        assert "LINT" in report
+        assert "no findings" in report
+
+    def test_findings_listed(self):
+        q = Query.source("s", columns=("A",)).where(lambda p: p["B"] == 1)
+        report = explain(q)
+        assert "LINT" in report
+        assert "schema.unknown-column" in report
+        assert "no findings" not in report
+
+
+class TestExplainTraceMetrics:
+    def _stats(self):
+        from repro.temporal import Engine
+
+        engine = Engine()
+        rows = [
+            {"Time": t, "StreamId": 1, "AdId": f"a{t % 2}"} for t in range(10)
+        ]
+        engine.run(click_count(), {"logs": rows})
+        return engine.last_stats
+
+    def test_absent_without_stats(self):
+        assert "TRACE/METRICS" not in explain(click_count())
+
+    def test_section_with_stats(self):
+        report = explain(click_count(), stats=self._stats())
+        assert "TRACE/METRICS" in report
+        assert "input events: 10" in report
+        assert "events/sec" in report
+        assert "operator events (plan-path keyed):" in report
+        # plan-path keys: topological index + op name
+        assert ".where" in report and ".group-apply" in report
+
+    def test_explain_timr_passthrough(self):
+        report = explain_timr(click_count(), stats=self._stats())
+        assert "TRACE/METRICS" in report
+        assert "TIMR ANNOTATION" in report
+        # section order: trace/metrics belongs to explain(), before TiMR's
+        assert report.index("TRACE/METRICS") < report.index("TIMR ANNOTATION")
+
+
 class TestExplainTiMR:
     def test_optimizer_choice_reported(self):
         report = explain_timr(click_count())

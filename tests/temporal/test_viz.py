@@ -1,0 +1,64 @@
+"""Tests for the Graphviz DOT plan export."""
+
+from repro.temporal import Query
+from repro.temporal.viz import to_dot
+
+
+def grouped():
+    return (
+        Query.source("logs", columns=("StreamId", "AdId"))
+        .where(lambda p: p["StreamId"] == 1, label="clicks")
+        .group_apply("AdId", lambda g: g.count(into="n"))
+    )
+
+
+class TestToDot:
+    def test_digraph_structure(self):
+        dot = to_dot(grouped())
+        assert dot.startswith("digraph plan {")
+        assert dot.rstrip().endswith("}")
+        assert "rankdir=BT;" in dot
+
+    def test_custom_name(self):
+        assert to_dot(grouped(), name="g").startswith("digraph g {")
+
+    def test_node_shapes(self):
+        q = grouped().exchange("AdId")
+        dot = to_dot(q)
+        assert "shape=cylinder" in dot  # source
+        assert "shape=diamond" in dot  # exchange
+        assert "shape=box" in dot  # plain operators
+
+    def test_labels_include_describe_text(self):
+        dot = to_dot(grouped())
+        assert "clicks" in dot
+        assert "logs" in dot
+
+    def test_group_apply_subplan_in_dashed_cluster(self):
+        dot = to_dot(grouped())
+        assert "subgraph cluster_1 {" in dot
+        assert 'label="per-group: AdId";' in dot
+        assert "style=dashed;" in dot
+        assert "[style=dashed];" in dot  # subplan root -> group node edge
+
+    def test_every_edge_endpoint_declared(self):
+        import re
+
+        dot = to_dot(grouped().exchange("AdId"))
+        declared = set(re.findall(r"(n\d+) \[", dot))
+        endpoints = set()
+        for a, b in re.findall(r"(n\d+) -> (n\d+)", dot):
+            endpoints.update((a, b))
+        assert endpoints <= declared
+
+    def test_quotes_escaped(self):
+        q = Query.source("s").where(lambda p: True, label='say "hi"')
+        dot = to_dot(q)
+        assert '\\"' not in dot.replace('\\n', '')  or "'hi'" in dot
+        assert "say 'hi'" in dot
+
+    def test_multicast_node_emitted_once(self):
+        src = Query.source("s", columns=("A",))
+        q = src.where(lambda p: True).union(src.where(lambda p: False))
+        dot = to_dot(q)
+        assert dot.count("shape=cylinder") == 1

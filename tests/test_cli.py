@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -246,6 +248,106 @@ class TestLint:
         assert "unknown rule" in capsys.readouterr().err
 
 
+class TestLintJson:
+    def test_clean_query_report(self, capsys):
+        rc = main(["lint", CLEAN_SQL, "--columns", "StreamId,UserId,KwAdId", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["command"] == "lint"
+        assert doc["errors"] == 0
+        assert doc["exit_code"] == 0
+        assert doc["targets"][0]["ok"] is True
+        assert doc["targets"][0]["diagnostics"] == []
+
+    def test_error_report_and_exit_code(self, capsys):
+        rc = main(["lint", BAD_SQL, "--columns", "StreamId,UserId,KwAdId", "--json"])
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["errors"] >= 1
+        assert doc["exit_code"] == 1
+        diag = doc["targets"][0]["diagnostics"][0]
+        assert diag["rule"] == "schema.unknown-column"
+        assert diag["severity"] == "error"
+        assert "Bogus" in diag["message"]
+
+    def test_json_output_is_the_whole_stdout(self, capsys):
+        rc = main(["lint", "--builtin", "--json"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        json.loads(out)  # nothing but the document on stdout
+        assert json.loads(out)["plans"] >= 10
+
+    def test_usage_errors_still_exit_2(self, capsys):
+        rc = main(["lint", "--json"])
+        assert rc == 2
+
+
+class TestProfile:
+    @pytest.fixture(scope="class")
+    def profile_outputs(self, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("profile")
+        trace = directory / "trace.json"
+        metrics = directory / "metrics.jsonl"
+        return str(trace), str(metrics)
+
+    def test_writes_valid_chrome_trace_and_jsonl(self, profile_outputs, capsys):
+        trace, metrics = profile_outputs
+        rc = main(
+            [
+                "profile",
+                "--pipeline",
+                "bt",
+                "--users",
+                "20",
+                "--trace-out",
+                trace,
+                "--metrics-out",
+                metrics,
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "calibration" in out
+        assert "trace events" in out
+
+        with open(trace) as fp:
+            doc = json.load(fp)
+        events = doc["traceEvents"]
+        assert {e["ph"] for e in events} == {"M", "X"}
+        complete = [e for e in events if e["ph"] == "X"]
+        assert all(
+            isinstance(e["ts"], (int, float)) and e["dur"] >= 0 for e in complete
+        )
+        # all three layers show up in one trace
+        assert {e["cat"] for e in complete} >= {"engine", "cluster", "timr"}
+
+        with open(metrics) as fp:
+            lines = [json.loads(line) for line in fp]
+        assert {l["type"] for l in lines} == {"span", "metric"}
+        span_cats = {l["category"] for l in lines if l["type"] == "span"}
+        assert span_cats >= {"engine", "cluster", "timr"}
+
+    def test_json_summary(self, tmp_path, capsys):
+        rc = main(
+            [
+                "profile",
+                "--users",
+                "20",
+                "--json",
+                "--trace-out",
+                str(tmp_path / "t.json"),
+                "--metrics-out",
+                str(tmp_path / "m.jsonl"),
+            ]
+        )
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["command"] == "profile"
+        assert doc["spans"] > 0
+        assert set(doc["spans_by_category"]) >= {"engine", "cluster", "timr"}
+        assert doc["calibration"]["fragments"]
+
+
 class TestChaos:
     def test_full_suite_passes(self, tmp_path, capsys):
         rc = main(
@@ -285,3 +387,26 @@ class TestChaos:
             return next(line for line in out.splitlines() if "chaos(" in line)
 
         assert stats_line(3) != stats_line(4)
+
+    def test_json_report(self, tmp_path, capsys):
+        rc = main(
+            [
+                "chaos",
+                "--users",
+                "25",
+                "--days",
+                "1",
+                "--json",
+                "--checkpoint-dir",
+                str(tmp_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        doc = json.loads(out)  # --json replaces all human output
+        assert rc == 0
+        assert doc["passed"] is True
+        assert doc["exit_code"] == 0
+        assert doc["chaos"]["byte_identical"] is True
+        assert doc["resume"]["byte_identical"] is True
+        assert doc["baseline"]["sha256"] == doc["chaos"]["sha256"]
+        assert doc["resume"]["resumed_stages"] >= 1
