@@ -14,11 +14,12 @@ test:
 chaos:
 	$(PYTHON) -m repro chaos
 
-# fast machine-readable benchmark: events/sec per builtin BT query plus
-# per-stage wall times of the combined TiMR job, written to
-# BENCH_pr3.json (CI uploads it as a non-gating artifact)
+# fast machine-readable benchmark: events/sec + peak heap per builtin
+# BT query, a memory-scaling series, and per-stage wall times of the
+# combined TiMR job, written to BENCH_pr4.json (CI uploads it as a
+# non-gating artifact)
 bench-smoke:
-	$(PYTHON) benchmarks/bench_smoke.py --out BENCH_pr3.json
+	$(PYTHON) benchmarks/bench_smoke.py --out BENCH_pr4.json
 
 selflint:
 	$(PYTHON) -m repro lint --builtin --no-plan

@@ -2,11 +2,18 @@
 
 Unlike the figure benchmarks (pytest-benchmark suites sized for
 EXPERIMENTS.md), this is a fast standalone script — ``make bench-smoke``
-— that emits one JSON artifact (default ``BENCH_pr3.json``) CI uploads
+— that emits one JSON artifact (default ``BENCH_pr4.json``) CI uploads
 on every push:
 
 * ``queries`` — events/sec of every built-in BT query that runs over
-  the unified log, measured on the single-node engine (EngineStats).
+  the unified log, measured on the single-node engine (EngineStats),
+  plus tracemalloc peak heap bytes for the same run (measured in a
+  separate pass: tracing slows execution, so it never pollutes the
+  throughput numbers).
+* ``memory_scaling`` — peak heap of the largest builtin query at
+  several input sizes, with a ``sublinear`` verdict: the incremental
+  runtime holds only active-window state, so peak memory must grow
+  strictly slower than the input.
 * ``stages`` — per-stage wall seconds and row counts of the combined
   BT pipeline (bot elimination + KE-z feature selection) through TiMR,
   taken from the telemetry layer's ``cluster.stage`` spans.
@@ -17,7 +24,7 @@ tracking data, not gates — CI runs this step non-blocking.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_smoke.py --out BENCH_pr3.json
+    PYTHONPATH=src python benchmarks/bench_smoke.py --out BENCH_pr4.json
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tracemalloc
 
 
 def _logs_only(query) -> bool:
@@ -34,8 +42,22 @@ def _logs_only(query) -> bool:
     return {s.name for s in source_nodes(query.to_plan())} == {"logs"}
 
 
+def _peak_heap_bytes(engine, query, sources) -> int:
+    """Peak tracemalloc heap of one engine run (its own pass: tracing
+    roughly halves throughput, so it must never share a pass with the
+    wall-clock measurement)."""
+    tracemalloc.start()
+    try:
+        tracemalloc.reset_peak()
+        engine.run(query, sources)
+        return tracemalloc.get_traced_memory()[1]
+    finally:
+        tracemalloc.stop()
+
+
 def run_query_benchmarks(rows, repeats: int) -> dict:
-    """Events/sec per builtin BT query on the single-node engine."""
+    """Events/sec + peak heap per builtin BT query on the single-node
+    engine."""
     from repro.analysis import builtin_query_suite
     from repro.temporal import Engine
 
@@ -46,6 +68,7 @@ def run_query_benchmarks(rows, repeats: int) -> dict:
         if not _logs_only(query):
             skipped.append(name)  # needs example/profile sources, not raw logs
             continue
+        engine.run(query, {"logs": rows})  # warmup: JIT-free but cache-warm
         best = None
         for _ in range(repeats):
             engine.run(query, {"logs": rows})
@@ -57,8 +80,48 @@ def run_query_benchmarks(rows, repeats: int) -> dict:
             "output_events": best.output_events,
             "wall_seconds": round(best.wall_seconds, 6),
             "events_per_second": round(best.events_per_second, 1),
+            "peak_heap_bytes": _peak_heap_bytes(engine, query, {"logs": rows}),
         }
     return {"queries": results, "skipped": skipped}
+
+
+def run_memory_scaling(users: int, seed: int, days_series=(0.5, 1.0, 2.0, 4.0, 8.0)) -> dict:
+    """Peak heap of the heaviest builtin query across input sizes.
+
+    The incremental runtime's working set is bounded by active-window
+    state plus one batch, so doubling the stream length must grow peak
+    memory by well under 2x. ``sublinear`` records that check: the
+    byte-per-event ratio at the largest input must undercut the smallest
+    input's ratio (a linear-memory executor keeps it constant).
+    """
+    from repro.analysis import builtin_query_suite
+    from repro.data import GeneratorConfig, generate
+    from repro.temporal import Engine
+
+    query = builtin_query_suite()["feature-selection"]
+    engine = Engine()
+    points = []
+    for d in days_series:
+        rows = generate(
+            GeneratorConfig(num_users=users, duration_days=d, seed=seed)
+        ).rows
+        peak = _peak_heap_bytes(engine, query, {"logs": rows})
+        points.append(
+            {
+                "days": d,
+                "input_events": len(rows),
+                "peak_heap_bytes": peak,
+                "bytes_per_event": round(peak / max(len(rows), 1), 1),
+            }
+        )
+    sublinear = points[-1]["bytes_per_event"] < points[0]["bytes_per_event"]
+    return {
+        "memory_scaling": {
+            "query": "feature-selection",
+            "points": points,
+            "sublinear": sublinear,
+        }
+    }
 
 
 def run_stage_benchmarks(rows, machines: int, partitions: int) -> dict:
@@ -112,7 +175,7 @@ def run_stage_benchmarks(rows, machines: int, partitions: int) -> dict:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default="BENCH_pr3.json")
+    parser.add_argument("--out", default="BENCH_pr4.json")
     parser.add_argument("--users", type=int, default=150)
     parser.add_argument("--days", type=float, default=2.0)
     parser.add_argument("--seed", type=int, default=42)
@@ -147,6 +210,7 @@ def main(argv=None) -> int:
         },
     }
     doc.update(run_query_benchmarks(rows, args.repeats))
+    doc.update(run_memory_scaling(args.users, args.seed))
     doc.update(run_stage_benchmarks(rows, args.machines, args.partitions))
 
     with open(args.out, "w", encoding="utf-8") as fp:
@@ -158,6 +222,15 @@ def main(argv=None) -> int:
         f"{len(doc['stages'])} cluster stages; "
         f"slowest query: {slowest[0]} at "
         f"{slowest[1]['events_per_second']:,.0f} events/sec"
+    )
+    scaling = doc["memory_scaling"]
+    print(
+        f"memory scaling ({scaling['query']}): "
+        + " -> ".join(
+            f"{p['input_events']:,}ev/{p['peak_heap_bytes'] // 1024}KiB"
+            for p in scaling["points"]
+        )
+        + f" (sublinear: {scaling['sublinear']})"
     )
     print(f"wrote {args.out}")
     return 0

@@ -9,10 +9,10 @@ scaling out through TiMR (benchmarks use that path for Figure 14/15).
 
 from __future__ import annotations
 
-import time as _time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ..runtime.context import DEFAULT_CONTEXT, RunContext
 from ..temporal.engine import Engine
 from ..temporal.event import events_to_rows
 from ..temporal.query import Query
@@ -66,6 +66,7 @@ class BTPipeline:
         trainer: Optional[ModelTrainer] = None,
         min_train_examples: int = 30,
         ad_classes=None,
+        context: Optional[RunContext] = None,
     ):
         """Args:
         config / selector / trainer: the stage implementations.
@@ -74,7 +75,10 @@ class BTPipeline:
             — ad ids in the log are remapped to their derived classes
             (Section IV-A's data-driven grouping) before training, so
             one model serves each class.
+        context: run-wide settings (tracer, clock, batch size) handed to
+            the embedded engine; phase timings use its clock.
         """
+        self.context = context if context is not None else DEFAULT_CONTEXT
         self.config = config or BTConfig()
         self.selector = selector or KEZSelector(config=self.config)
         self.trainer = trainer or ModelTrainer()
@@ -85,7 +89,7 @@ class BTPipeline:
 
     def eliminate_bots(self, rows: List[dict]) -> List[dict]:
         """Stage 1 (Figure 11): drop events of users behaving like bots."""
-        engine = Engine()
+        engine = Engine(context=self.context)
         clean = engine.run(
             bot_elimination_query(Query.source("logs"), self.config), {"logs": rows}
         )
@@ -145,9 +149,10 @@ class BTPipeline:
         """
         timings: Dict[str, float] = {}
 
-        t0 = _time.perf_counter()
+        clock = self.context.clock
+        t0 = clock()
         clean = self.eliminate_bots(rows)
-        timings["bot_elimination"] = _time.perf_counter() - t0
+        timings["bot_elimination"] = clock() - t0
 
         if self.ad_classes is not None:
             from .ad_classes import remap_rows
@@ -160,18 +165,18 @@ class BTPipeline:
         train_rows = [r for r in clean if r["Time"] < split_time]
         test_rows = [r for r in clean if r["Time"] >= split_time]
 
-        t0 = _time.perf_counter()
+        t0 = clock()
         train_examples = self.build_examples(train_rows)
         test_examples = self.build_examples(test_rows)
-        timings["training_data"] = _time.perf_counter() - t0
+        timings["training_data"] = clock() - t0
 
-        t0 = _time.perf_counter()
+        t0 = clock()
         models = self.train(train_examples)
-        timings["selection_and_models"] = _time.perf_counter() - t0
+        timings["selection_and_models"] = clock() - t0
 
-        t0 = _time.perf_counter()
+        t0 = clock()
         evaluations = self.evaluate(models, test_examples)
-        timings["evaluation"] = _time.perf_counter() - t0
+        timings["evaluation"] = clock() - t0
 
         assert self.selector.result is not None
         return BTResult(

@@ -441,6 +441,7 @@ def _cmd_chaos(args) -> int:
     from .bt.schema import BTConfig
     from .mapreduce import ChaosPolicy, Cluster, CostModel, DistributedFileSystem
     from .mapreduce import InjectedFault, StageKiller
+    from .runtime import RunContext
     from .mapreduce.persist import dataset_sha256
     from .temporal import Query
     from .temporal.time import days
@@ -471,17 +472,24 @@ def _cmd_chaos(args) -> int:
     clean = bot_elimination_query(Query.source("logs", UNIFIED_COLUMNS), cfg)
     query = feature_selection_query(clean, cfg, days(3))
 
-    def make_timr(fault_policy=None):
+    # one base context for the whole exercise; each phase derives its
+    # fault policy (and, for the resume leg, checkpoint settings) from it
+    #
+    # a reduce attempt passes two fault sites (shuffle + reduce), each
+    # with a blacklist_after budget — so the restart budget must cover
+    # 2 * blacklist_after injections before the scheduler steers away
+    base_ctx = RunContext(
+        seed=args.seed, max_restarts=2 * ChaosPolicy().blacklist_after + 1
+    )
+
+    def make_timr(fault_policy=None, **context_changes):
         fs = DistributedFileSystem()
         fs.write("logs", rows)
-        # a reduce attempt passes two fault sites (shuffle + reduce), each
-        # with a blacklist_after budget — so the restart budget must cover
-        # 2 * blacklist_after injections before the scheduler steers away
+        ctx = base_ctx.derive(fault_policy=fault_policy, **context_changes)
         cluster = Cluster(
             fs=fs,
             cost_model=CostModel(num_machines=args.machines),
-            fault_policy=fault_policy,
-            max_restarts=2 * ChaosPolicy().blacklist_after + 1,
+            context=ctx,
         )
         return TiMR(cluster), cluster
 
@@ -519,18 +527,18 @@ def _cmd_chaos(args) -> int:
     # 3. kill the job at its final stage, then resume from the manifest
     checkpoint_dir = args.checkpoint_dir or tempfile.mkdtemp(prefix="repro-chaos-")
     final_stage = baseline.fragments[-1].output_name
-    timr, _ = make_timr(StageKiller(final_stage))
+    timr, _ = make_timr(StageKiller(final_stage), checkpoint_dir=checkpoint_dir)
     killed = False
     try:
-        run(timr, checkpoint_dir=checkpoint_dir)
+        run(timr)
     except InjectedFault as exc:
         killed = True
         say(f"killed mid-run as scheduled: {exc}")
     if not killed:
         print("kill phase: stage killer failed to kill the job", file=sys.stderr)
         return 1
-    timr, _ = make_timr()
-    resumed = run(timr, checkpoint_dir=checkpoint_dir, resume=True)
+    timr, _ = make_timr(checkpoint_dir=checkpoint_dir, resume=True)
+    resumed = run(timr)
     resume_hash = dataset_sha256(resumed.output)
     resume_ok = resume_hash == baseline_hash
     say(
@@ -598,6 +606,7 @@ def _cmd_profile(args) -> int:
     from .bt.schema import BTConfig
     from .mapreduce import Cluster, CostModel, DistributedFileSystem
     from .obs import Tracer, calibrate, render_tree, write_chrome_trace, write_jsonl
+    from .runtime import RunContext
     from .temporal import Query
     from .temporal.time import days
     from .timr import TiMR
@@ -622,7 +631,9 @@ def _cmd_profile(args) -> int:
     fs = DistributedFileSystem()
     fs.write("logs", rows)
     cluster = Cluster(
-        fs=fs, cost_model=CostModel(num_machines=args.machines), tracer=tracer
+        fs=fs,
+        cost_model=CostModel(num_machines=args.machines),
+        context=RunContext(tracer=tracer),
     )
     timr = TiMR(cluster)
     result = timr.run(query, num_partitions=args.partitions)

@@ -26,7 +26,7 @@ import time as _time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Set, Tuple
 
-from ..obs.trace import NULL_TRACER
+from ..runtime.context import RunContext
 from .cost import CostModel, JobReport, StageReport
 from .faults import (
     FS_READ,
@@ -108,6 +108,9 @@ class Cluster:
             per-partition spans plus cluster metrics (rows, shuffle
             bytes, skew, restarts, quarantine, simulated backoff).
             Defaults to the shared no-op tracer.
+        context: a :class:`repro.runtime.RunContext` carrying the above
+            settings (and more) as one value; the individual keyword
+            arguments are shims that override its fields when passed.
     """
 
     def __init__(
@@ -115,24 +118,45 @@ class Cluster:
         fs: Optional[DistributedFileSystem] = None,
         cost_model: Optional[CostModel] = None,
         failure_injector: Optional[FailureInjector] = None,
-        max_restarts: int = 3,
+        max_restarts: Optional[int] = None,
         fault_policy: Optional[FaultPolicy] = None,
-        quarantine: bool = False,
+        quarantine: Optional[bool] = None,
         tracer=None,
+        *,
+        context: Optional[RunContext] = None,
     ):
         if failure_injector is not None and fault_policy is not None:
             raise ValueError("pass either failure_injector or fault_policy, not both")
         self.fs = fs or DistributedFileSystem()
         self.cost_model = cost_model or CostModel()
-        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.failure_injector = failure_injector
-        self.fault_policy = fault_policy
         if failure_injector is not None:
-            self.fault_policy = _InjectorPolicy(failure_injector)
-        self.max_restarts = max_restarts
-        self.quarantine = quarantine
+            fault_policy = _InjectorPolicy(failure_injector)
+        self.context = RunContext.of(
+            context,
+            tracer=tracer,
+            fault_policy=fault_policy,
+            max_restarts=max_restarts,
+            quarantine=quarantine,
+        )
         self.last_report: Optional[JobReport] = None
         self.last_quarantined: List[Row] = []
+
+    @property
+    def tracer(self):
+        return self.context.tracer
+
+    @property
+    def fault_policy(self):
+        return self.context.fault_policy
+
+    @property
+    def max_restarts(self) -> int:
+        return self.context.max_restarts
+
+    @property
+    def quarantine(self) -> bool:
+        return self.context.quarantine
 
     # -- execution ----------------------------------------------------------
 

@@ -79,6 +79,16 @@ class Span:
         self.attrs[key] = self.attrs.get(key, 0) + delta
         return self
 
+    def set_duration(self, seconds: float) -> "Span":
+        """Overwrite the measured duration (call after the span closed).
+
+        Used for *summary* spans whose work happened elsewhere — e.g. the
+        engine's per-operator spans, whose busy time accumulates inside
+        the dataflow loop and is backfilled onto one span at the end.
+        """
+        self.end = self.start + seconds
+        return self
+
     @property
     def wall_seconds(self) -> float:
         if self.end is None:
@@ -164,6 +174,9 @@ class _NullSpan:
         return self
 
     def add(self, key, delta):
+        return self
+
+    def set_duration(self, seconds):
         return self
 
     def __enter__(self):

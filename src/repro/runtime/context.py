@@ -1,0 +1,94 @@
+"""One bundle of run-wide plumbing shared by every execution layer.
+
+Before this module existed each layer grew its own ``tracer=None →
+NULL_TRACER`` fallback, its own fault/quarantine kwargs, and its own
+checkpoint parameters — eighteen-odd scattered defaults that had to be
+threaded by hand from the CLI through :class:`~repro.mapreduce.cluster.
+Cluster`, :class:`~repro.timr.runner.TiMR`, and the embedded engines.
+:class:`RunContext` replaces them with a single immutable value: build
+one at the entry point, hand it to any layer, and every nested component
+(a TiMR reducer's embedded engine, a GroupApply sub-plan chain) inherits
+the same tracer, fault policy, clock, and checkpoint settings.
+
+The context is frozen; use :meth:`RunContext.derive` to produce a
+variant (e.g. the chaos CLI deriving a per-phase fault policy from one
+base context). Constructors keep their legacy keyword arguments as thin
+shims resolved through :meth:`RunContext.of`.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional
+
+from ..obs.trace import NULL_TRACER
+
+
+@dataclass(frozen=True)
+class RunContext:
+    """Immutable run-wide settings threaded through all three layers.
+
+    Attributes:
+        tracer: the telemetry sink (:class:`repro.obs.Tracer`); defaults
+            to the shared zero-cost :data:`~repro.obs.NULL_TRACER`.
+        fault_policy: pluggable fault source for the simulated cluster
+            (:mod:`repro.mapreduce.faults`); ``None`` disables injection.
+        quarantine: divert poison rows / malformed events to dead-letter
+            datasets instead of failing the job.
+        max_restarts: task re-runs allowed before a fault propagates.
+        seed: RNG seed recorded for the run (chaos policies and data
+            generators read it so reruns are reproducible).
+        clock: monotonic clock used for wall-time measurements; swap in
+            a fake for deterministic timing tests.
+        checkpoint_dir: when set, TiMR persists completed stage outputs
+            plus a manifest there.
+        resume: load the manifest from ``checkpoint_dir`` and skip
+            verified stages.
+        verify_replay: on resume, replay the last checkpointed stage and
+            require byte-identical output.
+        validate: run the static pre-flight analyzer before executing.
+        batch_size: events fed per batch by the batch driver
+            (:class:`repro.temporal.Engine`); bounds its working-set
+            memory together with window state.
+    """
+
+    tracer: object = NULL_TRACER
+    fault_policy: Optional[object] = None
+    quarantine: bool = False
+    max_restarts: int = 3
+    seed: Optional[int] = None
+    clock: Callable[[], float] = field(default=_time.perf_counter)
+    checkpoint_dir: Optional[str] = None
+    resume: bool = False
+    verify_replay: bool = True
+    validate: bool = True
+    batch_size: int = 1024
+
+    @property
+    def metrics(self):
+        """The tracer's metrics registry (no-op under ``NULL_TRACER``)."""
+        return self.tracer.metrics
+
+    def derive(self, **changes) -> "RunContext":
+        """A copy of this context with ``changes`` applied."""
+        return replace(self, **changes)
+
+    @classmethod
+    def of(cls, context: Optional["RunContext"] = None, **overrides) -> "RunContext":
+        """Resolve a context plus legacy per-layer kwargs into one value.
+
+        ``context`` wins as the base (falling back to the shared
+        default); any override that is not ``None`` replaces the base
+        field. This is what lets ``Engine(tracer=...)`` and
+        ``Cluster(fault_policy=...)`` keep working as shims.
+        """
+        base = context if context is not None else DEFAULT_CONTEXT
+        cleaned = {k: v for k, v in overrides.items() if v is not None}
+        if not cleaned:
+            return base
+        return replace(base, **cleaned)
+
+
+#: Shared all-defaults context (no tracing, no faults, validation on).
+DEFAULT_CONTEXT = RunContext()

@@ -1,4 +1,4 @@
-"""Single-node temporal engine.
+"""Single-node temporal engine: the batch driver of the shared runtime.
 
 Executes a logical CQ plan over bounded streams with application-time
 semantics: results are a pure function of event payloads and lifetimes,
@@ -6,29 +6,37 @@ never of physical processing order (Section III-C.1). That determinism is
 what lets TiMR restart failed reducers and re-run the same queries over
 offline files or live feeds with identical output.
 
-Execution is a memoized bottom-up walk of the plan DAG: each node's
-output event list is computed once and shared by all parents (Multicast
-for free). Every stateful operator is freshly instantiated per run, so an
-``Engine`` is reusable and plans are shareable across runs, partitions,
-and processes.
+Execution is a thin loop over the shared incremental runtime
+(:class:`repro.runtime.Dataflow`): the engine merges all sources into one
+globally LE-ordered stream, feeds it through the operator graph in
+bounded batches with aligned watermarks, and flushes at end of input.
+The operator objects are the *same* ones the push-based
+:class:`~repro.temporal.streaming.StreamingEngine` drives one event at a
+time, so batch ≡ streaming holds by construction — and working-set
+memory is bounded by active-window state plus one batch, not by the
+partition size (operator output logs are trimmed as consumers drain
+them).
 
-Telemetry: construct with ``Engine(tracer=...)`` to record one span per
-plan-node evaluation (input/output event counts, selectivity, latency)
-under the caller's current span — inside a TiMR reducer that nests the
+Telemetry: construct with ``Engine(tracer=...)`` (or a full
+:class:`~repro.runtime.RunContext`) to record one summary span per plan
+node — input/output event counts, selectivity, accumulated busy time —
+under the caller's current span; inside a TiMR reducer that nests the
 operator spans under the cluster's reduce-partition span automatically.
 The default is the shared no-op tracer, which costs nothing.
 """
 
 from __future__ import annotations
 
-import time as _time
+import heapq
+from itertools import islice
+from operator import itemgetter
 from typing import Dict, Iterable, List, Optional, Union
 
-from ..obs.trace import NULL_TRACER
-from .event import Event, point_events
+from ..runtime.context import RunContext
+from ..runtime.dataflow import Dataflow
+from .event import Event
+from .operators.base import sort_events
 from .plan import (
-    ExchangeNode,
-    GroupApplyNode,
     GroupInputNode,
     PlanNode,
     SourceNode,
@@ -56,9 +64,9 @@ class EngineStats:
 
     @property
     def events_per_second(self) -> float:
-        """Input events processed per wall-clock second."""
+        """Input events processed per wall-clock second (0.0 if untimed)."""
         if self.wall_seconds <= 0:
-            return float("inf")
+            return 0.0
         return self.input_events / self.wall_seconds
 
 
@@ -76,18 +84,23 @@ def plan_node_keys(root: PlanNode) -> Dict[int, str]:
 
 
 class Engine:
-    """Executes CQ plans over bounded event streams."""
+    """Executes CQ plans over bounded event streams (the batch driver)."""
 
-    def __init__(self, tracer=None):
-        self.tracer = tracer if tracer is not None else NULL_TRACER
+    def __init__(self, tracer=None, *, context: Optional[RunContext] = None):
+        self.context = RunContext.of(context, tracer=tracer)
         self.last_stats: Optional[EngineStats] = None
+
+    @property
+    def tracer(self):
+        return self.context.tracer
 
     def run(
         self,
         query: Union[Query, PlanNode],
         sources: Dict[str, Iterable],
         time_column: str = "Time",
-        validate: bool = True,
+        validate: Optional[bool] = None,
+        batch_size: Optional[int] = None,
     ) -> List[Event]:
         """Execute ``query`` and return its output events, LE-ordered.
 
@@ -99,183 +112,167 @@ class Engine:
             time_column: timestamp column for row inputs.
             validate: run the static pre-flight analyzer first and refuse
                 plans with error-severity findings (memoized per plan, so
-                re-running a validated plan costs nothing). Pass False to
-                opt out.
+                re-running a validated plan costs nothing). ``None``
+                defers to the run context (default: on).
+            batch_size: events fed per dataflow round; bounds working-set
+                memory together with window state. ``None`` defers to the
+                run context.
         """
         root = query.to_plan() if isinstance(query, Query) else query
-        if validate:
+        context = self.context
+        if validate if validate is not None else context.validate:
             from ..analysis import validate_plan
 
             validate_plan(root)
         stats = EngineStats()
-        start = _time.perf_counter()
+        start = context.clock()
+        tracer = context.tracer
+        chunk_size = batch_size if batch_size is not None else context.batch_size
 
-        bound: Dict[str, List[Event]] = {}
+        flow = Dataflow(
+            root,
+            allow_unstreamable=True,
+            timed=tracer.enabled,
+            # amortize GroupApply watermark waves: chains advance once
+            # per threshold of fed events, not once per chunk
+            group_wave_events=max(chunk_size, 4096),
+        )
+        for name in flow.source_names():
+            if name not in sources:
+                raise KeyError(
+                    f"query references source {name!r} but only "
+                    f"{sorted(sources)} were provided"
+                )
+
+        # one lazily-converted, LE-ordered iterator per source
+        feeds = []
         for name, data in sources.items():
-            events = _as_events(data, time_column)
-            events.sort(key=lambda e: e.le)
-            bound[name] = events
-            stats.input_events += len(events)
+            rows = data if isinstance(data, list) else list(data)
+            stats.input_events += len(rows)
+            if flow.has_source(name):
+                feeds.append((name, _event_stream(rows, time_column)))
 
-        keys = plan_node_keys(root)
-        cache: Dict[int, List[Event]] = {}
-        tracer = self.tracer
+        span = None
         if tracer.enabled:
-            with tracer.span("engine.run", category="engine") as span:
-                output = self._evaluate(root, bound, cache, stats, keys)
+            span = tracer.span("engine.run", category="engine")
+            span.__enter__()
+        try:
+            out: List[Event] = []
+            if len(feeds) == 1:
+                # fast path: no cross-source merge needed
+                name, stream = feeds[0]
+                while True:
+                    chunk = list(islice(stream, chunk_size))
+                    if not chunk:
+                        break
+                    flow.feed(name, chunk)
+                    flow.set_watermarks(chunk[-1].le)
+                    out.extend(flow.advance())
+            elif feeds:
+                # merge all sources into one globally LE-ordered stream
+                # of (le, slot, event); ties never compare events
+                tagged = [
+                    _tag_stream(stream, slot)
+                    for slot, (_, stream) in enumerate(feeds)
+                ]
+                merged = heapq.merge(*tagged, key=itemgetter(0))
+                names = [name for name, _ in feeds]
+                while True:
+                    chunk = list(islice(merged, chunk_size))
+                    if not chunk:
+                        break
+                    per_source: Dict[int, List[Event]] = {}
+                    for le, slot, event in chunk:
+                        per_source.setdefault(slot, []).append(event)
+                    for slot, events in per_source.items():
+                        flow.feed(names[slot], events)
+                    # an aligned CTI: the merged order guarantees no source
+                    # will ever produce an earlier event than the chunk tail
+                    flow.set_watermarks(chunk[-1][0])
+                    out.extend(flow.advance())
+            out.extend(flow.flush())
+            output = sort_events(out)
+            self._record(flow, root, stats, output, tracer)
+        finally:
+            if span is not None:
                 span.set("input_events", stats.input_events)
-                span.set("output_events", len(output))
+                span.set("output_events", stats.output_events)
+                span.__exit__(None, None, None)
+        if tracer.enabled:
             metrics = tracer.metrics
             metrics.counter("engine.input_events").inc(stats.input_events)
             metrics.counter("engine.output_events").inc(len(output))
-        else:
-            output = self._evaluate(root, bound, cache, stats, keys)
-        stats.output_events = len(output)
-        stats.wall_seconds = _time.perf_counter() - start
+        stats.wall_seconds = context.clock() - start
         self.last_stats = stats
         return output
 
     # -- internals -------------------------------------------------------------
 
-    def _evaluate(
-        self,
-        node: PlanNode,
-        sources: Dict[str, List[Event]],
-        cache: Dict[int, List[Event]],
-        stats: EngineStats,
-        keys: Dict[int, str],
-    ) -> List[Event]:
-        if node.node_id in cache:
-            return cache[node.node_id]
-
-        if self.tracer.enabled and not isinstance(node, (SourceNode, GroupInputNode)):
-            with self.tracer.span(
-                "engine." + node.op_name,
-                category="engine",
-                node=keys.get(node.node_id, str(node.node_id)),
-                label=node.describe(),
-            ) as span:
-                result = self._apply(node, sources, cache, stats, keys)
-                events_in = sum(len(cache.get(c.node_id, ())) for c in node.inputs)
-                span.set("events_in", events_in)
-                span.set("events_out", len(result))
-                if events_in:
-                    span.set("selectivity", round(len(result) / events_in, 6))
-            self.tracer.metrics.counter(
-                "engine.operator_events",
-                op=keys.get(node.node_id, str(node.node_id)),
-            ).inc(len(result))
-        else:
-            result = self._apply(node, sources, cache, stats, keys)
-
-        key = keys.get(node.node_id)
-        if key is None:  # a node outside the precomputed order (defensive)
-            key = f"{node.node_id}.{node.op_name}"
-        stats.operator_events[key] = stats.operator_events.get(key, 0) + len(result)
-        stats.operator_labels[key] = node.describe()
-        cache[node.node_id] = result
-        return result
-
-    def _apply(
-        self,
-        node: PlanNode,
-        sources: Dict[str, List[Event]],
-        cache: Dict[int, List[Event]],
-        stats: EngineStats,
-        keys: Dict[int, str],
-    ) -> List[Event]:
-        """Compute one node's output (children first), without recording."""
-        if isinstance(node, SourceNode):
-            try:
-                return sources[node.name]
-            except KeyError:
-                raise KeyError(
-                    f"query references source {node.name!r} but only "
-                    f"{sorted(sources)} were provided"
-                ) from None
-        if isinstance(node, GroupInputNode):
-            raise RuntimeError(
-                "GroupInputNode reached outside a GroupApply sub-plan"
+    def _record(self, flow, root, stats, output, tracer):
+        """Fill stats and emit one summary span per operator node."""
+        stats.output_events = len(output)
+        keys = plan_node_keys(root)
+        for node, events_in, events_out, busy in flow.node_stats():
+            key = keys.get(node.node_id)
+            if key is None:  # a node outside the precomputed order (defensive)
+                key = f"{node.node_id}.{node.op_name}"
+            stats.operator_events[key] = (
+                stats.operator_events.get(key, 0) + events_out
             )
-        if isinstance(node, ExchangeNode):
-            # Logical repartitioning is a no-op on a single node.
-            return self._evaluate(node.inputs[0], sources, cache, stats, keys)
-        if isinstance(node, GroupApplyNode):
-            child = self._evaluate(node.inputs[0], sources, cache, stats, keys)
-            runner = self._subplan_runner(node, stats)
-            op = _make_group_apply(node, runner)
-            return op.apply(child)
-        children = [
-            self._evaluate(c, sources, cache, stats, keys) for c in node.inputs
-        ]
-        op = node.make_operator()
-        if len(children) == 1:
-            return op.apply(children[0])
-        if len(children) == 2:
-            return op.apply(children[0], children[1])
-        raise RuntimeError(  # pragma: no cover - no 3-input operators exist
-            f"{node!r} has {len(children)} inputs"
-        )
-
-    def _subplan_runner(self, node: GroupApplyNode, stats: EngineStats):
-        """A callable executing the GroupApply sub-plan over one group.
-
-        A *fresh* operator chain is built per invocation (per group) by
-        evaluating the sub-plan with the group-input leaf bound to the
-        group's events.
-        """
-
-        def run_group(events: List[Event]) -> List[Event]:
-            cache: Dict[int, List[Event]] = {node.group_input.node_id: events}
-            return self._evaluate_subplan(node.subplan_root, cache, stats)
-
-        return run_group
-
-    def _evaluate_subplan(
-        self, sub: PlanNode, cache: Dict[int, List[Event]], stats: EngineStats
-    ) -> List[Event]:
-        if sub.node_id in cache:
-            return cache[sub.node_id]
-        if isinstance(sub, SourceNode):
-            raise RuntimeError(
-                "GroupApply sub-plans cannot reference external sources"
-            )
-        if isinstance(sub, GroupApplyNode):
-            child = self._evaluate_subplan(sub.inputs[0], cache, stats)
-            op = _make_group_apply(sub, self._nested_runner(sub, cache, stats))
-            result = op.apply(child)
-        else:
-            children = [self._evaluate_subplan(c, cache, stats) for c in sub.inputs]
-            op = sub.make_operator()
-            result = (
-                op.apply(children[0])
-                if len(children) == 1
-                else op.apply(children[0], children[1])
-            )
-        cache[sub.node_id] = result
-        return result
-
-    def _nested_runner(self, node: GroupApplyNode, outer_cache, stats):
-        def run_group(events: List[Event]) -> List[Event]:
-            cache: Dict[int, List[Event]] = {node.group_input.node_id: events}
-            return self._evaluate_subplan(node.subplan_root, cache, stats)
-
-        return run_group
+            stats.operator_labels[key] = node.describe()
+            if tracer.enabled and not isinstance(
+                node, (SourceNode, GroupInputNode)
+            ):
+                with tracer.span(
+                    "engine." + node.op_name,
+                    category="engine",
+                    node=key,
+                    label=node.describe(),
+                ) as span:
+                    span.set("events_in", events_in)
+                    span.set("events_out", events_out)
+                    if events_in:
+                        span.set("selectivity", round(events_out / events_in, 6))
+                span.set_duration(busy)
+                tracer.metrics.counter(
+                    "engine.operator_events", op=key
+                ).inc(events_out)
 
 
-def _make_group_apply(node: GroupApplyNode, runner):
-    from .operators import GroupApply
+def _tag_stream(stream, slot: int):
+    """Tag a source's events with its slot for the cross-source merge."""
+    return ((e.le, slot, e) for e in stream)
 
-    return GroupApply(node.keys, runner)
 
+def _event_stream(rows: List, time_column: str):
+    """Yield events in LE order, converting rows lazily.
 
-def _as_events(data, time_column: str) -> List[Event]:
-    data = list(data)
-    if not data:
-        return []
-    if isinstance(data[0], Event):
-        return data
-    return point_events(data, time_column=time_column)
+    Sorted inputs (the common case — TiMR partitions and the generator
+    both emit time order) stream through without any copy; unsorted
+    inputs pay one sorted copy. Rows become point events one at a time so
+    the engine never materializes a second full-partition event list.
+    """
+    if not rows:
+        return iter(())
+    if isinstance(rows[0], Event):
+        if any(rows[i].le > rows[i + 1].le for i in range(len(rows) - 1)):
+            rows = sorted(rows, key=lambda e: e.le)
+        return iter(rows)
+    # row dicts: KeyError on a missing time column, as point_events raises
+    times = [row[time_column] for row in rows]
+    if any(times[i] > times[i + 1] for i in range(len(times) - 1)):
+        order = sorted(range(len(rows)), key=times.__getitem__)
+        rows = [rows[i] for i in order]
+        times = [times[i] for i in order]
+
+    def gen():
+        point = Event.point
+        for t, row in zip(times, rows):
+            payload = dict(row)
+            del payload[time_column]
+            yield point(t, payload)
+
+    return gen()
 
 
 def run_query(

@@ -14,7 +14,6 @@ from .aggregate import (
     TopKAgg,
 )
 from .base import BinaryOperator, UnaryOperator, merge_streams, sort_events
-from .group import GroupApply
 from .join import AntiSemiJoin, TemporalJoin
 from .stateless import (
     AlterLifetime,
@@ -44,7 +43,6 @@ __all__ = [
     "BinaryOperator",
     "CountAgg",
     "CountWindow",
-    "GroupApply",
     "MaxAgg",
     "MinAgg",
     "Project",

@@ -258,6 +258,40 @@ class SnapshotAggregate(UnaryOperator):
         self._seq += 1
         heapq.heappush(self._pending, (event.re, self._seq, event.payload))
 
+    def on_batch(self, events) -> list:
+        # hot path: same sweep as on_event, list-building instead of
+        # generator dispatch (identical emission order and state updates)
+        out = []
+        append = out.append
+        pending = self._pending
+        states = self._states
+        heappop, heappush = heapq.heappop, heapq.heappush
+        for event in events:
+            le = event.le
+            while pending and pending[0][0] <= le:
+                re = pending[0][0]
+                if self._active > 0 and self._segment_start is not None and re > self._segment_start:
+                    append(Event(self._segment_start, re, self._value_payload()))
+                self._segment_start = re
+                while pending and pending[0][0] == re:
+                    _, _, payload = heappop(pending)
+                    for st in states:
+                        st.remove(payload)
+                    self._active -= 1
+            if self._active > 0:
+                if self._segment_start is not None and le > self._segment_start:
+                    append(Event(self._segment_start, le, self._value_payload()))
+                self._segment_start = le
+            else:
+                self._segment_start = le
+            payload = event.payload
+            for st in states:
+                st.add(payload)
+            self._active += 1
+            self._seq += 1
+            heappush(pending, (event.re, self._seq, payload))
+        return out
+
     def on_flush(self) -> Iterable[Event]:
         yield from self._drain_until(MAX_TIME)
 
@@ -272,3 +306,6 @@ class SnapshotAggregate(UnaryOperator):
         if self._active > 0 and self._segment_start is not None:
             return min(w, self._segment_start)
         return w
+
+    def is_idle(self) -> bool:
+        return not self._pending

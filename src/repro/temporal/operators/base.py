@@ -40,6 +40,17 @@ class UnaryOperator:
         """Process one input event (arriving in LE order); yield outputs."""
         raise NotImplementedError
 
+    def on_batch(self, events: Sequence[Event]) -> List[Event]:
+        """Process a chunk of LE-ordered events (the batch-driver path).
+
+        Semantically identical to calling ``on_event`` per event —
+        stateless operators override this with a bulk fast path.
+        """
+        out: List[Event] = []
+        for e in events:
+            out.extend(self.on_event(e))
+        return out
+
     def on_flush(self) -> Iterable[Event]:
         """Drain any buffered state at end of input."""
         return ()
@@ -57,11 +68,19 @@ class UnaryOperator:
         output LE can fall. Default: outputs never precede inputs."""
         return w
 
+    def is_idle(self) -> bool:
+        """True iff the operator holds no state a watermark could release.
+
+        When idle, ``on_watermark`` emits nothing and ``watermark_out``
+        is the identity, so the runtime may skip delivering intermediate
+        watermarks entirely (it still calls ``on_flush`` at end of
+        input). The default is conservative: never skip.
+        """
+        return False
+
     def apply(self, events: Sequence[Event]) -> List[Event]:
         """Run the operator over a whole LE-ordered stream (batch mode)."""
-        out: List[Event] = []
-        for e in events:
-            out.extend(self.on_event(e))
+        out = self.on_batch(events)
         out.extend(self.on_flush())
         return sort_events(out)
 

@@ -48,12 +48,16 @@ class _Synopsis:
         stored = self.by_key.get(key)
         if stored is None:
             return []
+        for e in stored:
+            if e.re <= now:
+                break
+        else:
+            return stored  # nothing expired: no copy needed
         live = [e for e in stored if e.re > now]
-        if len(live) != len(stored):
-            if live:
-                self.by_key[key] = live
-            else:
-                del self.by_key[key]
+        if live:
+            self.by_key[key] = live
+        else:
+            del self.by_key[key]
         return live
 
     def size(self) -> int:
@@ -62,6 +66,20 @@ class _Synopsis:
 
 def _key_fn(columns: Sequence[str]):
     cols = tuple(columns)
+    if len(cols) == 1:
+        (c0,) = cols
+
+        def key1(payload: dict) -> Tuple:
+            return (payload[c0],)
+
+        return key1
+    if len(cols) == 2:
+        c0, c1 = cols
+
+        def key2(payload: dict) -> Tuple:
+            return (payload[c0], payload[c1])
+
+        return key2
 
     def key(payload: dict) -> Tuple:
         return tuple(payload[c] for c in cols)
@@ -134,12 +152,14 @@ class AntiSemiJoin(BinaryOperator):
                 "AntiSemiJoin supports point events on its left input only "
                 f"(got lifetime [{event.le}, {event.re}))"
             )
-        key = self._key(event.payload)
-        for match in self._right.probe(key, event.le):
-            if match.le <= event.le:  # match covers the probe instant
-                if self.residual is None or self.residual(event.payload, match.payload):
-                    return
-        yield event
+        payload = event.payload
+        le = event.le
+        residual = self.residual
+        for match in self._right.probe(self._key(payload), le):
+            if match.le <= le:  # match covers the probe instant
+                if residual is None or residual(payload, match.payload):
+                    return ()
+        return (event,)
 
     def on_right(self, event: Event) -> Iterable[Event]:
         self._right.insert(self._key(event.payload), event)

@@ -33,3 +33,7 @@ class ScanUDO(UnaryOperator):
     def on_event(self, event: Event) -> Iterable[Event]:
         for payload in self.fn(self.state, event.payload, event.le):
             yield Event.point(event.le, dict(payload))
+
+    def is_idle(self) -> bool:
+        # folded state only ever emits on events, never on watermarks
+        return True

@@ -28,11 +28,14 @@ class Where(UnaryOperator):
         if self.predicate(event.payload):
             yield event
 
-    def apply(self, events) -> list:
+    def on_batch(self, events) -> list:
         # hot path: a comprehension beats per-event generator dispatch
-        # (input order is preserved, so no re-sort is needed)
+        # (input order is preserved)
         pred = self.predicate
         return [e for e in events if pred(e.payload)]
+
+    def is_idle(self) -> bool:
+        return True
 
 
 class Project(UnaryOperator):
@@ -44,9 +47,12 @@ class Project(UnaryOperator):
     def on_event(self, event: Event) -> Iterable[Event]:
         yield event.with_payload(self.fn(event.payload))
 
-    def apply(self, events) -> list:
+    def on_batch(self, events) -> list:
         fn = self.fn
         return [e.with_payload(fn(e.payload)) for e in events]
+
+    def is_idle(self) -> bool:
+        return True
 
 
 class AlterLifetime(UnaryOperator):
@@ -70,6 +76,21 @@ class AlterLifetime(UnaryOperator):
         new_re = self.re_fn(event.le, event.re)
         if new_re > new_le:  # empty lifetimes vanish from the relation
             yield Event(new_le, new_re, event.payload)
+
+    def on_batch(self, events) -> list:
+        le_fn, re_fn = self.le_fn, self.re_fn
+        out = []
+        append = out.append
+        for e in events:
+            le, re = e.le, e.re
+            new_le = le_fn(le, re)
+            new_re = re_fn(le, re)
+            if new_re > new_le:
+                append(Event(new_le, new_re, e.payload))
+        return out
+
+    def is_idle(self) -> bool:
+        return True
 
 
 def sliding_window(w: int) -> AlterLifetime:
@@ -168,6 +189,9 @@ class CountWindow(UnaryOperator):
             return min(w, self._buffer[0].le)
         return w
 
+    def is_idle(self) -> bool:
+        return not self._buffer
+
 
 def count_window(n: int) -> CountWindow:
     """Events stay active until ``n`` newer events arrive (Figure 3)."""
@@ -216,6 +240,9 @@ class SessionWindow(UnaryOperator):
         if self._session:
             return min(w, self._session[0].le)
         return w
+
+    def is_idle(self) -> bool:
+        return not self._session
 
 
 def session_window(gap: int) -> SessionWindow:

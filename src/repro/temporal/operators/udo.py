@@ -111,6 +111,11 @@ class WindowedUDO(UnaryOperator):
         # a boundary b < w only sees events with LE <= b < w: all arrived
         yield from self._advance_to(w)
 
+    def is_idle(self) -> bool:
+        # with no buffered events, skip_empty fast-forwards boundaries
+        # without firing; emission can only resume on a new event
+        return self.skip_empty and self._start >= len(self._les)
+
 
 class SnapshotUDO(UnaryOperator):
     """Run ``fn`` over the active payload bag at every snapshot.
@@ -164,3 +169,6 @@ class SnapshotUDO(UnaryOperator):
         if self._active and self._segment_start is not None:
             return min(w, self._segment_start)
         return w
+
+    def is_idle(self) -> bool:
+        return not self._pending

@@ -370,6 +370,8 @@ class GroupApplyNode(PlanNode):
     ):
         super().__init__((input_node,), label)
         self.keys = tuple(keys)
+        if not self.keys:
+            raise ValueError("GroupApply requires at least one key column")
         self.subplan_root = subplan_root
         self.group_input = group_input
 

@@ -8,6 +8,14 @@ rests on the temporal algebra — output depends only on event lifetimes
 timestamp t promises that no earlier event will arrive on that source,
 letting every operator emit exactly the outputs that are final.
 
+The engine itself is a thin driver over the shared incremental runtime
+(:class:`repro.runtime.Dataflow`): each push feeds one event into the
+operator graph and advances it. The batch
+:class:`~repro.temporal.Engine` drives the *same* graph in bounded
+chunks, so ``pushed outputs + flush`` denote the same temporal relation
+as a batch run over the same events by construction — a property the
+test suite still checks with hypothesis-generated histories.
+
 Usage::
 
     stream = StreamingEngine(query)
@@ -16,13 +24,9 @@ Usage::
             deliver(out)
     tail = stream.flush()                  # end of stream
 
-The engine guarantees that ``pushed outputs + flush`` denote the same
-temporal relation as a batch ``Engine.run`` over the same events — a
-property the test suite checks with hypothesis-generated histories.
-
 Restrictions: plans containing a *custom* AlterLifetime (opaque lifetime
 functions) cannot bound how far output timestamps may precede input
-timestamps and are rejected.
+timestamps and are rejected (:class:`StreamingUnsupported`).
 """
 
 from __future__ import annotations
@@ -30,25 +34,21 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Union
 
-from ..obs.trace import NULL_TRACER
+from ..runtime.context import RunContext
+from ..runtime.dataflow import Dataflow, StreamingUnsupported
 from .event import Event, point_events
-from .plan import (
-    ExchangeNode,
-    GroupApplyNode,
-    GroupInputNode,
-    PlanNode,
-    SourceNode,
-    topological_order,
-)
+from .plan import GroupInputNode, PlanNode
 from .query import Query
 from .time import MAX_TIME, MIN_TIME
 
-
-class StreamingUnsupported(ValueError):
-    """The plan cannot run incrementally (unbounded lifetime rewrites)."""
-
+__all__ = [
+    "EVENT_POLICIES",
+    "QuarantinedEvent",
+    "StreamingEngine",
+    "StreamingUnsupported",
+]
 
 #: Valid values of :class:`StreamingEngine`'s ``event_policy``.
 EVENT_POLICIES = ("raise", "drop", "quarantine")
@@ -67,195 +67,6 @@ class QuarantinedEvent:
     source: str
     item: object
     reason: str
-
-
-def _future_extent(node: PlanNode) -> int:
-    """How far this single node's output LEs may precede its input LEs."""
-    future = node.streaming_future_extent()
-    if future is None:
-        raise StreamingUnsupported(
-            f"operator {node.describe()!r} has an unbounded lifetime rewrite; "
-            "it cannot run in streaming mode"
-        )
-    return future
-
-
-class _InputBuffer:
-    """One input side of a node: queued events plus the source watermark."""
-
-    __slots__ = ("events", "watermark", "cursor")
-
-    def __init__(self):
-        self.events: List[Event] = []
-        self.watermark: int = MIN_TIME
-        self.cursor: int = 0  # index of the first un-consumed event
-
-    def append(self, events: Iterable[Event], watermark: int) -> None:
-        self.events.extend(events)
-        self.watermark = max(self.watermark, watermark)
-
-    def head(self) -> Optional[Event]:
-        if self.cursor < len(self.events):
-            return self.events[self.cursor]
-        return None
-
-    def pop(self) -> Event:
-        e = self.events[self.cursor]
-        self.cursor += 1
-        if self.cursor > 1024 and self.cursor * 2 > len(self.events):
-            del self.events[: self.cursor]
-            self.cursor = 0
-        return e
-
-
-class _Node:
-    """A live operator with buffered inputs and an append-only output log."""
-
-    def __init__(self, plan_node: PlanNode, engine: "StreamingEngine"):
-        self.plan_node = plan_node
-        self.engine = engine
-        self.inputs = [_InputBuffer() for _ in plan_node.inputs]
-        self.outputs: List[Event] = []  # append-only; parents keep cursors
-        self.watermark: int = MIN_TIME
-        self.flushed = False
-        self._operator = None
-        if not isinstance(
-            plan_node, (SourceNode, GroupInputNode, ExchangeNode, GroupApplyNode)
-        ):
-            self._operator = plan_node.make_operator()
-        if isinstance(plan_node, GroupApplyNode):
-            self._groups: Dict[Tuple, _GroupChain] = {}
-            self._pending: List[Tuple[int, int, Event]] = []
-            self._seq = itertools.count()
-
-    # -- per-kind advance ----------------------------------------------------
-
-    def advance(self) -> None:
-        """Consume newly available input and emit what is now final."""
-        node = self.plan_node
-        if isinstance(node, (SourceNode, GroupInputNode)):
-            return  # fed directly by the engine
-        if isinstance(node, ExchangeNode):
-            buf = self.inputs[0]
-            while buf.head() is not None:
-                self.outputs.append(buf.pop())
-            self.watermark = buf.watermark
-            return
-        if isinstance(node, GroupApplyNode):
-            self._advance_group_apply()
-            return
-        if len(self.inputs) == 1:
-            self._advance_unary()
-        else:
-            self._advance_binary()
-
-    def _advance_unary(self) -> None:
-        buf = self.inputs[0]
-        op = self._operator
-        while buf.head() is not None:
-            self.outputs.extend(op.on_event(buf.pop()))
-        if buf.watermark >= MAX_TIME and not self.flushed:
-            self.outputs.extend(op.on_flush())
-            self.flushed = True
-            self.watermark = MAX_TIME
-        else:
-            self.outputs.extend(op.on_watermark(buf.watermark))
-            base = op.watermark_out(buf.watermark)
-            self.watermark = max(
-                self.watermark, base - _future_extent(self.plan_node)
-            )
-
-    def _advance_binary(self) -> None:
-        left, right = self.inputs
-        op = self._operator
-        w = min(left.watermark, right.watermark)
-        # deliver merged input up to the joint watermark, right side first
-        # at ties (the synopsis-completeness guarantee of the batch path)
-        while True:
-            lh, rh = left.head(), right.head()
-            if rh is not None and rh.le <= w and (lh is None or rh.le <= lh.le):
-                self.outputs.extend(op.on_right(right.pop()))
-            elif lh is not None and (
-                lh.le < right.watermark or right.watermark >= MAX_TIME
-            ):
-                self.outputs.extend(op.on_left(left.pop()))
-            else:
-                break
-        if w >= MAX_TIME and not self.flushed:
-            # drain any tail in merged order, then flush
-            while True:
-                lh, rh = left.head(), right.head()
-                if rh is not None and (lh is None or rh.le <= lh.le):
-                    self.outputs.extend(op.on_right(right.pop()))
-                elif lh is not None:
-                    self.outputs.extend(op.on_left(left.pop()))
-                else:
-                    break
-            self.outputs.extend(op.on_flush())
-            self.flushed = True
-            self.watermark = MAX_TIME
-        else:
-            self.watermark = max(self.watermark, w)
-
-    def _advance_group_apply(self) -> None:
-        node: GroupApplyNode = self.plan_node
-        buf = self.inputs[0]
-        while buf.head() is not None:
-            event = buf.pop()
-            key = tuple(event.payload[k] for k in node.keys)
-            chain = self._groups.get(key)
-            if chain is None:
-                chain = _GroupChain(node, key, self.engine)
-                self._groups[key] = chain
-            for out in chain.push(event):
-                heapq.heappush(self._pending, (out.le, next(self._seq), out))
-
-        w = buf.watermark
-        group_w = MAX_TIME if w >= MAX_TIME else w
-        for chain in self._groups.values():
-            for out in chain.advance(w):
-                heapq.heappush(self._pending, (out.le, next(self._seq), out))
-            group_w = min(group_w, chain.watermark)
-        if w >= MAX_TIME:
-            group_w = MAX_TIME
-        while self._pending and self._pending[0][0] < group_w:
-            self.outputs.append(heapq.heappop(self._pending)[2])
-        if group_w >= MAX_TIME:
-            while self._pending:
-                self.outputs.append(heapq.heappop(self._pending)[2])
-            self.flushed = True
-        self.watermark = max(self.watermark, group_w)
-
-
-class _GroupChain:
-    """One group's live sub-plan inside a streaming GroupApply."""
-
-    def __init__(self, node: GroupApplyNode, key: Tuple, engine: "StreamingEngine"):
-        self.key_columns = dict(zip(node.keys, key))
-        self.sub = StreamingEngine(
-            node.subplan_root, _group_input=node.group_input
-        )
-        self.watermark = MIN_TIME
-
-    def _attach_key(self, events: Iterable[Event]) -> List[Event]:
-        out = []
-        for e in events:
-            payload = dict(e.payload)
-            payload.update(self.key_columns)
-            out.append(e.with_payload(payload))
-        return out
-
-    def push(self, event: Event) -> List[Event]:
-        return self._attach_key(self.sub.push_event("<group>", event))
-
-    def advance(self, watermark: int) -> List[Event]:
-        if watermark >= MAX_TIME:
-            outs = self._attach_key(self.sub.flush())
-            self.watermark = MAX_TIME
-        else:
-            outs = self._attach_key(self.sub.advance_to(watermark))
-            self.watermark = self.sub.output_watermark
-        return outs
 
 
 class StreamingEngine:
@@ -291,6 +102,8 @@ class StreamingEngine:
         slack: int = 0,
         event_policy: str = "raise",
         tracer=None,
+        *,
+        context: Optional[RunContext] = None,
         _group_input: Optional[GroupInputNode] = None,
     ):
         if slack < 0:
@@ -301,41 +114,24 @@ class StreamingEngine:
             )
         self.slack = slack
         self.event_policy = event_policy
-        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.context = RunContext.of(context, tracer=tracer)
         self.quarantined: List[QuarantinedEvent] = []
         self.dropped = 0
         self._reorder: Dict[str, List] = {}
         self._reorder_seq = itertools.count()
         root = query.to_plan() if isinstance(query, Query) else query
-        self._order = topological_order(root)
-        self._nodes: Dict[int, _Node] = {}
-        # several SourceNode objects may share one name (a multicast
-        # written as two Query.source("x") calls); all of them are fed
-        self._sources: Dict[str, List[_Node]] = {}
-        self._parents: Dict[int, List[Tuple[_Node, int]]] = {}
-        self._cursors: Dict[Tuple[int, int], int] = {}
-        for plan_node in self._order:
-            _future_extent(plan_node)  # validates streamability up front
-            node = _Node(plan_node, self)
-            self._nodes[plan_node.node_id] = node
-            if isinstance(plan_node, SourceNode):
-                self._sources.setdefault(plan_node.name, []).append(node)
-            if _group_input is not None and plan_node is _group_input:
-                self._sources.setdefault("<group>", []).append(node)
-        for plan_node in self._order:
-            for i, child in enumerate(plan_node.inputs):
-                self._parents.setdefault(child.node_id, []).append(
-                    (self._nodes[plan_node.node_id], i)
-                )
-        self._root = self._nodes[root.node_id]
-        self._released = 0
+        self._flow = Dataflow(root, group_input=_group_input)
         self._flushed = False
 
     # -- public API -----------------------------------------------------------
 
     @property
+    def tracer(self):
+        return self.context.tracer
+
+    @property
     def output_watermark(self) -> int:
-        return self._root.watermark
+        return self._flow.output_watermark
 
     def push(self, source: str, item: Union[Event, dict]) -> List[Event]:
         """Push one event (or row with a Time column) and return new
@@ -344,7 +140,8 @@ class StreamingEngine:
 
         Malformed items (no usable ``Time``) are handled per the
         engine's ``event_policy``."""
-        self._source(source)  # unknown sources always raise, whatever the policy
+        # unknown sources always raise, whatever the policy
+        self._flow.source_watermark(source)
         try:
             event = item if isinstance(item, Event) else point_events([item])[0]
         except Exception as exc:
@@ -354,29 +151,25 @@ class StreamingEngine:
     def push_event(self, source: str, event: Event) -> List[Event]:
         if self.slack:
             return self._push_with_slack(source, event)
-        nodes = self._source(source)
-        late_behind = max((n.watermark for n in nodes), default=MIN_TIME)
-        if any(event.le < node.watermark for node in nodes):
+        watermark = self._flow.source_watermark(source)
+        if event.le < watermark:
             return self._reject(
                 source,
                 event,
                 f"out-of-order push on {source!r}: LE {event.le} < "
-                f"watermark {late_behind}",
+                f"watermark {watermark}",
             )
-        for node in nodes:
-            node.outputs.append(event)
-            node.watermark = event.le
+        self._flow.feed(source, (event,), event.le)
         if self.tracer.enabled:
             self.tracer.metrics.counter(
                 "streaming.events_in", source=source
             ).inc()
-        return self._propagate()
+        return self._emit()
 
     def _push_with_slack(self, source: str, event: Event) -> List[Event]:
         """Reorder-buffer a possibly-late event (within ``slack`` ticks)."""
-        nodes = self._source(source)
         buffer = self._reorder.setdefault(source, [])
-        newest = max((n.watermark + self.slack for n in nodes), default=MIN_TIME)
+        newest = self._flow.source_watermark(source) + self.slack
         newest = max(newest, event.le)
         watermark = newest - self.slack
         if event.le < watermark:
@@ -394,27 +187,21 @@ class StreamingEngine:
         released: List[Event] = []
         while buffer and buffer[0][0] <= watermark:
             released.append(heapq.heappop(buffer)[2])
-        for node in nodes:
-            node.outputs.extend(released)
-            node.watermark = max(node.watermark, watermark)
-        return self._propagate()
+        self._flow.feed(source, released, watermark)
+        return self._emit()
 
     def _drain_reorder_buffers(self) -> None:
         for source, buffer in self._reorder.items():
-            if not buffer:
-                continue
-            nodes = self._source(source)
+            released = []
             while buffer:
-                event = heapq.heappop(buffer)[2]
-                for node in nodes:
-                    node.outputs.append(event)
+                released.append(heapq.heappop(buffer)[2])
+            if released:  # bypass the watermark: flush accepts the tail
+                self._flow.feed(source, released)
 
     def advance_to(self, watermark: int) -> List[Event]:
         """Declare every source silent before ``watermark`` (a CTI)."""
-        for nodes in self._sources.values():
-            for node in nodes:
-                node.watermark = max(node.watermark, watermark)
-        return self._propagate()
+        self._flow.set_watermarks(watermark)
+        return self._emit()
 
     def flush(self) -> List[Event]:
         """End of stream: emit everything still buffered."""
@@ -423,10 +210,8 @@ class StreamingEngine:
         self._flushed = True
         if self.slack:
             self._drain_reorder_buffers()
-        for nodes in self._sources.values():
-            for node in nodes:
-                node.watermark = MAX_TIME
-        return self._propagate()
+        self._flow.set_watermarks(MAX_TIME)
+        return self._emit()
 
     def run_all(self, sources: Dict[str, Iterable]) -> List[Event]:
         """Convenience: push entire (merged, LE-ordered) inputs and flush."""
@@ -439,9 +224,7 @@ class StreamingEngine:
         out: List[Event] = []
         for _, name, event in tagged:
             # keep all source watermarks aligned so joins make progress
-            for nodes in self._sources.values():
-                for node in nodes:
-                    node.watermark = max(node.watermark, event.le)
+            self._flow.set_watermarks(event.le)
             out.extend(self.push_event(name, event))
         out.extend(self.flush())
         return out
@@ -464,42 +247,17 @@ class StreamingEngine:
             self.dropped += 1
         return []
 
-    def _source(self, name: str) -> List[_Node]:
-        try:
-            return self._sources[name]
-        except KeyError:
-            raise KeyError(
-                f"unknown source {name!r}; have {sorted(self._sources)}"
-            ) from None
-
-    def _propagate(self) -> List[Event]:
-        for plan_node in self._order:
-            node = self._nodes[plan_node.node_id]
-            for i, child in enumerate(plan_node.inputs):
-                child_node = self._nodes[child.node_id]
-                key = (plan_node.node_id, i)
-                cursor = self._cursors.get(key, 0)
-                fresh = child_node.outputs[cursor:]
-                self._cursors[key] = cursor + len(fresh)
-                node.inputs[i].append(fresh, child_node.watermark)
-            node.advance()
-        out = self._root.outputs[self._released :]
-        self._released = len(self._root.outputs)
+    def _emit(self) -> List[Event]:
+        """Advance the dataflow and record streaming metrics."""
+        out = self._flow.advance()
         if self.tracer.enabled:
             metrics = self.tracer.metrics
             if out:
                 metrics.counter("streaming.events_out").inc(len(out))
             # Watermark lag: how far finalized output trails the freshest
             # source promise, in *application-time* ticks (deterministic).
-            src_w = max(
-                (
-                    n.watermark
-                    for nodes in self._sources.values()
-                    for n in nodes
-                ),
-                default=MIN_TIME,
-            )
+            src_w = self._flow.max_source_watermark()
             if MIN_TIME < src_w < MAX_TIME:
-                lag = max(0, src_w - self._root.watermark)
+                lag = max(0, src_w - self._flow.output_watermark)
                 metrics.gauge("streaming.watermark_lag").set(lag)
         return out

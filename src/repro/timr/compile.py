@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..mapreduce.job import MapReduceStage, key_by_columns
+from ..runtime.context import RunContext
 from ..temporal.engine import Engine
 from ..temporal.event import events_to_rows, rows_to_events
 from ..temporal.plan import (
@@ -122,6 +123,7 @@ def make_reducer(
     fragment: Fragment,
     span_layout: Optional[SpanLayout] = None,
     tracer=None,
+    context: Optional[RunContext] = None,
 ):
     """Build the stand-alone reducer ``P`` for a fragment.
 
@@ -130,8 +132,11 @@ def make_reducer(
     failure and obtain byte-identical output (Section III-C.1). When a
     ``tracer`` is given each embedded engine records its operator spans
     on it, nesting under whatever span is open at call time (the
-    cluster's reduce-partition span).
+    cluster's reduce-partition span). A full ``context`` threads the
+    caller's run-wide settings (tracer, clock, batch size) into every
+    embedded engine; ``tracer`` overrides its tracer field.
     """
+    engine_context = RunContext.of(context, tracer=tracer)
     multi_input = len(fragment.input_names) > 1
     input_names = list(fragment.input_names)
 
@@ -151,7 +156,7 @@ def make_reducer(
         # TiMR.run validated the whole plan before fragmenting; fragment
         # plans are derived from it, so re-validating per partition would
         # only burn time (and fragments share the caller's suppressions).
-        engine = Engine(tracer=tracer)
+        engine = Engine(context=engine_context)
         events = engine.run(fragment.root, sources, validate=False)
 
         if span_layout is not None:
@@ -260,6 +265,7 @@ def compile_fragment(
     span_layout: Optional[SpanLayout] = None,
     bindings: Optional[List[InputBinding]] = None,
     tracer=None,
+    context: Optional[RunContext] = None,
 ) -> CompiledStage:
     """Turn a fragment into an M-R stage.
 
@@ -280,7 +286,7 @@ def compile_fragment(
         stage = MapReduceStage(
             name=f"timr.{fragment.output_name}",
             key_fn=key_by_columns(fragment.key),
-            reducer=make_reducer(fragment, tracer=tracer),
+            reducer=make_reducer(fragment, tracer=tracer, context=context),
             num_partitions=max(1, num_partitions),
             map_fn=map_fn,
         )
@@ -288,7 +294,7 @@ def compile_fragment(
         stage = MapReduceStage(
             name=f"timr.{fragment.output_name}",
             key_fn=lambda row: 0,
-            reducer=make_reducer(fragment, span_layout, tracer=tracer),
+            reducer=make_reducer(fragment, span_layout, tracer=tracer, context=context),
             num_partitions=span_layout.num_spans,
             partition_fn=lambda row: span_layout.spans_for_time(row["Time"]),
             map_fn=map_fn,
@@ -297,7 +303,7 @@ def compile_fragment(
         stage = MapReduceStage(
             name=f"timr.{fragment.output_name}",
             key_fn=lambda row: 0,
-            reducer=make_reducer(fragment, tracer=tracer),
+            reducer=make_reducer(fragment, tracer=tracer, context=context),
             num_partitions=1,
             map_fn=map_fn,
         )

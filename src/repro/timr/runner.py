@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Union
 
 from ..mapreduce.cluster import Cluster
 from ..mapreduce.cost import JobReport
+from ..runtime.context import RunContext
 from ..mapreduce.fs import DistributedFile
 from ..temporal.plan import ExchangeNode, PlanNode, topological_order
 from ..temporal.query import Query
@@ -58,15 +59,23 @@ class TiMR:
         cluster: Cluster,
         statistics: Optional[Statistics] = None,
         tracer=None,
+        *,
+        context: Optional[RunContext] = None,
     ):
         self.cluster = cluster
         self.statistics = statistics or Statistics(
             num_machines=cluster.cost_model.num_machines
         )
-        # Default to the cluster's tracer so one Tracer handed to the
-        # Cluster covers all three layers; the embedded engines get it
-        # via compile_fragment.
-        self.tracer = tracer if tracer is not None else cluster.tracer
+        # Default to the cluster's context so one RunContext (or one
+        # Tracer) handed to the Cluster covers all three layers; the
+        # embedded engines inherit it via compile_fragment.
+        self.context = RunContext.of(
+            context if context is not None else cluster.context, tracer=tracer
+        )
+
+    @property
+    def tracer(self):
+        return self.context.tracer
 
     def run(
         self,
@@ -77,8 +86,8 @@ class TiMR:
         auto_annotate: bool = True,
         validate: bool = True,
         checkpoint_dir: Optional[str] = None,
-        resume: bool = False,
-        verify_replay: bool = True,
+        resume: Optional[bool] = None,
+        verify_replay: Optional[bool] = None,
     ) -> TiMRResult:
         """Execute a temporal query over datasets in the cluster's FS.
 
@@ -102,7 +111,17 @@ class TiMR:
             verify_replay: on resume, re-execute the last checkpointed
                 stage and require its re-hashed output to match the
                 manifest — the determinism check that makes reuse sound.
+
+        ``checkpoint_dir`` / ``resume`` / ``verify_replay`` default to
+        the run context's values when not passed explicitly.
         """
+        context = self.context
+        if checkpoint_dir is None:
+            checkpoint_dir = context.checkpoint_dir
+        if resume is None:
+            resume = context.resume
+        if verify_replay is None:
+            verify_replay = context.verify_replay
         if resume and checkpoint_dir is None:
             raise ValueError("resume=True requires a checkpoint_dir")
         plan = query.to_plan() if isinstance(query, Query) else query
@@ -368,7 +387,7 @@ class TiMR:
         ):
             layout = self._layout_spans(bindings, extent, span_width)
         return compile_fragment(
-            fragment, num_partitions, layout, bindings, tracer=self.tracer
+            fragment, num_partitions, layout, bindings, context=self.context
         )
 
     def _layout_spans(

