@@ -15,11 +15,11 @@ chaos:
 	$(PYTHON) -m repro chaos
 
 # fast machine-readable benchmark: events/sec + peak heap per builtin
-# BT query, a memory-scaling series, and per-stage wall times of the
-# combined TiMR job, written to BENCH_pr4.json (CI uploads it as a
-# non-gating artifact)
+# BT query, a memory-scaling series, per-stage wall times of the
+# combined TiMR job, and the serial-vs-parallel speedup table, written
+# to BENCH_pr5.json (CI uploads it as a non-gating artifact)
 bench-smoke:
-	$(PYTHON) benchmarks/bench_smoke.py --out BENCH_pr4.json
+	$(PYTHON) benchmarks/bench_smoke.py --out BENCH_pr5.json
 
 selflint:
 	$(PYTHON) -m repro lint --builtin --no-plan

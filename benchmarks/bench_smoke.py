@@ -2,7 +2,7 @@
 
 Unlike the figure benchmarks (pytest-benchmark suites sized for
 EXPERIMENTS.md), this is a fast standalone script — ``make bench-smoke``
-— that emits one JSON artifact (default ``BENCH_pr4.json``) CI uploads
+— that emits one JSON artifact (default ``BENCH_pr5.json``) CI uploads
 on every push:
 
 * ``queries`` — events/sec of every built-in BT query that runs over
@@ -17,6 +17,14 @@ on every push:
 * ``stages`` — per-stage wall seconds and row counts of the combined
   BT pipeline (bot elimination + KE-z feature selection) through TiMR,
   taken from the telemetry layer's ``cluster.stage`` spans.
+* ``parallel`` — the serial-vs-parallel speedup table: events/sec of
+  every logs-only builtin BT query under the serial executor and under
+  ``--workers`` parallel workers (processes when ``fork`` exists,
+  threads otherwise). Parallel output is byte-identical by
+  construction (see ``docs/PARALLELISM.md``); this table tracks the
+  throughput side. On single-core runners expect ratios near (or
+  below) 1.0 — the interesting number there is the absence of a large
+  regression, not the speedup.
 
 Wall times vary run to run (this is a benchmark, not a determinism
 check); row/byte counts are exact under the fixed seed. The numbers are
@@ -24,7 +32,7 @@ tracking data, not gates — CI runs this step non-blocking.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_smoke.py --out BENCH_pr4.json
+    PYTHONPATH=src python benchmarks/bench_smoke.py --out BENCH_pr5.json
 """
 
 from __future__ import annotations
@@ -83,6 +91,55 @@ def run_query_benchmarks(rows, repeats: int) -> dict:
             "peak_heap_bytes": _peak_heap_bytes(engine, query, {"logs": rows}),
         }
     return {"queries": results, "skipped": skipped}
+
+
+def run_parallel_benchmarks(rows, repeats: int, workers: int) -> dict:
+    """Serial vs parallel events/sec per builtin BT query.
+
+    Uses processes when ``fork`` is available (real multi-core speedup)
+    and threads otherwise, mirroring ``--executor auto``. Each cell is
+    the best of ``repeats`` timed runs after one warmup, so the ratio
+    compares steady-state throughput, not pool spin-up.
+    """
+    from repro.analysis import builtin_query_suite
+    from repro.runtime import RunContext, SerialExecutor, resolve_executor
+    from repro.temporal import Engine
+
+    parallel = resolve_executor("auto", max_workers=workers)
+    table = {}
+    for name, query in sorted(builtin_query_suite().items()):
+        if not _logs_only(query):
+            continue
+        cells = {}
+        for kind, executor in (("serial", SerialExecutor()), (parallel.kind, parallel)):
+            engine = Engine(context=RunContext(executor=executor))
+            engine.run(query, {"logs": rows})  # warmup
+            best = None
+            for _ in range(repeats):
+                engine.run(query, {"logs": rows})
+                stats = engine.last_stats
+                if best is None or stats.wall_seconds < best.wall_seconds:
+                    best = stats
+            cells[kind] = {
+                "wall_seconds": round(best.wall_seconds, 6),
+                "events_per_second": round(best.events_per_second, 1),
+            }
+            if best.parallel is not None:
+                cells[kind]["fanout_tasks"] = best.parallel["tasks"]
+                cells[kind]["stolen_chunks"] = best.parallel["stolen_chunks"]
+        cells["speedup"] = round(
+            cells[parallel.kind]["events_per_second"]
+            / max(cells["serial"]["events_per_second"], 1e-9),
+            3,
+        )
+        table[name] = cells
+    return {
+        "parallel": {
+            "workers": workers,
+            "executor": parallel.kind,
+            "queries": table,
+        }
+    }
 
 
 def run_memory_scaling(users: int, seed: int, days_series=(0.5, 1.0, 2.0, 4.0, 8.0)) -> dict:
@@ -175,7 +232,8 @@ def run_stage_benchmarks(rows, machines: int, partitions: int) -> dict:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default="BENCH_pr4.json")
+    parser.add_argument("--out", default="BENCH_pr5.json")
+    parser.add_argument("--workers", type=int, default=4)
     parser.add_argument("--users", type=int, default=150)
     parser.add_argument("--days", type=float, default=2.0)
     parser.add_argument("--seed", type=int, default=42)
@@ -206,12 +264,14 @@ def main(argv=None) -> int:
             "repeats": args.repeats,
             "machines": args.machines,
             "partitions": args.partitions,
+            "workers": args.workers,
             "rows": len(rows),
         },
     }
     doc.update(run_query_benchmarks(rows, args.repeats))
     doc.update(run_memory_scaling(args.users, args.seed))
     doc.update(run_stage_benchmarks(rows, args.machines, args.partitions))
+    doc.update(run_parallel_benchmarks(rows, args.repeats, args.workers))
 
     with open(args.out, "w", encoding="utf-8") as fp:
         json.dump(doc, fp, indent=2, sort_keys=True)
@@ -231,6 +291,12 @@ def main(argv=None) -> int:
             for p in scaling["points"]
         )
         + f" (sublinear: {scaling['sublinear']})"
+    )
+    par = doc["parallel"]
+    best = max(par["queries"].items(), key=lambda kv: kv[1]["speedup"])
+    print(
+        f"parallel ({par['executor']}, workers={par['workers']}): "
+        f"best speedup {best[1]['speedup']:.2f}x on {best[0]}"
     )
     print(f"wrote {args.out}")
     return 0

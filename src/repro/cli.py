@@ -56,19 +56,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # shared execution options: every command that actually runs a plan
+    # can fan GroupApply chains / map tasks out over workers — output is
+    # byte-identical to serial (docs/PARALLELISM.md)
+    exec_opts = argparse.ArgumentParser(add_help=False)
+    exec_opts.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker cap for parallel execution (default: REPRO_WORKERS, "
+        "then CPU count; 1 forces serial)",
+    )
+    exec_opts.add_argument(
+        "--executor",
+        choices=["serial", "thread", "process", "auto"],
+        default=None,
+        help="how independent work fans out (default: REPRO_EXECUTOR, "
+        "then thread when --workers > 1, else serial)",
+    )
+
     gen = sub.add_parser("generate", help="generate a synthetic advertising log")
     gen.add_argument("--users", type=int, default=500)
     gen.add_argument("--days", type=float, default=3.0)
     gen.add_argument("--seed", type=int, default=42)
     gen.add_argument("--out", required=True, help="snapshot directory")
 
-    sql = sub.add_parser("sql", help="run a StreamSQL query over a snapshot")
+    sql = sub.add_parser(
+        "sql", help="run a StreamSQL query over a snapshot", parents=[exec_opts]
+    )
     sql.add_argument("query", help="the StreamSQL text")
     sql.add_argument("--data", required=True, help="snapshot directory")
     sql.add_argument("--source-name", default="logs")
     sql.add_argument("--limit", type=int, default=20, help="rows to print")
 
-    timr = sub.add_parser("timr", help="run a StreamSQL query through TiMR")
+    timr = sub.add_parser(
+        "timr", help="run a StreamSQL query through TiMR", parents=[exec_opts]
+    )
     timr.add_argument("query")
     timr.add_argument("--data", required=True)
     timr.add_argument("--source-name", default="logs")
@@ -77,7 +101,9 @@ def build_parser() -> argparse.ArgumentParser:
     timr.add_argument("--span-width", type=int, default=None)
     timr.add_argument("--limit", type=int, default=20)
 
-    bt = sub.add_parser("bt", help="run the end-to-end BT pipeline")
+    bt = sub.add_parser(
+        "bt", help="run the end-to-end BT pipeline", parents=[exec_opts]
+    )
     bt.add_argument("--data", required=True)
     bt.add_argument(
         "--selector", choices=["kez", "kepop", "fex"], default="kez"
@@ -130,6 +156,7 @@ def build_parser() -> argparse.ArgumentParser:
         "chaos",
         help="run the BT pipeline under seeded fault injection and verify "
         "byte-identical output plus checkpoint/resume",
+        parents=[exec_opts],
     )
     chaos.add_argument(
         "--data", default=None, help="snapshot directory (default: generate a small log)"
@@ -158,6 +185,7 @@ def build_parser() -> argparse.ArgumentParser:
         "profile",
         help="run a pipeline with tracing on and export spans + metrics "
         "(Chrome trace_event JSON, JSON-lines, terminal tree)",
+        parents=[exec_opts],
     )
     profile.add_argument(
         "--pipeline",
@@ -224,11 +252,21 @@ def _print_events(events, limit: int) -> None:
         print(f"... {len(events) - limit} more")
 
 
+def _exec_overrides(args) -> dict:
+    """The --executor/--workers flags as RunContext field overrides."""
+    return {
+        "executor": getattr(args, "executor", None),
+        "max_workers": getattr(args, "workers", None),
+    }
+
+
 def _cmd_sql(args) -> int:
-    from .temporal import run_sql
+    from .runtime import RunContext
+    from .temporal import Engine, parse_sql
 
     dataset = _load_rows(args.data)
-    events = run_sql(args.query, {args.source_name: dataset.rows})
+    engine = Engine(context=RunContext(**_exec_overrides(args)))
+    events = engine.run(parse_sql(args.query), {args.source_name: dataset.rows})
     print(f"{len(events)} result events")
     _print_events(events, args.limit)
     return 0
@@ -236,6 +274,7 @@ def _cmd_sql(args) -> int:
 
 def _cmd_timr(args) -> int:
     from .mapreduce import Cluster, CostModel, DistributedFileSystem
+    from .runtime import RunContext
     from .temporal import parse_sql
     from .temporal.event import rows_to_events
     from .timr import TiMR, describe_fragments
@@ -243,7 +282,11 @@ def _cmd_timr(args) -> int:
     dataset = _load_rows(args.data)
     fs = DistributedFileSystem()
     fs.write(args.source_name, dataset.rows)
-    cluster = Cluster(fs=fs, cost_model=CostModel(num_machines=args.machines))
+    cluster = Cluster(
+        fs=fs,
+        cost_model=CostModel(num_machines=args.machines),
+        context=RunContext(**_exec_overrides(args)),
+    )
     result = TiMR(cluster).run(
         parse_sql(args.query),
         num_partitions=args.partitions,
@@ -278,8 +321,15 @@ def _cmd_bt(args) -> int:
     if args.stem:
         selector = StemmedSelector(selector)
 
+    from .runtime import RunContext
+
     dataset = _load_rows(args.data)
-    result = BTPipeline(config=config, selector=selector).run(dataset.rows)
+    pipeline = BTPipeline(
+        config=config,
+        selector=selector,
+        context=RunContext(**_exec_overrides(args)),
+    )
+    result = pipeline.run(dataset.rows)
     print(
         f"bot elimination: {result.rows_in:,} -> "
         f"{result.rows_after_bot_elimination:,} rows"
@@ -479,7 +529,9 @@ def _cmd_chaos(args) -> int:
     # with a blacklist_after budget — so the restart budget must cover
     # 2 * blacklist_after injections before the scheduler steers away
     base_ctx = RunContext(
-        seed=args.seed, max_restarts=2 * ChaosPolicy().blacklist_after + 1
+        seed=args.seed,
+        max_restarts=2 * ChaosPolicy().blacklist_after + 1,
+        **_exec_overrides(args),
     )
 
     def make_timr(fault_policy=None, **context_changes):
@@ -633,7 +685,7 @@ def _cmd_profile(args) -> int:
     cluster = Cluster(
         fs=fs,
         cost_model=CostModel(num_machines=args.machines),
-        context=RunContext(tracer=tracer),
+        context=RunContext(tracer=tracer, **_exec_overrides(args)),
     )
     timr = TiMR(cluster)
     result = timr.run(query, num_partitions=args.partitions)

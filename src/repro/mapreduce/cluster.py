@@ -141,6 +141,9 @@ class Cluster:
         )
         self.last_report: Optional[JobReport] = None
         self.last_quarantined: List[Row] = []
+        #: per-worker fan-out counters of the most recent job's map
+        #: phases (None when the run context resolves a serial executor)
+        self.last_parallel = None
 
     @property
     def tracer(self):
@@ -174,6 +177,7 @@ class Cluster:
             raise ValueError(f"job {job.name!r} has no stages")
         report = JobReport()
         self.last_quarantined = []
+        self.last_parallel = None
         current = self.fs.read(input_name)
         quarantined: List[Row] = []
         for i, stage in enumerate(job.stages):
@@ -207,6 +211,7 @@ class Cluster:
         every stage's dead letters into one job-level dataset.
         """
         current = self.fs.read(input_name)
+        self.last_parallel = None
         out, stage_report, quarantined = self._run_stage(stage, current, output_name)
         self.last_report = JobReport(stages=[stage_report])
         self.last_quarantined = quarantined
@@ -233,6 +238,15 @@ class Cluster:
             partitions: List[List[Row]] = [[] for _ in range(stage.num_partitions)]
             routed_rows = 0
             shuffle_bytes = 0
+            executor = self.context.resolve_executor()
+            map_results = None
+            if executor.parallel and len(data.partitions) > 1:
+                map_results = self._run_map_parallel(
+                    executor, stage, data.partitions, report, quarantined
+                )
+                if tracer.enabled:
+                    stage_span.set("map_executor", executor.kind)
+                    stage_span.set("map_workers", executor.max_workers)
             for pi, part in enumerate(data.partitions):
                 with tracer.span(
                     "cluster.map",
@@ -241,14 +255,23 @@ class Cluster:
                     partition=pi,
                     rows_in=len(part),
                 ) as map_span:
-                    routed = self._run_map_partition(
-                        stage, pi, part, report, quarantined
-                    )
+                    if map_results is not None:
+                        # work already done on the executor; the span is
+                        # a post-hoc summary carrying the worker-side
+                        # busy time (spans themselves are main-thread)
+                        routed, busy = map_results[pi]
+                    else:
+                        routed = self._run_map_partition(
+                            stage, pi, part, report, quarantined
+                        )
+                        busy = None
                     if tracer.enabled:
                         map_span.set("rows_mapped", len(routed))
                         shuffle_bytes += sum(
                             len(repr(row)) for _, row in routed
                         )
+                if busy is not None:
+                    map_span.set_duration(busy)
                 for idx, row in routed:
                     partitions[idx].append(row)
                     routed_rows += 1
@@ -379,33 +402,7 @@ class Cluster:
             try:
                 if self.fault_policy is not None:
                     self.fault_policy.maybe_fail(MAP, stage.name, pi, restarts + 1)
-                routed: List[Tuple[int, Row]] = []
-                poisoned: List[Row] = []
-                for source_row in rows:
-                    try:
-                        if stage.map_fn is not None:
-                            mapped = stage.map_fn(source_row)
-                        else:
-                            mapped = (source_row,)
-                        row_routes: List[Tuple[int, Row]] = []
-                        for row in mapped:
-                            for idx in stage.route(row):
-                                if not 0 <= idx < stage.num_partitions:
-                                    raise IndexError(
-                                        f"stage {stage.name!r} routed row to partition "
-                                        f"{idx} of {stage.num_partitions}"
-                                    )
-                                row_routes.append((idx, row))
-                    except InjectedFault:
-                        raise
-                    except Exception as exc:
-                        if not self.quarantine:
-                            raise
-                        poisoned.append(
-                            self._quarantine_record(stage.name, pi, MAP, source_row, exc)
-                        )
-                        continue
-                    routed.extend(row_routes)
+                routed, poisoned = self._map_partition_rows(stage, pi, rows)
                 quarantined.extend(poisoned)
                 return routed
             except InjectedFault:
@@ -415,6 +412,109 @@ class Cluster:
                 )
                 if restarts > self.max_restarts:
                     raise
+
+    def _map_partition_rows(
+        self, stage: MapReduceStage, pi: int, rows: List[Row]
+    ) -> Tuple[List[Tuple[int, Row]], List[Row]]:
+        """The pure map+route body: ``(routed pairs, dead-letter rows)``.
+
+        Shared by the serial retry loop and the parallel fan-out. Reads
+        only immutable driver state (stage callables, the quarantine
+        flag), so it is safe to run on worker threads or forked children
+        — map is stateless by the M-R restart contract.
+        """
+        routed: List[Tuple[int, Row]] = []
+        poisoned: List[Row] = []
+        for source_row in rows:
+            try:
+                if stage.map_fn is not None:
+                    mapped = stage.map_fn(source_row)
+                else:
+                    mapped = (source_row,)
+                row_routes: List[Tuple[int, Row]] = []
+                for row in mapped:
+                    for idx in stage.route(row):
+                        if not 0 <= idx < stage.num_partitions:
+                            raise IndexError(
+                                f"stage {stage.name!r} routed row to partition "
+                                f"{idx} of {stage.num_partitions}"
+                            )
+                        row_routes.append((idx, row))
+            except InjectedFault:
+                raise
+            except Exception as exc:
+                if not self.quarantine:
+                    raise
+                poisoned.append(
+                    self._quarantine_record(stage.name, pi, MAP, source_row, exc)
+                )
+                continue
+            routed.extend(row_routes)
+        return routed, poisoned
+
+    def _run_map_parallel(
+        self,
+        executor,
+        stage: MapReduceStage,
+        parts: Sequence[List[Row]],
+        report: StageReport,
+        quarantined: List[Row],
+    ) -> List[Tuple[List[Tuple[int, Row]], float]]:
+        """Fan map tasks over input partitions, byte-identical to serial.
+
+        Fault schedules must stay deterministic: chaos policies consume
+        a sequential RNG per ``maybe_fail`` call, so the driver
+        pre-consults the policy for every partition in serial partition
+        order — charging exactly the backoff the serial loop would —
+        before any map work fans out. The dispatched task is then the
+        pure map+route body. Every shipped policy raises only from
+        ``maybe_fail``, so workers never see injected faults; should an
+        exotic policy raise one from inside user map code, that
+        partition re-runs through the full serial retry loop (correct
+        output, though the fault schedule then diverges from a
+        pure-serial run). Quarantined rows and routed pairs merge in
+        partition order, preserving the serial dead-letter dataset and
+        per-partition hash routing byte for byte.
+        """
+        if self.fault_policy is not None:
+            for pi in range(len(parts)):
+                self._fault_point(MAP, stage.name, pi, report)
+        mapper = self._map_partition_rows
+        clock = _time.perf_counter
+
+        def map_task(pi: int, rows: List[Row]):
+            def task():
+                start = clock()
+                try:
+                    routed, poisoned = mapper(stage, pi, rows)
+                except InjectedFault:
+                    return None  # exotic: retry serially in the driver
+                return routed, poisoned, clock() - start
+
+            return task
+
+        raw = executor.run_tasks(
+            [map_task(pi, rows) for pi, rows in enumerate(parts)]
+        )
+        if self.last_parallel is None:
+            from ..runtime.parallel import ParallelStats
+
+            self.last_parallel = ParallelStats(
+                kind=executor.kind, max_workers=executor.max_workers
+            )
+        self.last_parallel.add(executor.last_stats)
+        results = []
+        for pi, res in enumerate(raw):
+            if res is None:
+                routed = self._run_map_partition(
+                    stage, pi, parts[pi], report, quarantined
+                )
+                results.append((routed, 0.0))
+                continue
+            routed, poisoned, busy = res
+            quarantined.extend(poisoned)
+            results.append((routed, busy))
+        return results
 
     def _sort_partition(
         self,

@@ -9,12 +9,28 @@ layer used to thread by hand.
 
 from .context import DEFAULT_CONTEXT, RunContext
 from .dataflow import GROUP_SOURCE, Dataflow, StreamingUnsupported, group_key
+from .parallel import (
+    Executor,
+    ParallelStats,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    WorkerStats,
+    resolve_executor,
+)
 
 __all__ = [
     "DEFAULT_CONTEXT",
     "Dataflow",
+    "Executor",
     "GROUP_SOURCE",
+    "ParallelStats",
+    "ProcessExecutor",
     "RunContext",
+    "SerialExecutor",
     "StreamingUnsupported",
+    "ThreadExecutor",
+    "WorkerStats",
     "group_key",
+    "resolve_executor",
 ]

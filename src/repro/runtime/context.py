@@ -51,6 +51,15 @@ class RunContext:
         batch_size: events fed per batch by the batch driver
             (:class:`repro.temporal.Engine`); bounds its working-set
             memory together with window state.
+        executor: how independent work units (GroupApply key chains,
+            cluster map tasks) fan out: ``"serial"`` / ``"thread"`` /
+            ``"process"`` / ``"auto"``, or a prebuilt
+            :class:`repro.runtime.parallel.Executor` instance. ``None``
+            defers to the ``REPRO_EXECUTOR`` / ``REPRO_WORKERS``
+            environment (serial when unset). Outputs are byte-identical
+            across executors — see docs/PARALLELISM.md.
+        max_workers: worker cap for parallel executors (``None``: the
+            ``REPRO_WORKERS`` environment variable, then CPU count).
     """
 
     tracer: object = NULL_TRACER
@@ -64,6 +73,14 @@ class RunContext:
     verify_replay: bool = True
     validate: bool = True
     batch_size: int = 1024
+    executor: Optional[object] = None
+    max_workers: Optional[int] = None
+
+    def resolve_executor(self):
+        """The live :class:`~repro.runtime.parallel.Executor` for this run."""
+        from .parallel import resolve_executor
+
+        return resolve_executor(self.executor, self.max_workers)
 
     @property
     def metrics(self):

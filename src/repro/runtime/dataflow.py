@@ -51,6 +51,7 @@ from ..temporal.plan import (
     topological_order,
 )
 from ..temporal.time import MAX_TIME, MIN_TIME
+from .parallel import ParallelStats, WorkerStats
 
 #: The reserved source name a GroupApply chain feeds its sub-plan under.
 GROUP_SOURCE = "<group>"
@@ -68,6 +69,37 @@ def group_key(payload: dict, keys: Tuple[str, ...]) -> Tuple:
         raise KeyError(
             f"GroupApply key column {exc} missing from payload {payload!r}"
         ) from None
+
+
+def _batch_per_key(
+    fresh: List[Event], keys: Tuple[str, ...]
+) -> Dict[Tuple, List[Event]]:
+    """Batch one round's events per group key so each chain advances once
+    (identical results to event-at-a-time feeding; the pending backlog
+    re-establishes cross-group LE order). Insertion order — key
+    first-appearance order — is what chain creation and shard assignment
+    key off, so it must stay a pure function of the input stream."""
+    per_key: Dict[Tuple, List[Event]] = {}
+    if len(keys) <= 2:
+        try:
+            if len(keys) == 1:
+                (k0,) = keys
+                for event in fresh:
+                    per_key.setdefault((event.payload[k0],), []).append(event)
+            else:
+                k0, k1 = keys
+                for event in fresh:
+                    p = event.payload
+                    per_key.setdefault((p[k0], p[k1]), []).append(event)
+        except KeyError as exc:
+            raise KeyError(
+                f"GroupApply key column {exc} missing from payload "
+                f"{event.payload!r}"
+            ) from None
+    else:
+        for event in fresh:
+            per_key.setdefault(group_key(event.payload, keys), []).append(event)
+    return per_key
 
 
 class _PlanMeta:
@@ -196,6 +228,20 @@ class _OpNode:
             self._fed_since_wave = 0
             self._idle_delta = -1  # < 0: no chain has gone idle yet
             self._linear_stages = _linear_stages(plan_node)
+            # Per-key chains are independent, so waves can fan out. The
+            # schedule (which chains advance, in what order the merge
+            # assigns sequence numbers) is replayed exactly as the serial
+            # path would run it — only the chain *computation* moves to
+            # workers — which is what keeps output byte-identical.
+            ex = flow.executor
+            if ex is None:
+                self._group_mode = "serial"
+            elif ex.supports_shards:
+                # forked workers keep chain state across waves
+                self._group_mode = "shard"
+                self._shards: Optional[_ShardedGroups] = None
+            else:
+                self._group_mode = "thread"
         elif not isinstance(plan_node, (SourceNode, GroupInputNode, ExchangeNode)):
             self._operator = plan_node.make_operator()
         if future is None:
@@ -366,40 +412,16 @@ class _OpNode:
             self.watermark = MAX_TIME
 
     def _advance_group_apply(self) -> None:
+        if self._group_mode == "shard":
+            self._advance_group_apply_sharded()
+            return
         node: GroupApplyNode = self.plan_node
         buf = self.inputs[0]
         fresh = buf.take()
         if fresh:
             self.events_in += len(fresh)
             self._fed_since_wave += len(fresh)
-            # batch this round's events per key so each chain advances
-            # once (identical results to event-at-a-time feeding; the
-            # pending backlog re-establishes cross-group LE order)
-            per_key: Dict[Tuple, List[Event]] = {}
-            keys = node.keys
-            if len(keys) <= 2:
-                try:
-                    if len(keys) == 1:
-                        (k0,) = keys
-                        for event in fresh:
-                            per_key.setdefault(
-                                (event.payload[k0],), []
-                            ).append(event)
-                    else:
-                        k0, k1 = keys
-                        for event in fresh:
-                            p = event.payload
-                            per_key.setdefault((p[k0], p[k1]), []).append(event)
-                except KeyError as exc:
-                    raise KeyError(
-                        f"GroupApply key column {exc} missing from payload "
-                        f"{event.payload!r}"
-                    ) from None
-            else:
-                for event in fresh:
-                    per_key.setdefault(
-                        group_key(event.payload, keys), []
-                    ).append(event)
+            per_key = _batch_per_key(fresh, node.keys)
             linear = self._linear_stages
             for key, events in per_key.items():
                 chain = self._groups.get(key)
@@ -415,10 +437,16 @@ class _OpNode:
         w = buf.watermark
         pending = self._pending
         seq = self._seq
+        threaded = self._group_mode == "thread"
         if w >= MAX_TIME:
             # end of input: every chain flushes for real
-            for chain in self._groups.values():
-                outs = chain.advance(w)
+            chains = list(self._groups.values())
+            if threaded and len(chains) > 1:
+                all_outs = self.flow.run_chain_tasks(chains, w)
+            else:
+                all_outs = None
+            for i, chain in enumerate(chains):
+                outs = chain.advance(w) if all_outs is None else all_outs[i]
                 if outs:
                     pending.extend((out.le, next(seq), out) for out in outs)
             # (le, seq) sort == the cross-group LE merge; seq breaks ties
@@ -445,8 +473,16 @@ class _OpNode:
         # watermark arithmetically (their delta is a plan constant, so
         # one representative bound covers all of them)
         added = False
-        for key, chain in list(self._active.items()):
-            outs = chain.advance(w)
+        items = list(self._active.items())
+        if threaded and len(items) > 1:
+            # chain computation fans out; the merge below consumes the
+            # results in exactly the order the serial loop would produce
+            # them, so sequence numbers — and output bytes — are identical
+            all_outs = self.flow.run_chain_tasks([c for _, c in items], w)
+        else:
+            all_outs = None
+        for i, (key, chain) in enumerate(items):
+            outs = chain.advance(w) if all_outs is None else all_outs[i]
             if outs:
                 pending.extend((out.le, next(seq), out) for out in outs)
                 added = True
@@ -460,6 +496,94 @@ class _OpNode:
         group_w = w if self._idle_delta < 0 else w - self._idle_delta
         for chain in self._active.values():
             group_w = min(group_w, chain.watermark)
+        idx = bisect_left(pending, (group_w,))
+        if idx:
+            self.outputs.extend(item[2] for item in pending[:idx])
+            del pending[:idx]
+        self.watermark = max(self.watermark, group_w)
+
+    def _advance_group_apply_sharded(self) -> None:
+        """GroupApply waves over persistent forked shard workers.
+
+        Chain state lives in the children; the parent mirrors the serial
+        path's bookkeeping — which keys exist, which are active, in what
+        insertion order — on lightweight :class:`_ChainProxy` records.
+        Parent and child apply the *same* deterministic activation rules
+        to the same fed events, so their active sets never diverge, and
+        the parent assigns merge sequence numbers by walking its own
+        dicts in exactly the serial iteration order.
+        """
+        node: GroupApplyNode = self.plan_node
+        buf = self.inputs[0]
+        fresh = buf.take()
+        if fresh:
+            self.events_in += len(fresh)
+            self._fed_since_wave += len(fresh)
+            per_key = _batch_per_key(fresh, node.keys)
+            backend = self._shards
+            if backend is None:
+                backend = self._shards = _ShardedGroups(node, self.flow)
+            for key, events in per_key.items():
+                proxy = self._groups.get(key)
+                if proxy is None:
+                    # keys shard round-robin by first-seen order: a pure
+                    # function of the input stream, so resumed/replayed
+                    # runs land every key on the same shard
+                    proxy = _ChainProxy(backend.shard_for_new_key())
+                    self._groups[key] = proxy
+                backend.queue_feed(proxy.shard, key, events)
+                proxy.idle_delta = None
+                self._active[key] = proxy
+
+        w = buf.watermark
+        pending = self._pending
+        seq = self._seq
+        backend = self._shards
+        if w >= MAX_TIME:
+            if backend is not None and self._groups:
+                by_key = {}
+                for result in backend.roundtrip("flush", w):
+                    for key, outs in result:
+                        by_key[key] = outs
+                self.flow.parallel_stats.add(backend.take_stats())
+                # parent _groups insertion order == serial iteration order
+                for key in self._groups:
+                    outs = by_key[key]
+                    if outs:
+                        pending.extend((out.le, next(seq), out) for out in outs)
+            pending.sort()
+            self.outputs.extend(item[2] for item in pending)
+            del pending[:]
+            self.flushed = True
+            self.watermark = MAX_TIME
+            return
+        threshold = self.flow.group_wave_events
+        if threshold:
+            if self._fed_since_wave < threshold + 2 * len(self._groups):
+                return
+        self._fed_since_wave = 0
+        added = False
+        if backend is not None and self._active:
+            by_key = {}
+            for result in backend.roundtrip("wave", w):
+                for key, outs, chain_w, idle in result:
+                    by_key[key] = (outs, chain_w, idle)
+            self.flow.parallel_stats.add(backend.take_stats())
+            for key, proxy in list(self._active.items()):
+                outs, chain_w, idle = by_key[key]
+                proxy.watermark = chain_w
+                proxy.idle_delta = idle
+                if outs:
+                    pending.extend((out.le, next(seq), out) for out in outs)
+                    added = True
+                if idle is not None:
+                    del self._active[key]
+                    self._idle_delta = max(self._idle_delta, idle)
+        if added:
+            pending.sort()
+        group_w = w if self._idle_delta < 0 else w - self._idle_delta
+        for proxy in self._active.values():
+            group_w = min(group_w, proxy.watermark)
         idx = bisect_left(pending, (group_w,))
         if idx:
             self.outputs.extend(item[2] for item in pending[:idx])
@@ -643,6 +767,169 @@ class _GroupChain:
         return outs
 
 
+class _ChainProxy:
+    """Parent-side stand-in for a chain living in a forked shard worker.
+
+    Carries exactly what the parent's wave merge reads: the owning shard,
+    the chain's output watermark, and its idle delta. Updated from the
+    shard's wave responses under the same rules the serial path applies
+    to real chains, so the parent's active-set bookkeeping is a faithful
+    replay of serial execution.
+    """
+
+    __slots__ = ("shard", "watermark", "idle_delta")
+
+    def __init__(self, shard: int):
+        self.shard = shard
+        self.watermark = MIN_TIME
+        self.idle_delta: Optional[int] = None
+
+
+class _ChainSettings:
+    """The two Dataflow fields a chain constructor reads, fork-portable."""
+
+    __slots__ = ("allow_unstreamable", "group_wave_events", "executor")
+
+    def __init__(self, allow_unstreamable: bool, group_wave_events: int):
+        self.allow_unstreamable = allow_unstreamable
+        self.group_wave_events = group_wave_events
+        self.executor = None  # chains never nest parallelism
+
+
+def _shard_worker(conn, node, settings):  # pragma: no cover - forked child
+    """Main loop of one persistent shard worker (runs in a forked child).
+
+    Owns the real chain objects for its subset of keys. Each message
+    carries the events fed since the last wave plus the watermark;
+    chain creation, buffering, activation, and idling follow the exact
+    serial rules, so the child's active set mirrors the parent's proxies.
+    Results go back keyed — the parent re-establishes serial merge order
+    from its own bookkeeping, never from child ordering.
+    """
+    import traceback
+
+    linear = _linear_stages(node)
+    groups: Dict[Tuple, object] = {}
+    active: Dict[Tuple, object] = {}
+    while True:
+        msg = conn.recv()
+        tag = msg[0]
+        if tag == "stop":
+            return
+        fed, w = msg[1], msg[2]
+        t0 = _time.perf_counter()
+        try:
+            for key, events in fed:
+                chain = groups.get(key)
+                if chain is None:
+                    if linear is not None:
+                        chain = _LinearChain(node, key, linear)
+                    else:
+                        chain = _GroupChain(node, key, settings)
+                    groups[key] = chain
+                chain.buffer(events)
+                active[key] = chain
+            if tag == "flush":
+                result = [
+                    (key, chain.advance(w)) for key, chain in groups.items()
+                ]
+                advanced = len(result)
+            else:  # wave
+                result = []
+                for key, chain in list(active.items()):
+                    outs = chain.advance(w)
+                    if chain.idle_delta is not None:
+                        del active[key]
+                    result.append(
+                        (key, outs, chain.watermark, chain.idle_delta)
+                    )
+                advanced = len(result)
+            conn.send(("ok", result, advanced, _time.perf_counter() - t0))
+        except BaseException:
+            conn.send(("err", traceback.format_exc(), 0, 0.0))
+
+
+class _ShardedGroups:
+    """Parent handle on the persistent shard workers of one GroupApply.
+
+    Keys are assigned to shards round-robin in first-seen order (a pure
+    function of the input stream); fed events accumulate in per-shard
+    outboxes and ship with the next wave or flush message, so a wave
+    costs one round-trip per shard regardless of how many feed calls
+    preceded it. All sends go out before any receive, so shards compute
+    their waves concurrently.
+    """
+
+    def __init__(self, node: GroupApplyNode, flow: "Dataflow"):
+        executor = flow.executor
+        self.num_shards = max(1, executor.max_workers)
+        settings = _ChainSettings(
+            flow.allow_unstreamable, flow.group_wave_events
+        )
+
+        def shard_main(conn, worker_id):  # pragma: no cover - forked child
+            _shard_worker(conn, node, settings)
+
+        self.handles = executor.spawn_workers(shard_main, self.num_shards)
+        self.outbox: List[List[Tuple[Tuple, List[Event]]]] = [
+            [] for _ in range(self.num_shards)
+        ]
+        self._next_shard = 0
+        self._stats: List[WorkerStats] = []
+
+    def shard_for_new_key(self) -> int:
+        shard = self._next_shard
+        self._next_shard = (shard + 1) % self.num_shards
+        return shard
+
+    def queue_feed(self, shard: int, key: Tuple, events: List[Event]) -> None:
+        self.outbox[shard].append((key, events))
+
+    def roundtrip(self, tag: str, watermark: int) -> List[list]:
+        """Send one wave/flush to every shard; return per-shard results."""
+        for shard, handle in enumerate(self.handles):
+            fed = self.outbox[shard]
+            self.outbox[shard] = []
+            handle.send((tag, fed, watermark))
+        results = []
+        self._stats = []
+        for shard, handle in enumerate(self.handles):
+            status, payload, advanced, busy = handle.recv()
+            if status == "err":
+                raise RuntimeError(
+                    f"GroupApply shard worker {shard} failed:\n{payload}"
+                )
+            results.append(payload)
+            self._stats.append(
+                WorkerStats(
+                    worker=shard,
+                    tasks=advanced,
+                    chunks=1 if advanced else 0,
+                    busy_seconds=busy,
+                )
+            )
+        return results
+
+    def take_stats(self) -> List[WorkerStats]:
+        stats, self._stats = self._stats, []
+        return stats
+
+    def close(self) -> None:
+        for handle in self.handles:
+            handle.close()
+        self.handles = []
+
+
+def _chain_advance(chain, watermark: int):
+    """A zero-arg task advancing one chain (bound per chain, not by loop
+    variable capture)."""
+
+    def task():
+        return chain.advance(watermark)
+
+    return task
+
+
 class Dataflow:
     """One CQ plan instantiated as a graph of live incremental operators.
 
@@ -660,6 +947,13 @@ class Dataflow:
             default, waves on every advance). Buffered group input stays
             bounded by the threshold; outputs are merely released later,
             never changed.
+        executor: a :class:`~repro.runtime.parallel.Executor` fanning
+            independent GroupApply chain advances over workers (``None``
+            or a serial executor: run inline). Output is byte-identical
+            across executors — the serial wave schedule and merge order
+            are replayed exactly; only chain computation moves. Parallel
+            flows with process shards hold OS resources: call
+            :meth:`close` (the batch driver does so in a ``finally``).
     """
 
     def __init__(
@@ -670,10 +964,19 @@ class Dataflow:
         group_input: Optional[GroupInputNode] = None,
         timed: bool = False,
         group_wave_events: int = 0,
+        executor=None,
     ):
         self.allow_unstreamable = allow_unstreamable
         self.timed = timed
         self.group_wave_events = group_wave_events
+        if executor is not None and executor.parallel:
+            self.executor = executor
+            self.parallel_stats = ParallelStats(
+                kind=executor.kind, max_workers=executor.max_workers
+            )
+        else:
+            self.executor = None
+            self.parallel_stats = None
         meta = _PlanMeta.of(root)
         self._order = meta.order
         self._nodes: Dict[int, _OpNode] = {}
@@ -813,6 +1116,34 @@ class Dataflow:
         self._flushed = True
         self.set_watermarks(MAX_TIME)
         return self.advance()
+
+    def run_chain_tasks(self, chains, watermark: int) -> List[List[Event]]:
+        """Advance independent chains on the executor, results in chain
+        order (the caller's merge loop then replays the serial schedule).
+
+        Safe to fan out because chains share no mutable state: stateless
+        operator instances shared across chains are pure, and the only
+        cross-chain writes — plan-meta memoization on first touch of a
+        nested sub-plan — are idempotent publishes of equivalent
+        immutable values.
+        """
+        results = self.executor.run_tasks(
+            [_chain_advance(chain, watermark) for chain in chains]
+        )
+        self.parallel_stats.add(self.executor.last_stats)
+        return results
+
+    def close(self) -> None:
+        """Release executor-owned resources (persistent shard workers).
+
+        Idempotent and a no-op for serial/thread flows; safe to call
+        mid-stream (shard state is lost, so only call when done).
+        """
+        for node in self._op_nodes:
+            shards = getattr(node, "_shards", None)
+            if shards is not None:
+                shards.close()
+                node._shards = None
 
     # -- internals -----------------------------------------------------------
 

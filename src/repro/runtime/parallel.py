@@ -1,0 +1,527 @@
+"""Pluggable parallel executors with deterministic merge semantics.
+
+The paper's BT pipeline is dominated by per-user GroupApply chains and
+map-heavy TiMR stages that the real system fanned out across a cluster.
+This module supplies the in-process analogue: an :class:`Executor`
+abstraction that runs independent *tasks* — per-key chain advances, map
+tasks over input partitions — concurrently while keeping every
+externally visible result **byte-identical to a serial run**.
+
+Determinism is enforced at the merge, never trusted to scheduling:
+
+* :meth:`Executor.run_tasks` always returns results in *task order*,
+  whatever order workers finished in. Callers assign output positions
+  (and GroupApply merge sequence numbers) from that order, so the
+  interleaving chosen by the OS scheduler is unobservable.
+* Work distribution is *chunked work-stealing*: workers claim fixed
+  chunks of the task list from a shared cursor. Which worker runs which
+  chunk varies run to run (and is reported via :class:`WorkerStats` as
+  observability-only data); what each task computes does not.
+* When any task raises, the executor raises the error of the
+  **lowest-index** failing task — again independent of scheduling.
+
+Three implementations:
+
+* :class:`SerialExecutor` — runs tasks inline; the default everywhere
+  and the reference the differential suite compares against.
+* :class:`ThreadExecutor` — a per-call pool of worker threads. Shares
+  the interpreter (GIL), so pure-Python operator work does not speed up,
+  but it exercises the exact parallel code paths cheaply and lets
+  C-backed payload work overlap.
+* :class:`ProcessExecutor` — forked worker processes (POSIX only).
+  Fork-based workers inherit the parent's memory, so task closures —
+  plans full of user lambdas — need **no pickling**; only *results*
+  (events, rows: plain picklable data) cross the pipe back. Where
+  ``fork`` is unavailable the executor degrades to threads (flagged via
+  :attr:`ProcessExecutor.can_fork`).
+
+:class:`ProcessExecutor` additionally supports *persistent shard
+workers* (:meth:`ProcessExecutor.spawn_workers`): long-lived children
+that hold per-key chain state across GroupApply watermark waves, which
+is what lets the incremental runtime keep its wave schedule — and hence
+its exact serial output order — under process parallelism (see
+``runtime/dataflow.py`` and docs/PARALLELISM.md).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time as _time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+__all__ = [
+    "Executor",
+    "ParallelStats",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "WorkerStats",
+    "resolve_executor",
+]
+
+#: Environment knobs the default context resolves (see resolve_executor).
+ENV_EXECUTOR = "REPRO_EXECUTOR"
+ENV_WORKERS = "REPRO_WORKERS"
+
+#: Seconds a driver waits on a worker reply before declaring it lost.
+#: Generous on purpose: this is a hang breaker, not a performance knob.
+WORKER_TIMEOUT = float(os.environ.get("REPRO_PARALLEL_TIMEOUT", "300"))
+
+
+@dataclass
+class WorkerStats:
+    """What one worker did during one fan-out (observability only).
+
+    ``tasks`` and ``chunks`` depend only on the work list; which worker
+    claimed them — and therefore ``stolen_chunks`` and ``busy_seconds``
+    — depends on OS scheduling. None of these values ever feed back into
+    results, so determinism is preserved.
+    """
+
+    worker: int
+    tasks: int = 0
+    chunks: int = 0
+    stolen_chunks: int = 0
+    busy_seconds: float = 0.0
+
+
+@dataclass
+class ParallelStats:
+    """Accumulated per-worker counters across a whole run."""
+
+    kind: str = "serial"
+    max_workers: int = 1
+    calls: int = 0
+    tasks: int = 0
+    chunks: int = 0
+    stolen_chunks: int = 0
+    busy_seconds: float = 0.0
+    per_worker: Dict[int, WorkerStats] = field(default_factory=dict)
+
+    def add(self, worker_stats: Sequence[WorkerStats]) -> None:
+        if not worker_stats:
+            return
+        self.calls += 1
+        for ws in worker_stats:
+            self.tasks += ws.tasks
+            self.chunks += ws.chunks
+            self.stolen_chunks += ws.stolen_chunks
+            self.busy_seconds += ws.busy_seconds
+            agg = self.per_worker.get(ws.worker)
+            if agg is None:
+                agg = WorkerStats(worker=ws.worker)
+                self.per_worker[ws.worker] = agg
+            agg.tasks += ws.tasks
+            agg.chunks += ws.chunks
+            agg.stolen_chunks += ws.stolen_chunks
+            agg.busy_seconds += ws.busy_seconds
+
+    def as_dict(self) -> dict:
+        return {
+            "executor": self.kind,
+            "max_workers": self.max_workers,
+            "calls": self.calls,
+            "tasks": self.tasks,
+            "chunks": self.chunks,
+            "stolen_chunks": self.stolen_chunks,
+            "busy_seconds": round(self.busy_seconds, 6),
+            "workers": [
+                {
+                    "worker": ws.worker,
+                    "tasks": ws.tasks,
+                    "chunks": ws.chunks,
+                    "stolen_chunks": ws.stolen_chunks,
+                    "busy_seconds": round(ws.busy_seconds, 6),
+                }
+                for ws in sorted(self.per_worker.values(), key=lambda w: w.worker)
+            ],
+        }
+
+
+class _TaskError(Exception):
+    """Internal carrier: (task index, formatted traceback)."""
+
+    def __init__(self, index: int, detail: str):
+        super().__init__(detail)
+        self.index = index
+        self.detail = detail
+
+
+def _chunk_size(n_tasks: int, n_workers: int) -> int:
+    """Chunks per worker ~4: small enough to steal, big enough to amortize."""
+    return max(1, -(-n_tasks // (n_workers * 4)))
+
+
+class Executor:
+    """Strategy object: how independent tasks are fanned out.
+
+    Executors hold **no persistent OS resources** — worker threads and
+    forked pools live only for the duration of one :meth:`run_tasks`
+    call (persistent shard workers are owned by the dataflow node that
+    spawned them). That makes executor objects cheap, reusable, and safe
+    to stash in a frozen :class:`~repro.runtime.RunContext`.
+    """
+
+    kind = "serial"
+    parallel = False
+
+    def __init__(self, max_workers: Optional[int] = None):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers or (os.cpu_count() or 1)
+        #: per-worker stats of the most recent run_tasks call (the
+        #: single-threaded driver reads this right after the call)
+        self.last_stats: List[WorkerStats] = []
+
+    # -- protocol ------------------------------------------------------------
+
+    def run_tasks(self, tasks: Sequence[Callable[[], object]]) -> List[object]:
+        """Run every task; return results in task order (the merge rule)."""
+        raise NotImplementedError
+
+    @property
+    def supports_shards(self) -> bool:
+        """True when :meth:`spawn_workers` provides persistent workers."""
+        return False
+
+    def spawn_workers(self, main: Callable, count: int) -> List["WorkerHandle"]:
+        raise RuntimeError(f"{self.kind} executor has no persistent workers")
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} workers={self.max_workers}>"
+
+
+class SerialExecutor(Executor):
+    """Run tasks inline, in order — the reference semantics."""
+
+    kind = "serial"
+    parallel = False
+
+    def __init__(self, max_workers: Optional[int] = None):
+        super().__init__(max_workers=1)
+
+    def run_tasks(self, tasks: Sequence[Callable[[], object]]) -> List[object]:
+        t0 = _time.perf_counter()
+        results = [task() for task in tasks]
+        self.last_stats = [
+            WorkerStats(
+                worker=0,
+                tasks=len(tasks),
+                chunks=1 if tasks else 0,
+                busy_seconds=_time.perf_counter() - t0,
+            )
+        ]
+        return results
+
+
+class ThreadExecutor(Executor):
+    """Worker threads with chunked work-stealing over the task list."""
+
+    kind = "thread"
+    parallel = True
+
+    def run_tasks(self, tasks: Sequence[Callable[[], object]]) -> List[object]:
+        n = len(tasks)
+        if n <= 1:
+            return SerialExecutor.run_tasks(self, tasks)
+        workers = min(self.max_workers, n)
+        chunk = _chunk_size(n, workers)
+        results: List[object] = [None] * n
+        errors: List[_TaskError] = []
+        cursor = [0]
+        lock = threading.Lock()
+        stats = [WorkerStats(worker=i) for i in range(workers)]
+
+        def worker(wid: int) -> None:
+            import traceback
+
+            ws = stats[wid]
+            t0 = _time.perf_counter()
+            while True:
+                with lock:
+                    start = cursor[0]
+                    if start >= n:
+                        break
+                    cursor[0] = start + chunk
+                ws.chunks += 1
+                if ws.chunks > 1:
+                    ws.stolen_chunks += 1
+                for i in range(start, min(start + chunk, n)):
+                    try:
+                        results[i] = tasks[i]()
+                    except BaseException:
+                        with lock:
+                            errors.append(
+                                _TaskError(i, traceback.format_exc())
+                            )
+                        ws.tasks += 1
+                        ws.busy_seconds += _time.perf_counter() - t0
+                        return  # this worker stops; others drain the cursor
+                    ws.tasks += 1
+            ws.busy_seconds += _time.perf_counter() - t0
+
+        threads = [
+            threading.Thread(
+                target=worker, args=(i,), name=f"repro-exec-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(WORKER_TIMEOUT)
+            if t.is_alive():  # pragma: no cover - hang breaker
+                raise RuntimeError(
+                    f"parallel worker {t.name} did not finish within "
+                    f"{WORKER_TIMEOUT:.0f}s"
+                )
+        self.last_stats = stats
+        if errors:
+            first = min(errors, key=lambda e: e.index)
+            raise RuntimeError(
+                f"parallel task {first.index} failed:\n{first.detail}"
+            )
+        return results
+
+
+class WorkerHandle:
+    """One persistent forked worker: a process plus its message pipe."""
+
+    def __init__(self, process, conn, worker_id: int):
+        self.process = process
+        self.conn = conn
+        self.worker_id = worker_id
+
+    def send(self, message) -> None:
+        self.conn.send(message)
+
+    def recv(self):
+        if not self.conn.poll(WORKER_TIMEOUT):  # pragma: no cover - hang breaker
+            raise RuntimeError(
+                f"shard worker {self.worker_id} sent no reply within "
+                f"{WORKER_TIMEOUT:.0f}s"
+            )
+        return self.conn.recv()
+
+    def close(self) -> None:
+        try:
+            if self.process.is_alive():
+                self.conn.send(("stop",))
+            self.conn.close()
+        except (OSError, ValueError):  # already torn down
+            pass
+        self.process.join(5)
+        if self.process.is_alive():  # pragma: no cover - hang breaker
+            self.process.terminate()
+            self.process.join(5)
+
+
+def _fork_context():
+    import multiprocessing
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return None
+    return multiprocessing.get_context("fork")
+
+
+class ProcessExecutor(ThreadExecutor):
+    """Forked worker processes; falls back to threads without ``fork``.
+
+    ``run_tasks`` forks a fresh pool per call: children inherit the task
+    closures through copy-on-write memory (no pickling of plans or user
+    lambdas), claim chunks from a shared cursor, and pipe *results* back
+    tagged with their task index, so the merge is position-exact. Task
+    results must therefore be picklable — events and rows with plain
+    payloads are; exotic payload objects should use threads instead.
+    """
+
+    kind = "process"
+    parallel = True
+
+    #: False on platforms without os.fork (the executor then runs threads).
+    can_fork = _fork_context() is not None
+
+    @property
+    def supports_shards(self) -> bool:
+        return self.can_fork
+
+    def run_tasks(self, tasks: Sequence[Callable[[], object]]) -> List[object]:
+        n = len(tasks)
+        if n <= 1 or not self.can_fork:
+            return super().run_tasks(tasks)
+        ctx = _fork_context()
+        workers = min(self.max_workers, n)
+        chunk = _chunk_size(n, workers)
+        cursor = ctx.Value("l", 0)
+        queue = ctx.Queue()
+
+        def child(wid: int) -> None:  # pragma: no cover - runs in fork
+            import traceback
+
+            tasks_done = chunks = stolen = 0
+            t0 = _time.perf_counter()
+            try:
+                while True:
+                    with cursor.get_lock():
+                        start = cursor.value
+                        if start >= n:
+                            break
+                        cursor.value = start + chunk
+                    chunks += 1
+                    if chunks > 1:
+                        stolen += 1
+                    end = min(start + chunk, n)
+                    try:
+                        block = [tasks[i]() for i in range(start, end)]
+                    except BaseException:
+                        queue.put(("err", wid, start, traceback.format_exc()))
+                        break
+                    tasks_done += end - start
+                    queue.put(("ok", wid, start, block))
+            finally:
+                queue.put(
+                    (
+                        "done",
+                        wid,
+                        (tasks_done, chunks, stolen, _time.perf_counter() - t0),
+                    )
+                )
+                queue.close()
+
+        procs = [
+            ctx.Process(target=child, args=(i,), daemon=True)
+            for i in range(workers)
+        ]
+        for p in procs:
+            p.start()
+        results: List[object] = [None] * n
+        stats = [WorkerStats(worker=i) for i in range(workers)]
+        errors: List[_TaskError] = []
+        pending = workers
+        try:
+            import queue as _queue_mod
+
+            while pending:
+                try:
+                    msg = queue.get(timeout=WORKER_TIMEOUT)
+                except _queue_mod.Empty:  # pragma: no cover - hang breaker
+                    raise RuntimeError(
+                        f"process pool produced no message within "
+                        f"{WORKER_TIMEOUT:.0f}s ({pending} worker(s) pending)"
+                    ) from None
+                tag = msg[0]
+                if tag == "ok":
+                    _, _, start, block = msg
+                    results[start : start + len(block)] = block
+                elif tag == "err":
+                    _, _, start, detail = msg
+                    errors.append(_TaskError(start, detail))
+                else:  # done
+                    _, wid, (tasks_done, chunks, stolen, busy) = msg
+                    ws = stats[wid]
+                    ws.tasks, ws.chunks, ws.stolen_chunks, ws.busy_seconds = (
+                        tasks_done,
+                        chunks,
+                        stolen,
+                        busy,
+                    )
+                    pending -= 1
+        finally:
+            for p in procs:
+                p.join(5)
+                if p.is_alive():  # pragma: no cover - hang breaker
+                    p.terminate()
+                    p.join(5)
+            queue.close()
+            queue.join_thread()
+        self.last_stats = stats
+        if errors:
+            first = min(errors, key=lambda e: e.index)
+            raise RuntimeError(
+                f"parallel task chunk at {first.index} failed:\n{first.detail}"
+            )
+        return results
+
+    def spawn_workers(self, main: Callable, count: int) -> List[WorkerHandle]:
+        """Fork ``count`` persistent workers, each running ``main(conn, id)``.
+
+        ``main`` is inherited through fork (closures welcome); it must
+        loop on ``conn.recv()`` until it reads ``("stop",)``. Used by the
+        dataflow's sharded GroupApply backend, which owns the handles'
+        lifecycle.
+        """
+        if not self.can_fork:
+            raise RuntimeError("persistent shard workers require os.fork")
+        ctx = _fork_context()
+        handles = []
+        for wid in range(count):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_shard_entry, args=(main, child_conn, wid), daemon=True
+            )
+            proc.start()
+            child_conn.close()
+            handles.append(WorkerHandle(proc, parent_conn, wid))
+        return handles
+
+
+def _shard_entry(main, conn, worker_id):  # pragma: no cover - runs in fork
+    try:
+        main(conn, worker_id)
+    finally:
+        try:
+            conn.close()
+        except (OSError, ValueError):
+            pass
+
+
+#: The shared inline executor (no state worth isolating per run).
+SERIAL = SerialExecutor()
+
+_KINDS = {
+    "serial": SerialExecutor,
+    "thread": ThreadExecutor,
+    "process": ProcessExecutor,
+}
+
+
+def resolve_executor(spec=None, max_workers: Optional[int] = None) -> Executor:
+    """Resolve an executor spec (string / instance / None) to an instance.
+
+    ``None`` defers to the environment: ``REPRO_EXECUTOR`` names the
+    kind and ``REPRO_WORKERS`` the worker count (``REPRO_WORKERS`` > 1
+    alone selects threads), falling back to serial. This is what lets CI
+    run the whole test suite under ``workers=4`` without touching any
+    call site, while explicit specs — ``RunContext(executor="serial")``,
+    an :class:`Executor` instance — stay pinned.
+
+    ``"auto"`` picks processes when ``fork`` is available (real
+    multi-core speedup) and threads otherwise.
+    """
+    if isinstance(spec, Executor):
+        return spec
+    if spec is None:
+        spec = os.environ.get(ENV_EXECUTOR)
+        if max_workers is None:
+            env_workers = os.environ.get(ENV_WORKERS)
+            if env_workers:
+                max_workers = int(env_workers)
+        if spec is None:
+            spec = "thread" if (max_workers or 1) > 1 else "serial"
+    if spec == "auto":
+        spec = "process" if ProcessExecutor.can_fork else "thread"
+    if (max_workers or 1) <= 1 and spec != "serial" and not isinstance(spec, Executor):
+        # one worker cannot fan out; keep the cheap inline path unless the
+        # caller explicitly asked for a kind with default (cpu_count) workers
+        if max_workers is not None:
+            return SerialExecutor()
+    try:
+        cls = _KINDS[spec]
+    except KeyError:
+        raise ValueError(
+            f"unknown executor {spec!r}; expected one of "
+            f"{sorted(_KINDS)} or 'auto'"
+        ) from None
+    return cls(max_workers=max_workers)

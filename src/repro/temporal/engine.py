@@ -61,6 +61,9 @@ class EngineStats:
         self.operator_events: Dict[str, int] = {}
         self.operator_labels: Dict[str, str] = {}
         self.wall_seconds = 0.0
+        #: per-worker fan-out summary of a parallel run (executor kind,
+        #: workers, tasks, stolen chunks, busy seconds); None when serial
+        self.parallel: Optional[dict] = None
 
     @property
     def events_per_second(self) -> float:
@@ -68,6 +71,43 @@ class EngineStats:
         if self.wall_seconds <= 0:
             return 0.0
         return self.input_events / self.wall_seconds
+
+    def merge(self, other: "EngineStats") -> "EngineStats":
+        """Fold another run's counters into this one (returns self).
+
+        Counters are keyed by *plan path*, not operator instance, so
+        stateless operator objects shared across GroupApply chains (or
+        across per-worker runs of the same plan) never double-count:
+        each run contributes its per-node totals exactly once, whatever
+        instances computed them. Wall times add (they measure disjoint
+        work); merging a stats object into itself is refused because it
+        would silently double every counter.
+        """
+        if other is self:
+            raise ValueError("cannot merge an EngineStats into itself")
+        self.input_events += other.input_events
+        self.output_events += other.output_events
+        for key, count in other.operator_events.items():
+            self.operator_events[key] = self.operator_events.get(key, 0) + count
+        self.operator_labels.update(other.operator_labels)
+        self.wall_seconds += other.wall_seconds
+        if other.parallel is not None:
+            if self.parallel is None:
+                self.parallel = dict(other.parallel)
+            else:
+                merged = dict(self.parallel)
+                for field in ("calls", "tasks", "chunks", "stolen_chunks"):
+                    merged[field] = merged.get(field, 0) + other.parallel.get(
+                        field, 0
+                    )
+                merged["busy_seconds"] = round(
+                    merged.get("busy_seconds", 0.0)
+                    + other.parallel.get("busy_seconds", 0.0),
+                    6,
+                )
+                merged.pop("workers", None)  # worker identity is per-run
+                self.parallel = merged
+        return self
 
 
 def plan_node_keys(root: PlanNode) -> Dict[int, str]:
@@ -136,6 +176,7 @@ class Engine:
             # amortize GroupApply watermark waves: chains advance once
             # per threshold of fed events, not once per chunk
             group_wave_events=max(chunk_size, 4096),
+            executor=context.resolve_executor(),
         )
         for name in flow.source_names():
             if name not in sources:
@@ -194,6 +235,7 @@ class Engine:
             output = sort_events(out)
             self._record(flow, root, stats, output, tracer)
         finally:
+            flow.close()  # release persistent shard workers, if any
             if span is not None:
                 span.set("input_events", stats.input_events)
                 span.set("output_events", stats.output_events)
@@ -211,6 +253,8 @@ class Engine:
     def _record(self, flow, root, stats, output, tracer):
         """Fill stats and emit one summary span per operator node."""
         stats.output_events = len(output)
+        if flow.parallel_stats is not None:
+            stats.parallel = flow.parallel_stats.as_dict()
         keys = plan_node_keys(root)
         for node, events_in, events_out, busy in flow.node_stats():
             key = keys.get(node.node_id)

@@ -1,8 +1,32 @@
-"""Shared fixtures: one mid-size generated dataset reused across BT tests."""
+"""Shared fixtures: one mid-size generated dataset reused across BT tests,
+plus a deterministic clock for wall-clock-sensitive assertions."""
 
 import pytest
 
 from repro.data import GeneratorConfig, generate
+
+
+class TickingClock:
+    """A deterministic monotonic clock: each call advances a fixed step.
+
+    Inject via ``RunContext(clock=TickingClock())`` in tests that assert
+    on wall-time-derived values (``wall_seconds``, ``events_per_second``):
+    the assertion then checks the *arithmetic*, not the scheduler — and
+    cannot flake on loaded or parallel CI runners.
+    """
+
+    def __init__(self, step: float = 0.001):
+        self.step = step
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+@pytest.fixture
+def ticking_clock():
+    return TickingClock()
 
 
 @pytest.fixture(scope="session")

@@ -85,8 +85,10 @@ class TestEventsPerSecondFix:
         stats.wall_seconds = 0.0
         assert stats.events_per_second == 0.0  # was inf before the fix
 
-    def test_real_run_is_positive_and_finite(self):
-        engine = Engine()
+    def test_real_run_is_positive_and_finite(self, ticking_clock):
+        from repro.runtime import RunContext
+
+        engine = Engine(context=RunContext(clock=ticking_clock))
         engine.run(windowed_count(), {"logs": make_rows()})
         eps = engine.last_stats.events_per_second
         assert eps > 0

@@ -142,3 +142,84 @@ class TestCustomAlterLifetime:
         assert all(e.le <= 0 for e in out)
         with pytest.raises(StreamingUnsupported):
             StreamingEngine(q)
+
+
+# ---------------------------------------------------------------------------
+# Watermark arithmetic under parallel execution
+# ---------------------------------------------------------------------------
+
+from repro.runtime import ProcessExecutor, ThreadExecutor  # noqa: E402
+from repro.runtime.dataflow import Dataflow  # noqa: E402
+from repro.temporal.event import Event  # noqa: E402
+
+batch_splits = st.lists(
+    st.integers(min_value=1, max_value=10), min_size=0, max_size=8
+)
+
+
+def _watermark_trajectory(rows, plan_idx, splits, executor=None):
+    """Drive the dataflow by hand in hypothesis-chosen batches and record
+    ``(output_watermark, emitted)`` after every advance and the flush.
+
+    A parallel GroupApply merges per-chain watermarks with a min-over-keys;
+    the trajectory — not just the final output — must equal the serial one
+    for any interleaving of keys across batch boundaries.
+    """
+    query = _portfolio()[plan_idx]
+    flow = Dataflow(
+        query.to_plan(), allow_unstreamable=True, executor=executor
+    )
+    events = [
+        Event.point(r["Time"], {k: v for k, v in r.items() if k != "Time"})
+        for r in rows
+    ]
+    trajectory = []
+    try:
+        i = 0
+        for size in list(splits) + [len(events)]:  # remainder as last batch
+            batch = events[i : i + size]
+            i += len(batch)
+            if not batch:
+                continue
+            flow.feed("logs", batch)
+            flow.set_watermarks(batch[-1].le)
+            out = flow.advance()
+            trajectory.append((flow.output_watermark, len(out)))
+        out = flow.flush()
+        trajectory.append((flow.output_watermark, len(out)))
+    finally:
+        flow.close()
+    return trajectory
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    histories(max_n=25),
+    st.integers(min_value=0, max_value=N_PLANS - 1),
+    batch_splits,
+)
+def test_thread_watermark_trajectory_matches_serial(rows, plan_idx, splits):
+    serial = _watermark_trajectory(rows, plan_idx, splits)
+    marks = [w for w, _ in serial]
+    assert marks == sorted(marks)  # watermarks never retreat
+    threaded = _watermark_trajectory(
+        rows, plan_idx, splits, executor=ThreadExecutor(max_workers=4)
+    )
+    assert threaded == serial
+
+
+@pytest.mark.skipif(
+    not ProcessExecutor.can_fork, reason="fork start method unavailable"
+)
+@settings(max_examples=15, deadline=None)
+@given(
+    histories(max_n=15),
+    st.integers(min_value=0, max_value=N_PLANS - 1),
+    batch_splits,
+)
+def test_sharded_watermark_trajectory_matches_serial(rows, plan_idx, splits):
+    serial = _watermark_trajectory(rows, plan_idx, splits)
+    forked = _watermark_trajectory(
+        rows, plan_idx, splits, executor=ProcessExecutor(max_workers=2)
+    )
+    assert forked == serial

@@ -131,8 +131,12 @@ class TestDeterminism:
         b = eng.run(q, {"s": rows((0, {}))})
         assert a == b
 
-    def test_stats_populated(self):
-        eng = Engine()
+    def test_stats_populated(self, ticking_clock):
+        # deterministic clock: the throughput assertion checks the
+        # arithmetic, not the scheduler (no flake on loaded runners)
+        from repro.runtime import RunContext
+
+        eng = Engine(context=RunContext(clock=ticking_clock))
         q = Query.source("s").count(into="n")
         eng.run(q, {"s": rows((0, {}), (1, {}))})
         assert eng.last_stats.input_events == 2
