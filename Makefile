@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test lint selflint ruff chaos bench-smoke
+.PHONY: check test lint selflint ruff chaos bench-smoke bench-compare race-check
 
 check: test selflint chaos ruff
 
@@ -20,6 +20,21 @@ chaos:
 # to BENCH_pr5.json (CI uploads it as a non-gating artifact)
 bench-smoke:
 	$(PYTHON) benchmarks/bench_smoke.py --out BENCH_pr5.json
+
+# re-measure into a scratch artifact and compare per-query events/sec
+# against the committed BENCH_pr5.json baseline; exits non-zero when a
+# query regresses past the threshold (CI runs this non-gating)
+bench-compare:
+	$(PYTHON) benchmarks/bench_smoke.py --out BENCH_current.json \
+		--baseline BENCH_pr5.json
+
+# the tier-1 suite under the shadow race checker: every parallel wave is
+# replayed serially with owning-schedule attribution; byte-identity means
+# this must pass exactly like the plain suite (docs/PARALLELISM.md)
+race-check:
+	REPRO_RACE_CHECK=1 REPRO_EXECUTOR=thread REPRO_WORKERS=4 \
+		$(PYTHON) -m pytest -x -q
+	$(PYTHON) -m repro lint --builtin --no-plan --dynamic
 
 selflint:
 	$(PYTHON) -m repro lint --builtin --no-plan

@@ -33,6 +33,11 @@ tracking data, not gates — CI runs this step non-blocking.
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_smoke.py --out BENCH_pr5.json
+
+    # compare against a committed artifact; exits 1 when any query's
+    # events/sec drops past --regression-threshold (default 0.5)
+    PYTHONPATH=src python benchmarks/bench_smoke.py \
+        --out BENCH_new.json --baseline BENCH_pr5.json
 """
 
 from __future__ import annotations
@@ -230,9 +235,52 @@ def run_stage_benchmarks(rows, machines: int, partitions: int) -> dict:
     }
 
 
+def compare_to_baseline(doc: dict, baseline: dict, threshold: float) -> list:
+    """Per-query events/sec regressions vs a baseline artifact.
+
+    Returns ``[(query, new_eps, old_eps, ratio), ...]`` for every query
+    whose throughput fell below ``(1 - threshold)`` of the baseline.
+    Queries present in only one document are reported but never fail the
+    comparison (suite membership changes across PRs).
+    """
+    regressions = []
+    old_queries = baseline.get("queries", {})
+    for name, cell in sorted(doc.get("queries", {}).items()):
+        old = old_queries.get(name)
+        if old is None:
+            print(f"baseline: {name} not in baseline (new query), skipping")
+            continue
+        old_eps = old.get("events_per_second", 0.0)
+        new_eps = cell.get("events_per_second", 0.0)
+        if old_eps <= 0:
+            continue
+        ratio = new_eps / old_eps
+        if ratio < 1.0 - threshold:
+            regressions.append((name, new_eps, old_eps, ratio))
+    for name in sorted(set(old_queries) - set(doc.get("queries", {}))):
+        print(f"baseline: {name} present in baseline only (dropped query)")
+    return regressions
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default="BENCH_pr5.json")
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="JSON",
+        help="compare per-query events/sec against a previous artifact "
+        "and exit 1 on a regression past --regression-threshold",
+    )
+    parser.add_argument(
+        "--regression-threshold",
+        type=float,
+        default=0.5,
+        metavar="FRACTION",
+        help="allowed fractional throughput drop vs the baseline before "
+        "the comparison fails (default 0.5: flag only >50%% drops — "
+        "shared CI runners are noisy)",
+    )
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument("--users", type=int, default=150)
     parser.add_argument("--days", type=float, default=2.0)
@@ -299,6 +347,32 @@ def main(argv=None) -> int:
         f"best speedup {best[1]['speedup']:.2f}x on {best[0]}"
     )
     print(f"wrote {args.out}")
+
+    if args.baseline is not None:
+        try:
+            with open(args.baseline, encoding="utf-8") as fp:
+                baseline = json.load(fp)
+        except (OSError, ValueError) as exc:
+            print(f"baseline: cannot read {args.baseline}: {exc}")
+            return 0  # a missing baseline is not a regression
+        regressions = compare_to_baseline(
+            doc, baseline, args.regression_threshold
+        )
+        compared = len(
+            set(doc["queries"]) & set(baseline.get("queries", {}))
+        )
+        if regressions:
+            for name, new_eps, old_eps, ratio in regressions:
+                print(
+                    f"REGRESSION: {name} {new_eps:,.0f} events/sec vs "
+                    f"baseline {old_eps:,.0f} ({ratio:.2f}x, threshold "
+                    f"{1.0 - args.regression_threshold:.2f}x)"
+                )
+            return 1
+        print(
+            f"baseline: {compared} query(ies) within "
+            f"{args.regression_threshold:.0%} of {args.baseline}"
+        )
     return 0
 
 

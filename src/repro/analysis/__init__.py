@@ -7,13 +7,17 @@ cluster time has been spent. This package is the cheap alternative: a
 rule-based static analyzer that runs over the logical
 :class:`~repro.temporal.plan.PlanNode` DAG *before* execution.
 
-Three passes over the plan (plus parameter checks):
+Four passes over the plan (plus parameter checks):
 
 * **schema inference** — propagates known payload columns through every
   operator and flags reads of columns the stream cannot carry;
 * **determinism** — bytecode-inspects every runtime callable for
   randomness, clocks, mutable default arguments, and captured mutable
   state (the hazards that break repeatable reducer restarts);
+* **parallel safety** — flags shared mutable captures, fork-unsafe
+  closures, ambient-environment reads, and order-dependent reduce
+  functions that would break byte-identical parallel execution (these
+  feed the executor gate in ``Engine.run`` / ``TiMR.run``);
 * **partition safety** — cross-checks explicit ``.exchange()``
   annotations against every operator's :class:`PartitionConstraint`.
 
@@ -23,6 +27,11 @@ raise-on-error gate used by ``Engine.run`` and ``TiMR.run``), and the
 ``# repro: ignore[rule-id]`` comment on the constructing line.
 """
 
+from .concurrency import (
+    STATIC_PARALLEL_RULES,
+    blocking_findings,
+    parallel_safety_findings,
+)
 from .core import analyze, validate_plan, walk_plan
 from .diagnostics import (
     AnalysisReport,
@@ -39,10 +48,13 @@ __all__ = [
     "PlanValidationError",
     "RULES",
     "Rule",
+    "STATIC_PARALLEL_RULES",
     "analyze",
+    "blocking_findings",
     "builtin_query_suite",
     "example_plan_suite",
     "lint_suite",
+    "parallel_safety_findings",
     "validate_plan",
     "walk_plan",
 ]

@@ -273,6 +273,254 @@ def impure_references(fn) -> List[str]:
     return findings
 
 
+# ---------------------------------------------------------------------------
+# Parallel-safety hazards (the concurrency pass)
+# ---------------------------------------------------------------------------
+
+#: Methods that mutate their receiver in place. A call on a captured or
+#: global container is a cross-schedule write once chains fan out.
+_MUTATING_METHODS = {
+    "append",
+    "extend",
+    "insert",
+    "add",
+    "update",
+    "remove",
+    "discard",
+    "pop",
+    "popitem",
+    "clear",
+    "setdefault",
+    "sort",
+    "reverse",
+}
+
+#: os attributes that read or write ambient process environment.
+_ENV_ATTRS = {"environ", "getenv", "putenv", "unsetenv"}
+
+
+def _closure_map(fn) -> dict:
+    """Free-variable name -> captured value (empty cells skipped)."""
+    inner = unwrap(fn)
+    code = getattr(inner, "__code__", None)
+    closure = getattr(inner, "__closure__", None)
+    if code is None or not closure:
+        return {}
+    out = {}
+    for name, cell in zip(code.co_freevars, closure):
+        try:
+            out[name] = cell.cell_contents
+        except ValueError:  # empty cell
+            continue
+    return out
+
+
+def mutable_global_refs(fn) -> List[str]:
+    """Module-global names the bytecode loads that hold mutable containers.
+
+    Module globals are shared by every thread and inherited by every
+    forked worker, so even a *read* of a mutable one couples otherwise
+    independent GroupApply key chains and map partitions.
+    """
+    code = function_code(fn)
+    if code is None:
+        return []
+    found: List[str] = []
+    seen: Set[str] = set()
+    globs = getattr(unwrap(fn), "__globals__", None) or {}
+    for c in _all_codes(code):
+        for ins in dis.get_instructions(c):
+            if ins.opname != "LOAD_GLOBAL" or ins.argval in seen:
+                continue
+            # builtins are never mutable containers; only module globals
+            if ins.argval in globs and isinstance(globs[ins.argval], MUTABLE_TYPES):
+                seen.add(ins.argval)
+                found.append(ins.argval)
+    return found
+
+
+def _fork_unsafe_kind(value) -> Optional[str]:
+    """A short description when ``value`` cannot cross a fork/pickle."""
+    import io
+    import socket
+
+    if isinstance(value, io.IOBase):
+        return "an open file handle"
+    if isinstance(value, socket.socket):
+        return "a socket"
+    if isinstance(value, types.GeneratorType):
+        return "a live generator"
+    tmod = type(value).__module__
+    if tmod in ("_thread", "threading") and not isinstance(value, type):
+        return f"a {type(value).__name__} threading primitive"
+    return None
+
+
+def fork_unsafe_captures(fn) -> List[Tuple[str, str]]:
+    """(name, kind) pairs for captured values a ProcessExecutor cannot use.
+
+    Open files, sockets, locks, and live generators are duplicated (or
+    silently invalidated) by ``fork`` and cannot be pickled; a callable
+    holding one in a closure cell, default argument, or referenced
+    module global is not viable under the process executor.
+    """
+    inner = unwrap(fn)
+    code = getattr(inner, "__code__", None)
+    if code is None:
+        return []
+    candidates: List[Tuple[str, object]] = list(_closure_map(fn).items())
+    defaults = getattr(inner, "__defaults__", None) or ()
+    argnames = code.co_varnames[: code.co_argcount]
+    candidates.extend(zip(argnames[-len(defaults):], defaults))
+    globs = getattr(inner, "__globals__", None) or {}
+    global_names: Set[str] = set()
+    for c in _all_codes(code):
+        for ins in dis.get_instructions(c):
+            if ins.opname == "LOAD_GLOBAL" and ins.argval in globs:
+                global_names.add(ins.argval)
+    candidates.extend((name, globs[name]) for name in sorted(global_names))
+    found = []
+    seen: Set[str] = set()
+    for name, value in candidates:
+        kind = _fork_unsafe_kind(value)
+        if kind is not None and name not in seen:
+            seen.add(name)
+            found.append((name, kind))
+    return found
+
+
+def ambient_env_reads(fn) -> List[str]:
+    """References to ``os.environ`` / ``os.getenv`` in the bytecode.
+
+    Environment reads are ambient per-process state: forked workers see
+    a snapshot, threads see live mutations, and neither is routed
+    through the run context — so results can differ across executors.
+    """
+    import os as _os
+
+    code = function_code(fn)
+    if code is None:
+        return []
+    found: List[str] = []
+    seen: Set[str] = set()
+    for c in _all_codes(code):
+        instructions = list(dis.get_instructions(c))
+        for i, ins in enumerate(instructions):
+            if ins.opname != "LOAD_GLOBAL":
+                continue
+            value = _resolve_global(fn, ins.argval)
+            ref = None
+            if isinstance(value, types.ModuleType) and value is _os:
+                if i + 1 < len(instructions):
+                    nxt = instructions[i + 1]
+                    if (
+                        nxt.opname in ("LOAD_ATTR", "LOAD_METHOD")
+                        and nxt.argval in _ENV_ATTRS
+                    ):
+                        ref = f"os.{nxt.argval}"
+            elif value is _os.environ:
+                ref = "os.environ"
+            elif value is _os.getenv:
+                ref = "os.getenv"
+            if ref is not None and ref not in seen:
+                seen.add(ref)
+                found.append(ref)
+    return found
+
+
+def order_dependent_writes(fn) -> List[Tuple[str, str]]:
+    """(name, description) pairs for writes to shared/captured state.
+
+    Three shapes are caught: rebinding a module global
+    (``STORE_GLOBAL``), rebinding a variable captured from an enclosing
+    scope (``STORE_DEREF`` on an outer free variable), and in-place
+    mutation of a captured or global container (``.append()`` /
+    ``obj[k] = v`` on a name that resolves to a mutable container).
+    Each is an accumulation whose result depends on the order
+    concurrent schedules interleave — the classic commutativity
+    red flag for merge/reduce functions.
+    """
+    code = function_code(fn)
+    if code is None:
+        return []
+    outer_free = set(code.co_freevars)
+    closure = _closure_map(fn)
+    globs = getattr(unwrap(fn), "__globals__", None) or {}
+
+    def _container(opname: str, name: str):
+        if opname == "LOAD_DEREF":
+            return closure.get(name)
+        return globs.get(name)
+
+    found: List[Tuple[str, str]] = []
+    seen: Set[Tuple[str, str]] = set()
+
+    def add(name: str, desc: str) -> None:
+        if (name, desc) not in seen:
+            seen.add((name, desc))
+            found.append((name, desc))
+
+    for c in _all_codes(code):
+        instructions = list(dis.get_instructions(c))
+        for i, ins in enumerate(instructions):
+            if ins.opname == "STORE_GLOBAL":
+                add(ins.argval, f"rebinds module global {ins.argval!r}")
+            elif ins.opname == "STORE_DEREF" and ins.argval in outer_free:
+                add(ins.argval, f"rebinds captured variable {ins.argval!r}")
+            elif (
+                ins.opname in ("LOAD_ATTR", "LOAD_METHOD")
+                and ins.argval in _MUTATING_METHODS
+                and i > 0
+            ):
+                prev = instructions[i - 1]
+                if prev.opname in ("LOAD_DEREF", "LOAD_GLOBAL"):
+                    value = _container(prev.opname, prev.argval)
+                    if isinstance(value, MUTABLE_TYPES):
+                        add(
+                            prev.argval,
+                            f"calls .{ins.argval}() on captured "
+                            f"{type(value).__name__} {prev.argval!r}",
+                        )
+            elif ins.opname == "STORE_SUBSCR" and i >= 2:
+                prev = instructions[i - 2]
+                if prev.opname in ("LOAD_DEREF", "LOAD_GLOBAL"):
+                    value = _container(prev.opname, prev.argval)
+                    if isinstance(value, MUTABLE_TYPES):
+                        add(
+                            prev.argval,
+                            f"assigns into captured "
+                            f"{type(value).__name__} {prev.argval!r}",
+                        )
+    return found
+
+
+def mutable_captures(fn) -> List[Tuple[str, object]]:
+    """(label, object) for every mutable container the callable can reach.
+
+    Union of mutable closure cells, mutable default arguments, and
+    referenced mutable module globals — the watch-list the dynamic
+    :class:`~repro.runtime.racecheck.ShadowRaceChecker` fingerprints
+    between task schedules.
+    """
+    inner = unwrap(fn)
+    code = getattr(inner, "__code__", None)
+    if code is None:
+        return []
+    out: List[Tuple[str, object]] = []
+    for name, value in _closure_map(fn).items():
+        if isinstance(value, MUTABLE_TYPES):
+            out.append((f"closure {name!r}", value))
+    defaults = getattr(inner, "__defaults__", None) or ()
+    argnames = code.co_varnames[: code.co_argcount]
+    for name, value in zip(argnames[-len(defaults):], defaults):
+        if isinstance(value, MUTABLE_TYPES):
+            out.append((f"default {name!r}", value))
+    globs = getattr(inner, "__globals__", None) or {}
+    for name in mutable_global_refs(fn):
+        out.append((f"global {name!r}", globs[name]))
+    return out
+
+
 def uses_builtin_hash(fn) -> bool:
     """True when the callable references the builtin ``hash``."""
     code = function_code(fn)

@@ -14,6 +14,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..temporal.plan import GroupApplyNode, PlanNode
 from .callables import callable_location, node_callables
+from .concurrency import concurrency_pass
 from .determinism import determinism_pass
 from .diagnostics import (
     AnalysisReport,
@@ -118,6 +119,7 @@ def analyze(
 
     columns = schema_pass(ctx)
     determinism_pass(ctx)
+    concurrency_pass(ctx)
     partition_pass(ctx, columns)
     lifetime_pass(ctx)
 

@@ -119,6 +119,43 @@ _rule(
     "partitioning, no streaming",
 )
 _rule(
+    "parallel.shared-mutable-capture",
+    "warning",
+    "a plan callable shares mutable state (module global, or closure "
+    "cell inside a GroupApply sub-plan) across parallel schedules",
+)
+_rule(
+    "parallel.fork-unsafe-capture",
+    "warning",
+    "a plan callable captures an open file, socket, lock, or generator "
+    "that cannot cross a fork/pickle boundary (blocks the process "
+    "executor)",
+)
+_rule(
+    "parallel.ambient-env",
+    "warning",
+    "a plan callable reads os.environ/os.getenv, ambient per-process "
+    "state not routed through RunContext",
+)
+_rule(
+    "parallel.order-dependent-reduce",
+    "warning",
+    "a UDO or aggregate merge function accumulates into shared state, "
+    "so its result depends on shard/schedule order (not commutative)",
+)
+_rule(
+    "parallel.dynamic-race",
+    "warning",
+    "the shadow race checker observed a watched object mutated from two "
+    "different task schedules during an instrumented run",
+)
+_rule(
+    "parallel.schedule-divergence",
+    "error",
+    "re-running with a perturbed (reversed) task schedule produced "
+    "different output bytes: execution is schedule-dependent",
+)
+_rule(
     "suppression.unknown-rule",
     "warning",
     "a # repro: ignore[...] comment names a rule id that does not exist",

@@ -27,6 +27,8 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Set, Tuple
 
 from ..runtime.context import RunContext
+from ..runtime.parallel import SERIAL
+from ..runtime.racecheck import race_check_mode
 from .cost import CostModel, JobReport, StageReport
 from .faults import (
     FS_READ,
@@ -240,6 +242,11 @@ class Cluster:
             shuffle_bytes = 0
             executor = self.context.resolve_executor()
             map_results = None
+            if race_check_mode(self.context) is not None:
+                # shadow race checking wants one task at a time with the
+                # serial schedule; map output is merged in partition
+                # order either way, so the bytes cannot differ
+                executor = SERIAL
             if executor.parallel and len(data.partitions) > 1:
                 map_results = self._run_map_parallel(
                     executor, stage, data.partitions, report, quarantined

@@ -11,12 +11,20 @@ from .context import DEFAULT_CONTEXT, RunContext
 from .dataflow import GROUP_SOURCE, Dataflow, StreamingUnsupported, group_key
 from .parallel import (
     Executor,
+    ParallelSafetyWarning,
     ParallelStats,
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
     WorkerStats,
+    force_parallel_requested,
     resolve_executor,
+)
+from .racecheck import (
+    RaceFinding,
+    RaceWarning,
+    ShadowRaceChecker,
+    race_check_mode,
 )
 
 __all__ = [
@@ -24,13 +32,19 @@ __all__ = [
     "Dataflow",
     "Executor",
     "GROUP_SOURCE",
+    "ParallelSafetyWarning",
     "ParallelStats",
     "ProcessExecutor",
+    "RaceFinding",
+    "RaceWarning",
     "RunContext",
     "SerialExecutor",
+    "ShadowRaceChecker",
     "StreamingUnsupported",
     "ThreadExecutor",
     "WorkerStats",
+    "force_parallel_requested",
     "group_key",
+    "race_check_mode",
     "resolve_executor",
 ]

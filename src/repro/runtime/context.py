@@ -60,6 +60,15 @@ class RunContext:
             across executors — see docs/PARALLELISM.md.
         max_workers: worker cap for parallel executors (``None``: the
             ``REPRO_WORKERS`` environment variable, then CPU count).
+        force_parallel: skip the parallel-safety gate: run parallel
+            even when the static pass reports hazards (the CLI's
+            ``--force-parallel``; ``REPRO_FORCE_PARALLEL=1`` is the
+            env equivalent).
+        race_check: dynamic race detection mode: ``False`` defers to
+            the ``REPRO_RACE_CHECK`` environment variable; ``True`` /
+            ``"shadow"`` shadow-executes parallel waves serially with
+            mutation attribution; ``"perturb"`` additionally reverses
+            each wave's task order. See docs/PARALLELISM.md.
     """
 
     tracer: object = NULL_TRACER
@@ -75,6 +84,8 @@ class RunContext:
     batch_size: int = 1024
     executor: Optional[object] = None
     max_workers: Optional[int] = None
+    force_parallel: bool = False
+    race_check: object = False
 
     def resolve_executor(self):
         """The live :class:`~repro.runtime.parallel.Executor` for this run."""

@@ -236,6 +236,10 @@ class _OpNode:
             ex = flow.executor
             if ex is None:
                 self._group_mode = "serial"
+            elif flow.race_checker is not None:
+                # the checker instruments the wave path; sharded workers
+                # would hide chain state behind a fork boundary
+                self._group_mode = "thread"
             elif ex.supports_shards:
                 # forked workers keep chain state across waves
                 self._group_mode = "shard"
@@ -965,10 +969,12 @@ class Dataflow:
         timed: bool = False,
         group_wave_events: int = 0,
         executor=None,
+        race_checker=None,
     ):
         self.allow_unstreamable = allow_unstreamable
         self.timed = timed
         self.group_wave_events = group_wave_events
+        self.race_checker = race_checker
         if executor is not None and executor.parallel:
             self.executor = executor
             self.parallel_stats = ParallelStats(
@@ -1127,9 +1133,16 @@ class Dataflow:
         nested sub-plan — are idempotent publishes of equivalent
         immutable values.
         """
-        results = self.executor.run_tasks(
-            [_chain_advance(chain, watermark) for chain in chains]
-        )
+        tasks = [_chain_advance(chain, watermark) for chain in chains]
+        if self.race_checker is not None:
+            # shadow mode: replay the wave serially under instrumentation
+            # (and, in perturb mode, in reversed order) instead of fanning
+            # out — mutation attribution needs one task running at a time
+            owners = [
+                getattr(chain, "key", i) for i, chain in enumerate(chains)
+            ]
+            return self.race_checker.run_wave(tasks, owners)
+        results = self.executor.run_tasks(tasks)
         self.parallel_stats.add(self.executor.last_stats)
         return results
 

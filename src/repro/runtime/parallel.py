@@ -53,17 +53,42 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 __all__ = [
     "Executor",
+    "ParallelSafetyWarning",
     "ParallelStats",
     "ProcessExecutor",
     "SerialExecutor",
     "ThreadExecutor",
     "WorkerStats",
+    "force_parallel_requested",
     "resolve_executor",
 ]
 
 #: Environment knobs the default context resolves (see resolve_executor).
 ENV_EXECUTOR = "REPRO_EXECUTOR"
 ENV_WORKERS = "REPRO_WORKERS"
+
+#: Skip the parallel-safety gate: run parallel even with findings.
+ENV_FORCE_PARALLEL = "REPRO_FORCE_PARALLEL"
+
+
+class ParallelSafetyWarning(UserWarning):
+    """A parallel run was downgraded to serial by the safety gate.
+
+    Emitted by ``Engine.run`` / ``TiMR.run`` when the static
+    parallel-safety pass (:mod:`repro.analysis.concurrency`) finds
+    unsuppressed hazards and a non-serial executor was requested. The
+    message names the findings and the escape hatches (``# repro:
+    ignore[rule]``, ``--force-parallel``, ``REPRO_FORCE_PARALLEL=1``).
+    """
+
+
+def force_parallel_requested(context=None) -> bool:
+    """True when the safety gate should be skipped for this run."""
+    if context is not None and getattr(context, "force_parallel", False):
+        return True
+    return os.environ.get(ENV_FORCE_PARALLEL, "").strip().lower() not in (
+        "", "0", "false", "off", "no",
+    )
 
 #: Seconds a driver waits on a worker reply before declaring it lost.
 #: Generous on purpose: this is a hang breaker, not a performance knob.
@@ -503,11 +528,22 @@ def resolve_executor(spec=None, max_workers: Optional[int] = None) -> Executor:
     if isinstance(spec, Executor):
         return spec
     if spec is None:
-        spec = os.environ.get(ENV_EXECUTOR)
+        spec = os.environ.get(ENV_EXECUTOR) or None
+        if spec is not None and spec not in _KINDS and spec != "auto":
+            raise ValueError(
+                f"{ENV_EXECUTOR}={spec!r} names an unknown executor; "
+                f"expected one of {sorted(_KINDS)} or 'auto'"
+            )
         if max_workers is None:
             env_workers = os.environ.get(ENV_WORKERS)
             if env_workers:
-                max_workers = int(env_workers)
+                try:
+                    max_workers = int(env_workers)
+                except ValueError:
+                    raise ValueError(
+                        f"{ENV_WORKERS}={env_workers!r} is not an integer "
+                        "worker count"
+                    ) from None
         if spec is None:
             spec = "thread" if (max_workers or 1) > 1 else "serial"
     if spec == "auto":

@@ -1,0 +1,187 @@
+"""Dynamic race detection: shadow execution and schedule perturbation.
+
+The static pass (:mod:`repro.analysis.concurrency`) can only flag what
+bytecode reveals; :class:`ShadowRaceChecker` closes the loop at runtime.
+Built from a plan, it collects a *watch-list* — every mutable container
+a plan callable can reach through a closure cell, default argument, or
+module global — and then executes each parallel wave's tasks **serially
+under instrumentation**: the watched objects are fingerprinted between
+tasks, so a mutation is attributed to the exact schedule (GroupApply
+key chain) that made it. An object mutated from two different schedules
+is a race: under a real thread/process interleaving those writes would
+conflict, silently breaking the byte-identical guarantee.
+
+Shadow execution replays the canonical serial order, so turning the
+checker on never changes output bytes — it is safe to run the whole
+test suite under ``REPRO_RACE_CHECK=1``. The *perturbation* mode
+(``REPRO_RACE_CHECK=perturb``) instead runs every wave's tasks in
+reversed order (results are still merged in task order): a safe plan
+produces identical bytes, so ``repro lint --dynamic`` diffs a forward
+run against a perturbed run and reports any divergence as
+``parallel.schedule-divergence``.
+
+Enable via the ``REPRO_RACE_CHECK`` environment variable (``1`` /
+``perturb``) or ``RunContext(race_check=...)``; the engine then reports
+findings with a :class:`RaceWarning` and exposes them as
+``engine.last_race_findings``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+#: Environment switch: "1"/"true" enables shadow checking, "perturb"
+#: additionally reverses the task order of every parallel wave.
+ENV_RACE_CHECK = "REPRO_RACE_CHECK"
+
+_FALSY = ("", "0", "false", "off", "no")
+
+
+class RaceWarning(UserWarning):
+    """The shadow race checker found cross-schedule shared-state mutation."""
+
+
+def race_check_mode(context=None) -> Optional[str]:
+    """``None`` (off), ``"shadow"``, or ``"perturb"`` for this run.
+
+    The run context's ``race_check`` field wins when set; otherwise the
+    ``REPRO_RACE_CHECK`` environment variable decides (so CI can run an
+    unmodified test suite under the checker).
+    """
+    value = getattr(context, "race_check", None) if context is not None else None
+    if value is None or value is False:
+        value = os.environ.get(ENV_RACE_CHECK, "")
+    if value is True:
+        return "shadow"
+    mode = str(value).strip().lower()
+    if mode in _FALSY:
+        return None
+    return "perturb" if mode == "perturb" else "shadow"
+
+
+@dataclass(frozen=True)
+class RaceFinding:
+    """One object observed mutated from two or more task schedules."""
+
+    object_label: str
+    owners: Tuple[str, ...]
+    detail: str
+
+    def format(self) -> str:
+        return (
+            f"race[{self.object_label}] touched from "
+            f"{len(self.owners)} schedules ({', '.join(self.owners)}): "
+            f"{self.detail}"
+        )
+
+
+def _fingerprint(obj) -> str:
+    try:
+        return repr(obj)
+    except Exception:  # a misbehaving __repr__ must not kill the run
+        return f"<unreprable {type(obj).__name__} at {id(obj):#x}>"
+
+
+class ShadowRaceChecker:
+    """Instrumented serial replay of parallel waves with owner tagging.
+
+    Args:
+        root: plan whose callables seed the watch-list (``None``: start
+            empty and :meth:`track` objects by hand, as the tests do).
+        perturb: run each wave's tasks in reversed order (results are
+            returned in task order regardless, so safe plans keep
+            byte-identical output).
+    """
+
+    def __init__(self, root=None, perturb: bool = False):
+        self.perturb = perturb
+        self.findings: List[RaceFinding] = []
+        self.waves = 0
+        self._watch: List[Tuple[str, object]] = []
+        self._prints: Dict[int, str] = {}
+        self._owners: Dict[int, Set[str]] = {}
+        self._flagged: Set[int] = set()
+        if root is not None:
+            self.watch_plan(root)
+
+    def watch_plan(self, root) -> None:
+        """Add every mutable capture reachable from the plan's callables."""
+        from ..analysis.callables import mutable_captures, node_callables
+        from ..analysis.core import walk_plan
+
+        for node in walk_plan(root):
+            for fn, what in node_callables(node):
+                for label, obj in mutable_captures(fn):
+                    self.track(f"{node.describe()} {what} {label}", obj)
+
+    def track(self, label: str, obj) -> None:
+        """Watch one object (idempotent per object identity)."""
+        oid = id(obj)
+        if oid in self._prints:
+            return
+        self._watch.append((label, obj))
+        self._prints[oid] = _fingerprint(obj)
+        self._owners[oid] = set()
+
+    @property
+    def watched(self) -> List[str]:
+        return [label for label, _ in self._watch]
+
+    def run_wave(self, tasks: Sequence, owners: Sequence) -> List:
+        """Execute one parallel wave serially, attributing mutations.
+
+        ``owners[i]`` names the schedule task ``i`` belongs to (the
+        GroupApply key, a partition index, ...). Results come back in
+        task order — exactly what the executor contract promises — so
+        the caller's merge loop is oblivious to the instrumentation.
+        """
+        self.waves += 1
+        results = [None] * len(tasks)
+        order = range(len(tasks))
+        if self.perturb:
+            order = reversed(order)
+        for i in order:
+            results[i] = tasks[i]()
+            if self._watch:
+                self._scan(str(owners[i]))
+        return results
+
+    def _scan(self, owner: str) -> None:
+        """Fingerprint the watch-list; attribute any change to ``owner``."""
+        for label, obj in self._watch:
+            oid = id(obj)
+            fp = _fingerprint(obj)
+            if fp == self._prints[oid]:
+                continue
+            self._prints[oid] = fp
+            touched = self._owners[oid]
+            touched.add(owner)
+            if len(touched) >= 2 and oid not in self._flagged:
+                self._flagged.add(oid)
+                self.findings.append(
+                    RaceFinding(
+                        object_label=label,
+                        owners=tuple(sorted(touched)),
+                        detail=(
+                            "the same object accumulates state across "
+                            "independent schedules; a real parallel "
+                            "interleaving would order these writes "
+                            "nondeterministically"
+                        ),
+                    )
+                )
+
+    def summary(self) -> str:
+        if not self.findings:
+            return (
+                f"race check: no cross-schedule mutation in {self.waves} "
+                f"wave(s) over {len(self._watch)} watched object(s)"
+            )
+        lines = [
+            f"race check: {len(self.findings)} finding(s) across "
+            f"{self.waves} wave(s):"
+        ]
+        lines.extend(f"  {f.format()}" for f in self.findings)
+        return "\n".join(lines)

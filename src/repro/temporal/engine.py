@@ -28,12 +28,23 @@ The default is the shared no-op tracer, which costs nothing.
 from __future__ import annotations
 
 import heapq
+import warnings
 from itertools import islice
 from operator import itemgetter
 from typing import Dict, Iterable, List, Optional, Union
 
 from ..runtime.context import RunContext
 from ..runtime.dataflow import Dataflow
+from ..runtime.parallel import (
+    SERIAL,
+    ParallelSafetyWarning,
+    force_parallel_requested,
+)
+from ..runtime.racecheck import (
+    RaceWarning,
+    ShadowRaceChecker,
+    race_check_mode,
+)
 from .event import Event
 from .operators.base import sort_events
 from .plan import (
@@ -129,6 +140,9 @@ class Engine:
     def __init__(self, tracer=None, *, context: Optional[RunContext] = None):
         self.context = RunContext.of(context, tracer=tracer)
         self.last_stats: Optional[EngineStats] = None
+        #: RaceFinding list from the last run's ShadowRaceChecker (empty
+        #: when the checker was off or found nothing)
+        self.last_race_findings: List = []
 
     @property
     def tracer(self):
@@ -160,7 +174,8 @@ class Engine:
         """
         root = query.to_plan() if isinstance(query, Query) else query
         context = self.context
-        if validate if validate is not None else context.validate:
+        validating = validate if validate is not None else context.validate
+        if validating:
             from ..analysis import validate_plan
 
             validate_plan(root)
@@ -169,6 +184,17 @@ class Engine:
         tracer = context.tracer
         chunk_size = batch_size if batch_size is not None else context.batch_size
 
+        executor = context.resolve_executor()
+        executor = self._parallel_gate(root, executor, validating)
+        race_checker = None
+        self.last_race_findings = []
+        if executor is not None and executor.parallel:
+            mode = race_check_mode(context)
+            if mode is not None:
+                race_checker = ShadowRaceChecker(
+                    root, perturb=(mode == "perturb")
+                )
+
         flow = Dataflow(
             root,
             allow_unstreamable=True,
@@ -176,7 +202,8 @@ class Engine:
             # amortize GroupApply watermark waves: chains advance once
             # per threshold of fed events, not once per chunk
             group_wave_events=max(chunk_size, 4096),
-            executor=context.resolve_executor(),
+            executor=executor,
+            race_checker=race_checker,
         )
         for name in flow.source_names():
             if name not in sources:
@@ -246,9 +273,49 @@ class Engine:
             metrics.counter("engine.output_events").inc(len(output))
         stats.wall_seconds = context.clock() - start
         self.last_stats = stats
+        if race_checker is not None:
+            self.last_race_findings = list(race_checker.findings)
+            if race_checker.findings:
+                warnings.warn(
+                    RaceWarning(race_checker.summary()), stacklevel=2
+                )
         return output
 
     # -- internals -------------------------------------------------------------
+
+    def _parallel_gate(self, root, executor, validating: bool):
+        """Downgrade an unsafe parallel request to serial, with a warning.
+
+        Runs the static parallel-safety pass only when a non-serial
+        executor is in play and validation is on; ``--force-parallel`` /
+        ``REPRO_FORCE_PARALLEL`` / ``RunContext(force_parallel=True)``
+        skip the gate, and ``# repro: ignore[rule]`` comments suppress
+        individual findings before they ever reach it.
+        """
+        if executor is None or not executor.parallel or not validating:
+            return executor
+        if force_parallel_requested(self.context):
+            return executor
+        from ..analysis.concurrency import blocking_findings
+
+        blocked = blocking_findings(root, executor.kind)
+        if not blocked:
+            return executor
+        details = "; ".join(d.format() for d in blocked[:4])
+        more = len(blocked) - 4
+        if more > 0:
+            details += f"; ... {more} more"
+        warnings.warn(
+            ParallelSafetyWarning(
+                f"falling back to serial execution: the {executor.kind!r} "
+                f"executor is unsafe for this plan ({details}). Suppress "
+                "specific findings with a '# repro: ignore[rule]' comment, "
+                "or force parallel execution with --force-parallel / "
+                "REPRO_FORCE_PARALLEL=1 / RunContext(force_parallel=True)."
+            ),
+            stacklevel=3,
+        )
+        return SERIAL
 
     def _record(self, flow, root, stats, output, tracer):
         """Fill stats and emit one summary span per operator node."""

@@ -84,7 +84,7 @@ def explain(query: Union[Query, PlanNode], stats=None) -> str:
     else:
         lines.append(f"  streaming: unsupported (opaque lifetime in {offender!r})")
 
-    from ..analysis import analyze
+    from ..analysis import STATIC_PARALLEL_RULES, analyze
 
     report = analyze(root)
     lines.append("")
@@ -94,6 +94,34 @@ def explain(query: Union[Query, PlanNode], stats=None) -> str:
     else:
         lines.append(f"  {report.summary()}")
         lines.extend(f"  {d.format()}" for d in report.diagnostics)
+
+    lines.append("")
+    lines.append("PARALLEL-SAFETY")
+    parallel = [d for d in report.diagnostics if d.rule in STATIC_PARALLEL_RULES]
+    fork_only = all(
+        d.rule == "parallel.fork-unsafe-capture" for d in parallel
+    )
+    if not parallel:
+        lines.append(
+            "  safe to parallelize: no shared mutable captures, "
+            "fork-unsafe captures, or ambient-state reads detected"
+        )
+    else:
+        if fork_only:
+            lines.append(
+                f"  thread-safe, fork-unsafe: {len(parallel)} finding(s) "
+                "block the process executor only"
+            )
+        else:
+            lines.append(
+                f"  {len(parallel)} finding(s): a parallel run would fall "
+                "back to serial (the safety gate)"
+            )
+        lines.extend(f"  {d.format()}" for d in parallel)
+        lines.append(
+            "  escape hatches: '# repro: ignore[rule]' on the offending "
+            "operator, --force-parallel, or REPRO_FORCE_PARALLEL=1"
+        )
 
     if stats is not None:
         lines.append("")

@@ -77,6 +77,53 @@ class TiMR:
     def tracer(self):
         return self.context.tracer
 
+    def _parallel_gate(self, plan, validating: bool):
+        """Downgrade an unsafe parallel job to serial, with a warning.
+
+        Cluster map fan-out and the embedded reducer engines both
+        resolve their executor from a context, so the fallback swaps
+        the cluster's (and this runner's) context to an explicit serial
+        executor for the duration of the job. Returns ``(obj, saved)``
+        pairs for the caller's finally-block to restore.
+        """
+        import warnings
+
+        from ..runtime.parallel import (
+            ParallelSafetyWarning,
+            force_parallel_requested,
+        )
+
+        if not validating or force_parallel_requested(self.context):
+            return []
+        executor = self.cluster.context.resolve_executor()
+        if not executor.parallel:
+            return []
+        from ..analysis.concurrency import blocking_findings
+
+        blocked = blocking_findings(plan, executor.kind)
+        if not blocked:
+            return []
+        details = "; ".join(d.format() for d in blocked[:4])
+        more = len(blocked) - 4
+        if more > 0:
+            details += f"; ... {more} more"
+        warnings.warn(
+            ParallelSafetyWarning(
+                f"falling back to serial execution: the {executor.kind!r} "
+                f"executor is unsafe for this plan ({details}). Suppress "
+                "specific findings with a '# repro: ignore[rule]' comment, "
+                "or force parallel execution with --force-parallel / "
+                "REPRO_FORCE_PARALLEL=1 / RunContext(force_parallel=True)."
+            ),
+            stacklevel=3,
+        )
+        saved = [(self.cluster, self.cluster.context), (self, self.context)]
+        self.cluster.context = self.cluster.context.derive(
+            executor="serial", max_workers=None
+        )
+        self.context = self.context.derive(executor="serial", max_workers=None)
+        return saved
+
     def run(
         self,
         query: Union[Query, PlanNode],
@@ -129,6 +176,33 @@ class TiMR:
             from ..analysis import validate_plan
 
             validate_plan(plan)
+        saved_contexts = self._parallel_gate(plan, validate)
+        try:
+            return self._run_job(
+                plan,
+                job_name,
+                num_partitions,
+                span_width,
+                auto_annotate,
+                checkpoint_dir,
+                resume,
+                verify_replay,
+            )
+        finally:
+            for obj, ctx in saved_contexts:
+                obj.context = ctx
+
+    def _run_job(
+        self,
+        plan,
+        job_name,
+        num_partitions,
+        span_width,
+        auto_annotate,
+        checkpoint_dir,
+        resume,
+        verify_replay,
+    ):
         annotation: Optional[AnnotationResult] = None
         if not _has_exchanges(plan) and auto_annotate:
             annotation = annotate_plan(plan, self.statistics)

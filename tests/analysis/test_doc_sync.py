@@ -1,0 +1,51 @@
+"""Doc-sync self-test: the rule registry and docs/LINTING.md must agree.
+
+Every rule id registered in ``repro.analysis.diagnostics.RULES`` must
+have a catalog section in docs/LINTING.md (headed ``### `rule.id`
+(severity)``), and every documented rule id must still be registered —
+so a renamed or removed rule cannot leave stale documentation behind,
+and a new rule cannot ship undocumented.
+"""
+
+import re
+from pathlib import Path
+
+from repro.analysis import RULES
+
+DOC = Path(__file__).resolve().parents[2] / "docs" / "LINTING.md"
+
+#: ### `rule.id` (severity)
+_HEADING = re.compile(r"^### `([a-z]+\.[a-z-]+)` \((error|warning)\)$", re.M)
+
+
+def documented_rules():
+    return {m.group(1): m.group(2) for m in _HEADING.finditer(DOC.read_text())}
+
+
+class TestDocSync:
+    def test_catalog_exists(self):
+        assert DOC.is_file()
+        assert documented_rules(), "no rule headings found in docs/LINTING.md"
+
+    def test_every_registered_rule_is_documented(self):
+        missing = sorted(set(RULES) - set(documented_rules()))
+        assert not missing, (
+            f"rules registered but missing from docs/LINTING.md: {missing}"
+        )
+
+    def test_every_documented_rule_is_registered(self):
+        stale = sorted(set(documented_rules()) - set(RULES))
+        assert not stale, (
+            f"rules documented in docs/LINTING.md but not registered: {stale}"
+        )
+
+    def test_documented_severity_matches_registry(self):
+        docs = documented_rules()
+        mismatched = {
+            rid: (docs[rid], RULES[rid].severity)
+            for rid in set(docs) & set(RULES)
+            if docs[rid] != RULES[rid].severity
+        }
+        assert not mismatched, (
+            f"severity drift (documented, registered): {mismatched}"
+        )

@@ -29,7 +29,8 @@ class TestRegistry:
     def test_rule_families_present(self):
         families = {r.split(".")[0] for r in RULES}
         assert families == {
-            "schema", "determinism", "partition", "lifetime", "suppression"
+            "schema", "determinism", "parallel", "partition", "lifetime",
+            "suppression",
         }
 
 

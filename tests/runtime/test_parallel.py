@@ -168,6 +168,21 @@ class TestResolveExecutor:
         with pytest.raises(ValueError, match="unknown executor"):
             resolve_executor("gpu")
 
+    def test_unknown_env_executor_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "gpu")
+        with pytest.raises(ValueError, match="REPRO_EXECUTOR"):
+            resolve_executor(None)
+
+    def test_non_integer_env_workers_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            resolve_executor(None)
+
+    def test_empty_env_values_are_unset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "")
+        monkeypatch.setenv("REPRO_WORKERS", "")
+        assert isinstance(resolve_executor(None), SerialExecutor)
+
     def test_run_context_resolves(self):
         ctx = RunContext(executor="thread", max_workers=3)
         ex = ctx.resolve_executor()
