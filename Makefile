@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test lint selflint ruff chaos bench-smoke bench-compare race-check
+.PHONY: check test lint selflint ruff chaos chaos-parallel bench-smoke bench-compare race-check
 
 check: test selflint chaos ruff
 
@@ -13,6 +13,19 @@ test:
 # output (see docs/FAULT_TOLERANCE.md)
 chaos:
 	$(PYTHON) -m repro chaos
+
+# the same suite under the supervised process executor, plus the
+# executor-chaos phase: seeded worker-kills mid-run, asserting the
+# output hash matches the unfailed baseline (docs/PARALLELISM.md,
+# "Worker failure semantics"); the JSON report carries phase timings
+# and is folded into the CI benchmark artifact upload
+chaos-parallel:
+	$(PYTHON) -m repro chaos --executor process --workers 4 \
+		--json > chaos_parallel.json
+	@$(PYTHON) -c "import json; d = json.load(open('chaos_parallel.json')); \
+		assert d['passed'], d; ec = d['executor_chaos']; \
+		print('chaos-parallel passed:', ec['injected'], 'worker fault(s),', \
+		'byte_identical =', ec['byte_identical'])"
 
 # fast machine-readable benchmark: events/sec + peak heap per builtin
 # BT query, a memory-scaling series, per-stage wall times of the

@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 from typing import List, Optional
 
 
@@ -193,6 +194,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="where the kill/resume phase writes its manifest "
         "(default: a temporary directory)",
+    )
+    chaos.add_argument(
+        "--worker-kill-rate",
+        type=float,
+        default=0.3,
+        help="per-draw probability for the executor fault sites "
+        "(worker-kill / task-transient / reply-drop) in the executor "
+        "chaos phase; that phase only runs with a parallel --executor",
     )
     chaos.add_argument(
         "--json",
@@ -536,6 +545,7 @@ def _cmd_lint(args) -> int:
 
 def _cmd_chaos(args) -> int:
     import tempfile
+    import time as _clock
 
     from .bt.queries import UNIFIED_COLUMNS, bot_elimination_query, feature_selection_query
     from .bt.schema import BTConfig
@@ -586,7 +596,10 @@ def _cmd_chaos(args) -> int:
 
     def make_timr(fault_policy=None, **context_changes):
         fs = DistributedFileSystem()
-        fs.write("logs", rows)
+        # partitioned input: with a parallel executor the first stage's
+        # map phase genuinely fans out, so executor-site chaos strikes
+        # pool workers (and its recovery counters reach TiMRResult)
+        fs.write("logs", rows, num_partitions=max(1, args.partitions))
         ctx = base_ctx.derive(fault_policy=fault_policy, **context_changes)
         cluster = Cluster(
             fs=fs,
@@ -598,9 +611,13 @@ def _cmd_chaos(args) -> int:
     def run(timr, **kwargs):
         return timr.run(query, num_partitions=args.partitions, **kwargs)
 
+    timings: dict = {}
+
     # 1. fault-free baseline
     timr, _ = make_timr()
+    t0 = _clock.perf_counter()
     baseline = run(timr)
+    timings["baseline_seconds"] = round(_clock.perf_counter() - t0, 6)
     baseline_hash = dataset_sha256(baseline.output)
     say(
         f"baseline: {len(baseline.fragments)} stage(s), "
@@ -610,7 +627,9 @@ def _cmd_chaos(args) -> int:
     # 2. the same job under a seeded probabilistic fault schedule
     policy = ChaosPolicy(seed=args.seed, rates=args.rate)
     timr, cluster = make_timr(policy)
+    t0 = _clock.perf_counter()
     chaotic = run(timr)
+    timings["chaos_seconds"] = round(_clock.perf_counter() - t0, 6)
     chaos_hash = dataset_sha256(chaotic.output)
     stats = policy.stats
     restarted = sum(s.restarted_partitions for s in chaotic.report.stages)
@@ -640,7 +659,9 @@ def _cmd_chaos(args) -> int:
         print("kill phase: stage killer failed to kill the job", file=sys.stderr)
         return 1
     timr, _ = make_timr(checkpoint_dir=checkpoint_dir, resume=True)
+    t0 = _clock.perf_counter()
     resumed = run(timr)
+    timings["resume_seconds"] = round(_clock.perf_counter() - t0, 6)
     resume_hash = dataset_sha256(resumed.output)
     resume_ok = resume_hash == baseline_hash
     say(
@@ -649,7 +670,57 @@ def _cmd_chaos(args) -> int:
         f"output {'is byte-identical to' if resume_ok else 'DIFFERS from'} "
         f"the fault-free run"
     )
-    passed = chaos_ok and resume_ok
+
+    # 4. executor-layer chaos: kill forked workers, drop replies, and
+    # fault tasks mid-run under a seeded schedule drawn only over the
+    # executor sites (stage schedules untouched), then require
+    # byte-identity with the fault-free baseline. Needs real workers,
+    # so it only runs when a parallel executor was requested.
+    executor_chaos = None
+    exec_ok = True
+    if base_ctx.resolve_executor().parallel:
+        from .mapreduce import EXECUTOR_SITES
+
+        exec_policy = ChaosPolicy(
+            seed=args.seed,
+            rates={site: args.worker_kill_rate for site in EXECUTOR_SITES},
+        )
+        timr, _ = make_timr(exec_policy)
+        t0 = _clock.perf_counter()
+        with warnings.catch_warnings():
+            # budget exhaustion degrading a tier is an expected outcome
+            # under aggressive kill rates, not a suite failure
+            warnings.simplefilter("ignore")
+            survived = run(timr)
+        timings["executor_chaos_seconds"] = round(_clock.perf_counter() - t0, 6)
+        exec_hash = dataset_sha256(survived.output)
+        exec_ok = exec_hash == baseline_hash
+        exec_stats = exec_policy.stats
+        recovery = (survived.parallel or {}).get("recovery", {})
+        say(
+            f"executor chaos(seed={args.seed}, "
+            f"rate={args.worker_kill_rate:g}): injected "
+            f"{exec_stats.injected} executor fault(s) across "
+            f"{dict(sorted(exec_stats.by_site.items()))}; recovery "
+            f"{ {k: v for k, v in sorted(recovery.items()) if v} }"
+        )
+        say(
+            f"executor chaos output "
+            f"{'is byte-identical to' if exec_ok else 'DIFFERS from'} "
+            f"the fault-free run (hash {exec_hash[:12]})"
+        )
+        executor_chaos = {
+            "seed": args.seed,
+            "rate": args.worker_kill_rate,
+            "injected": exec_stats.injected,
+            "by_site": dict(sorted(exec_stats.by_site.items())),
+            "recovery": dict(sorted(recovery.items())),
+            "sha256": exec_hash,
+            "byte_identical": exec_ok,
+        }
+    else:
+        say("executor chaos: skipped (serial executor — nothing to kill)")
+    passed = chaos_ok and resume_ok and exec_ok
     if quiet:
         import json as _json
 
@@ -682,6 +753,8 @@ def _cmd_chaos(args) -> int:
                         "sha256": resume_hash,
                         "byte_identical": resume_ok,
                     },
+                    "executor_chaos": executor_chaos,
+                    "timings": timings,
                     "passed": passed,
                     "exit_code": 0 if passed else 1,
                 },
@@ -731,7 +804,9 @@ def _cmd_profile(args) -> int:
 
     tracer = Tracer()
     fs = DistributedFileSystem()
-    fs.write("logs", rows)
+    # partition the input so a parallel executor's map fan-out (and its
+    # supervision counters) actually appears in the profile
+    fs.write("logs", rows, num_partitions=max(1, args.partitions))
     cluster = Cluster(
         fs=fs,
         cost_model=CostModel(num_machines=args.machines),
@@ -762,6 +837,7 @@ def _cmd_profile(args) -> int:
         "metrics_out": args.metrics_out,
         "jsonl_lines": jsonl_lines,
         "calibration": calibration.as_dict(),
+        "parallel": result.parallel,
     }
     if args.json:
         print(_json.dumps(summary, indent=2, sort_keys=True))
@@ -770,6 +846,17 @@ def _cmd_profile(args) -> int:
     print()
     print("optimizer calibration (estimated vs observed cardinalities):")
     print(calibration.render())
+    if result.parallel is not None:
+        recovery = result.parallel.get("recovery", {})
+        active = {k: v for k, v in sorted(recovery.items()) if v}
+        print()
+        print(
+            f"parallel: {result.parallel['executor']} x "
+            f"{result.parallel['max_workers']} workers, "
+            f"{result.parallel['tasks']} task(s) in "
+            f"{result.parallel['calls']} call(s); "
+            f"supervision: {active if active else 'no recovery activity'}"
+        )
     print()
     print(
         f"wrote {trace_events} trace events to {args.trace_out} "

@@ -510,6 +510,15 @@ class Cluster:
                 kind=executor.kind, max_workers=executor.max_workers
             )
         self.last_parallel.add(executor.last_stats)
+        recovery = executor.last_recovery
+        self.last_parallel.recovery.merge(recovery)
+        if self.tracer.enabled and recovery.any():
+            metrics = self.tracer.metrics
+            for key, value in recovery.as_dict().items():
+                if value:
+                    metrics.counter(
+                        f"executor.{key}", stage=stage.name
+                    ).inc(value)
         results = []
         for pi, res in enumerate(raw):
             if res is None:

@@ -11,14 +11,20 @@ from .context import DEFAULT_CONTEXT, RunContext
 from .dataflow import GROUP_SOURCE, Dataflow, StreamingUnsupported, group_key
 from .parallel import (
     Executor,
+    ExecutorDegradedWarning,
     ParallelSafetyWarning,
     ParallelStats,
     ProcessExecutor,
+    RecoveryStats,
     SerialExecutor,
+    Supervision,
     ThreadExecutor,
+    WorkerLostError,
     WorkerStats,
     force_parallel_requested,
     resolve_executor,
+    resolve_retry_budget,
+    resolve_worker_timeout,
 )
 from .racecheck import (
     RaceFinding,
@@ -31,20 +37,26 @@ __all__ = [
     "DEFAULT_CONTEXT",
     "Dataflow",
     "Executor",
+    "ExecutorDegradedWarning",
     "GROUP_SOURCE",
     "ParallelSafetyWarning",
     "ParallelStats",
     "ProcessExecutor",
     "RaceFinding",
     "RaceWarning",
+    "RecoveryStats",
     "RunContext",
     "SerialExecutor",
     "ShadowRaceChecker",
     "StreamingUnsupported",
+    "Supervision",
     "ThreadExecutor",
+    "WorkerLostError",
     "WorkerStats",
     "force_parallel_requested",
     "group_key",
     "race_check_mode",
     "resolve_executor",
+    "resolve_retry_budget",
+    "resolve_worker_timeout",
 ]

@@ -69,6 +69,14 @@ class RunContext:
             ``"shadow"`` shadow-executes parallel waves serially with
             mutation attribution; ``"perturb"`` additionally reverses
             each wave's task order. See docs/PARALLELISM.md.
+        worker_timeout: seconds the supervised executor waits on a
+            silent worker before declaring it lost and recovering its
+            work inline (``None``: the ``REPRO_PARALLEL_TIMEOUT``
+            environment variable, re-read at call time, then 300).
+        worker_retry_budget: worker deaths tolerated per run before the
+            executor degrades a tier (process → thread → serial) with
+            an ``ExecutorDegradedWarning`` (``None``: the
+            ``REPRO_WORKER_RETRIES`` environment variable, then 3).
     """
 
     tracer: object = NULL_TRACER
@@ -86,12 +94,27 @@ class RunContext:
     max_workers: Optional[int] = None
     force_parallel: bool = False
     race_check: object = False
+    worker_timeout: Optional[float] = None
+    worker_retry_budget: Optional[int] = None
 
     def resolve_executor(self):
-        """The live :class:`~repro.runtime.parallel.Executor` for this run."""
-        from .parallel import resolve_executor
+        """The live :class:`~repro.runtime.parallel.Executor` for this run.
 
-        return resolve_executor(self.executor, self.max_workers)
+        The resolved executor carries a :class:`~repro.runtime.parallel.
+        Supervision` built from this context, so the fault policy (for
+        executor-site chaos draws) and the timeout/retry-budget knobs
+        reach it without widening any ``run_tasks`` call site.
+        """
+        from .parallel import Supervision, resolve_executor
+
+        supervision = Supervision(
+            fault_policy=self.fault_policy,
+            retry_budget=self.worker_retry_budget,
+            worker_timeout=self.worker_timeout,
+        )
+        return resolve_executor(
+            self.executor, self.max_workers, supervision=supervision
+        )
 
     @property
     def metrics(self):

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import itertools
 import time as _time
+import warnings
 from bisect import bisect_left
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -51,7 +52,14 @@ from ..temporal.plan import (
     topological_order,
 )
 from ..temporal.time import MAX_TIME, MIN_TIME
-from .parallel import ParallelStats, WorkerStats
+from .parallel import (
+    ExecutorDegradedWarning,
+    ParallelStats,
+    WorkerLostError,
+    WorkerStats,
+    resolve_retry_budget,
+    resolve_worker_timeout,
+)
 
 #: The reserved source name a GroupApply chain feeds its sub-plan under.
 GROUP_SOURCE = "<group>"
@@ -419,47 +427,17 @@ class _OpNode:
         if self._group_mode == "shard":
             self._advance_group_apply_sharded()
             return
-        node: GroupApplyNode = self.plan_node
         buf = self.inputs[0]
         fresh = buf.take()
         if fresh:
             self.events_in += len(fresh)
             self._fed_since_wave += len(fresh)
-            per_key = _batch_per_key(fresh, node.keys)
-            linear = self._linear_stages
-            for key, events in per_key.items():
-                chain = self._groups.get(key)
-                if chain is None:
-                    if linear is not None:
-                        chain = _LinearChain(node, key, linear)
-                    else:
-                        chain = _GroupChain(node, key, self.flow)
-                    self._groups[key] = chain
-                chain.buffer(events)
-                self._active[key] = chain
-
+            self._feed_local_chains(
+                _batch_per_key(fresh, self.plan_node.keys)
+            )
         w = buf.watermark
-        pending = self._pending
-        seq = self._seq
-        threaded = self._group_mode == "thread"
         if w >= MAX_TIME:
-            # end of input: every chain flushes for real
-            chains = list(self._groups.values())
-            if threaded and len(chains) > 1:
-                all_outs = self.flow.run_chain_tasks(chains, w)
-            else:
-                all_outs = None
-            for i, chain in enumerate(chains):
-                outs = chain.advance(w) if all_outs is None else all_outs[i]
-                if outs:
-                    pending.extend((out.le, next(seq), out) for out in outs)
-            # (le, seq) sort == the cross-group LE merge; seq breaks ties
-            # in chain order, so events never compare
-            pending.sort()
-            self.outputs.extend(item[2] for item in pending)
-            del pending[:]
-            self.flushed = True
-            self.watermark = MAX_TIME
+            self._run_group_flush(w)
             return
         # The batch driver amortizes watermark waves: buffered group
         # input stays bounded by the wave threshold while each chain is
@@ -473,12 +451,56 @@ class _OpNode:
             if self._fed_since_wave < threshold + 2 * len(self._groups):
                 return
         self._fed_since_wave = 0
-        # real-advance only non-idle chains; quiescent chains track the
-        # watermark arithmetically (their delta is a plan constant, so
-        # one representative bound covers all of them)
+        self._run_group_wave(w)
+
+    def _feed_local_chains(self, per_key) -> None:
+        """Buffer one batch of per-key events into driver-local chains."""
+        node: GroupApplyNode = self.plan_node
+        linear = self._linear_stages
+        for key, events in per_key.items():
+            chain = self._groups.get(key)
+            if chain is None:
+                if linear is not None:
+                    chain = _LinearChain(node, key, linear)
+                else:
+                    chain = _GroupChain(node, key, self.flow)
+                self._groups[key] = chain
+            chain.buffer(events)
+            self._active[key] = chain
+
+    def _run_group_flush(self, w: int) -> None:
+        """End of input: every chain flushes for real."""
+        pending = self._pending
+        seq = self._seq
+        chains = list(self._groups.values())
+        if self._group_mode == "thread" and len(chains) > 1:
+            all_outs = self.flow.run_chain_tasks(chains, w)
+        else:
+            all_outs = None
+        for i, chain in enumerate(chains):
+            outs = chain.advance(w) if all_outs is None else all_outs[i]
+            if outs:
+                pending.extend((out.le, next(seq), out) for out in outs)
+        # (le, seq) sort == the cross-group LE merge; seq breaks ties
+        # in chain order, so events never compare
+        pending.sort()
+        self.outputs.extend(item[2] for item in pending)
+        del pending[:]
+        self.flushed = True
+        self.watermark = MAX_TIME
+
+    def _run_group_wave(self, w: int) -> None:
+        """One watermark wave over the driver-local active chains.
+
+        Real-advances only non-idle chains; quiescent chains track the
+        watermark arithmetically (their delta is a plan constant, so
+        one representative bound covers all of them).
+        """
+        pending = self._pending
+        seq = self._seq
         added = False
         items = list(self._active.items())
-        if threaded and len(items) > 1:
+        if self._group_mode == "thread" and len(items) > 1:
             # chain computation fans out; the merge below consumes the
             # results in exactly the order the serial loop would produce
             # them, so sequence numbers — and output bytes — are identical
@@ -545,8 +567,14 @@ class _OpNode:
         backend = self._shards
         if w >= MAX_TIME:
             if backend is not None and self._groups:
+                try:
+                    shard_results = backend.roundtrip("flush", w)
+                except _ShardDegradation as deg:
+                    self._degrade_to_local(deg)
+                    self._run_group_flush(w)
+                    return
                 by_key = {}
-                for result in backend.roundtrip("flush", w):
+                for result in shard_results:
                     for key, outs in result:
                         by_key[key] = outs
                 self.flow.parallel_stats.add(backend.take_stats())
@@ -568,8 +596,14 @@ class _OpNode:
         self._fed_since_wave = 0
         added = False
         if backend is not None and self._active:
+            try:
+                shard_results = backend.roundtrip("wave", w)
+            except _ShardDegradation as deg:
+                self._degrade_to_local(deg)
+                self._run_group_wave(w)
+                return
             by_key = {}
-            for result in backend.roundtrip("wave", w):
+            for result in shard_results:
                 for key, outs, chain_w, idle in result:
                     by_key[key] = (outs, chain_w, idle)
             self.flow.parallel_stats.add(backend.take_stats())
@@ -593,6 +627,51 @@ class _OpNode:
             self.outputs.extend(item[2] for item in pending[:idx])
             del pending[:idx]
         self.watermark = max(self.watermark, group_w)
+
+    def _degrade_to_local(self, deg: "_ShardDegradation") -> None:
+        """Shard recovery exhausted its budget: pull the chains home.
+
+        Every shard's chain state is rebuilt in the driver by replaying
+        that shard's acknowledged message log; the failing wave's feeds
+        are re-buffered without advancing, and the caller immediately
+        re-runs the wave on the local path. Replay applies the same
+        deterministic message semantics the workers did, and the parent
+        ``_groups`` / ``_active`` dicts keep their insertion order, so
+        merge sequence numbers — and output bytes — stay on the serial
+        schedule. The run then continues thread-degraded instead of
+        failing.
+        """
+        flow = self.flow
+        node: GroupApplyNode = self.plan_node
+        settings = _ChainSettings(
+            flow.allow_unstreamable, flow.group_wave_events
+        )
+        chain_by_key: Dict[Tuple, object] = {}
+        for shard, log in enumerate(deg.logs):
+            chains = _ShardChains(node, settings)
+            for msg in log:
+                chains.apply(msg)  # outputs were already delivered
+            # re-buffer the failing wave's feeds; the caller advances
+            tag, fed, _w = deg.current[shard]
+            chains.feed(fed)
+            chain_by_key.update(chains.groups)
+        self._groups = {key: chain_by_key[key] for key in self._groups}
+        self._active = {key: chain_by_key[key] for key in self._active}
+        backend, self._shards = self._shards, None
+        backend.close()
+        flow.parallel_stats.recovery.degradations += 1
+        flow.executor.force_degrade("thread")
+        self._group_mode = "thread"
+        warnings.warn(
+            ExecutorDegradedWarning(
+                f"GroupApply shard worker {deg.shard} (keys "
+                f"{deg.keys_preview()}) kept failing past the retry "
+                f"budget; rebuilt {len(chain_by_key)} chain(s) in the "
+                "driver by deterministic replay and degraded to thread "
+                "execution for the remainder of the run"
+            ),
+            stacklevel=5,
+        )
 
 
 #: Plan nodes whose operators hold no mutable state: one instance can be
@@ -800,57 +879,100 @@ class _ChainSettings:
         self.executor = None  # chains never nest parallelism
 
 
+class _ShardChains:
+    """The real chain state of one shard, driven by wave messages.
+
+    Shared by the forked shard worker loop and the parent-side rebuild
+    after a shard degradation: both apply identical message semantics —
+    chain creation, buffering, activation, idling all follow the exact
+    serial rules — which is what makes replaying a shard's acknowledged
+    message log reproduce its state byte-identically.
+    """
+
+    __slots__ = ("node", "settings", "linear", "groups", "active")
+
+    def __init__(self, node: GroupApplyNode, settings: "_ChainSettings"):
+        self.node = node
+        self.settings = settings
+        self.linear = _linear_stages(node)
+        self.groups: Dict[Tuple, object] = {}
+        self.active: Dict[Tuple, object] = {}
+
+    def feed(self, fed) -> None:
+        node = self.node
+        linear = self.linear
+        for key, events in fed:
+            chain = self.groups.get(key)
+            if chain is None:
+                if linear is not None:
+                    chain = _LinearChain(node, key, linear)
+                else:
+                    chain = _GroupChain(node, key, self.settings)
+                self.groups[key] = chain
+            chain.buffer(events)
+            self.active[key] = chain
+
+    def apply(self, msg):
+        """Process one ``(tag, fed, watermark)`` message; return the
+        keyed reply payload."""
+        tag, fed, w = msg
+        self.feed(fed)
+        if tag == "flush":
+            return [
+                (key, chain.advance(w)) for key, chain in self.groups.items()
+            ]
+        result = []
+        for key, chain in list(self.active.items()):
+            outs = chain.advance(w)
+            if chain.idle_delta is not None:
+                del self.active[key]
+            result.append((key, outs, chain.watermark, chain.idle_delta))
+        return result
+
+
 def _shard_worker(conn, node, settings):  # pragma: no cover - forked child
     """Main loop of one persistent shard worker (runs in a forked child).
 
-    Owns the real chain objects for its subset of keys. Each message
-    carries the events fed since the last wave plus the watermark;
-    chain creation, buffering, activation, and idling follow the exact
-    serial rules, so the child's active set mirrors the parent's proxies.
-    Results go back keyed — the parent re-establishes serial merge order
-    from its own bookkeeping, never from child ordering.
+    Owns the real chain objects for its subset of keys (one
+    :class:`_ShardChains`). Each message carries the events fed since
+    the last wave plus the watermark; the child's active set mirrors the
+    parent's proxies. Results go back keyed — the parent re-establishes
+    serial merge order from its own bookkeeping, never from child
+    ordering.
     """
     import traceback
 
-    linear = _linear_stages(node)
-    groups: Dict[Tuple, object] = {}
-    active: Dict[Tuple, object] = {}
+    chains = _ShardChains(node, settings)
     while True:
         msg = conn.recv()
-        tag = msg[0]
-        if tag == "stop":
+        if msg[0] == "stop":
             return
-        fed, w = msg[1], msg[2]
         t0 = _time.perf_counter()
         try:
-            for key, events in fed:
-                chain = groups.get(key)
-                if chain is None:
-                    if linear is not None:
-                        chain = _LinearChain(node, key, linear)
-                    else:
-                        chain = _GroupChain(node, key, settings)
-                    groups[key] = chain
-                chain.buffer(events)
-                active[key] = chain
-            if tag == "flush":
-                result = [
-                    (key, chain.advance(w)) for key, chain in groups.items()
-                ]
-                advanced = len(result)
-            else:  # wave
-                result = []
-                for key, chain in list(active.items()):
-                    outs = chain.advance(w)
-                    if chain.idle_delta is not None:
-                        del active[key]
-                    result.append(
-                        (key, outs, chain.watermark, chain.idle_delta)
-                    )
-                advanced = len(result)
-            conn.send(("ok", result, advanced, _time.perf_counter() - t0))
+            result = chains.apply(msg)
+            conn.send(("ok", result, len(result), _time.perf_counter() - t0))
         except BaseException:
             conn.send(("err", traceback.format_exc(), 0, 0.0))
+
+
+class _ShardDegradation(Exception):
+    """Internal: a shard exhausted the retry budget. Carries the replay
+    state the owning node needs for a parent-side rebuild; never escapes
+    the dataflow (the node converts it into a local-chain takeover plus
+    an :class:`ExecutorDegradedWarning`).
+    """
+
+    def __init__(self, logs, current, shard, keys, cause):
+        super().__init__(str(cause))
+        self.logs = logs  # per-shard acknowledged-message logs
+        self.current = current  # the failing roundtrip's messages
+        self.shard = shard
+        self.keys = keys
+        self.cause = cause
+
+    def keys_preview(self) -> str:
+        head = ", ".join(repr(k) for k in self.keys[:4])
+        return head + (", ..." if len(self.keys) > 4 else "")
 
 
 class _ShardedGroups:
@@ -862,10 +984,21 @@ class _ShardedGroups:
     costs one round-trip per shard regardless of how many feed calls
     preceded it. All sends go out before any receive, so shards compute
     their waves concurrently.
+
+    Supervision: every acknowledged message is logged per shard. A shard
+    that dies (or goes silent past the worker timeout) is respawned
+    under its original id and its chain state rebuilt by deterministic
+    replay of that log — byte-identical because chain advancement is a
+    pure function of the message sequence. Respawns count against the
+    run's retry budget and charge exponential backoff to simulated
+    time; past the budget, :class:`_ShardDegradation` hands the state
+    to the owning node for a local rebuild instead of failing the run.
     """
 
     def __init__(self, node: GroupApplyNode, flow: "Dataflow"):
         executor = flow.executor
+        self.executor = executor
+        self.flow = flow
         self.num_shards = max(1, executor.max_workers)
         settings = _ChainSettings(
             flow.allow_unstreamable, flow.group_wave_events
@@ -874,12 +1007,20 @@ class _ShardedGroups:
         def shard_main(conn, worker_id):  # pragma: no cover - forked child
             _shard_worker(conn, node, settings)
 
+        self._shard_main = shard_main
         self.handles = executor.spawn_workers(shard_main, self.num_shards)
         self.outbox: List[List[Tuple[Tuple, List[Event]]]] = [
             [] for _ in range(self.num_shards)
         ]
         self._next_shard = 0
         self._stats: List[WorkerStats] = []
+        #: per-shard acknowledged-message logs, the replay source for
+        #: respawn recovery and for the local rebuild after degradation
+        self.logs: List[list] = [[] for _ in range(self.num_shards)]
+        #: per-shard key ownership in first-seen order (error naming)
+        self.keys: List[list] = [[] for _ in range(self.num_shards)]
+        self._key_sets = [set() for _ in range(self.num_shards)]
+        self._restarts = 0
 
     def shard_for_new_key(self) -> int:
         shard = self._next_shard
@@ -887,18 +1028,44 @@ class _ShardedGroups:
         return shard
 
     def queue_feed(self, shard: int, key: Tuple, events: List[Event]) -> None:
+        if key not in self._key_sets[shard]:
+            self._key_sets[shard].add(key)
+            self.keys[shard].append(key)
         self.outbox[shard].append((key, events))
 
     def roundtrip(self, tag: str, watermark: int) -> List[list]:
-        """Send one wave/flush to every shard; return per-shard results."""
-        for shard, handle in enumerate(self.handles):
+        """Send one wave/flush to every shard; return per-shard results.
+
+        Messages are logged only after the whole roundtrip succeeds, so
+        a recovery triggered partway through never replays the in-flight
+        message twice.
+        """
+        num = self.num_shards
+        msgs = []
+        for shard in range(num):
             fed = self.outbox[shard]
             self.outbox[shard] = []
-            handle.send((tag, fed, watermark))
+            msgs.append((tag, fed, watermark))
+        self._inject_kills()
+        timeout = resolve_worker_timeout(self.executor.supervision.worker_timeout)
+        send_failed = [False] * num
+        for shard in range(num):
+            try:
+                self.handles[shard].send(msgs[shard])
+            except WorkerLostError:
+                send_failed[shard] = True
         results = []
         self._stats = []
-        for shard, handle in enumerate(self.handles):
-            status, payload, advanced, busy = handle.recv()
+        for shard in range(num):
+            reply = None
+            if not send_failed[shard]:
+                try:
+                    reply = self.handles[shard].recv(timeout)
+                except WorkerLostError:
+                    reply = None
+            if reply is None:
+                reply = self._recover(shard, msgs)
+            status, payload, advanced, busy = reply
             if status == "err":
                 raise RuntimeError(
                     f"GroupApply shard worker {shard} failed:\n{payload}"
@@ -912,7 +1079,87 @@ class _ShardedGroups:
                     busy_seconds=busy,
                 )
             )
+        for shard in range(num):
+            self.logs[shard].append(msgs[shard])
         return results
+
+    def _inject_kills(self) -> None:
+        """Draw seeded worker-kill chaos and apply it: SIGKILL the chosen
+        children before the wave ships (no goodbye message, like a real
+        crash). Draws happen in the driver, in shard order, so the kill
+        schedule is a pure function of the seed."""
+        policy = self.executor.supervision.fault_policy
+        if policy is None:
+            return
+        from ..mapreduce.faults import WORKER_KILL, InjectedFault
+
+        for shard in range(self.num_shards):
+            try:
+                policy.maybe_fail(WORKER_KILL, "executor.shard", shard, 1)
+            except InjectedFault:
+                process = self.handles[shard].process
+                if process.is_alive():
+                    process.kill()
+                    process.join(5)
+
+    def _recover(self, shard: int, msgs: List[tuple]):
+        """Respawn shard ``shard``, replay its acknowledged log, re-send
+        the in-flight message, and return the reply.
+
+        Each respawn counts against the run's retry budget and charges
+        exponential backoff to simulated time. Past the budget the
+        failure escapes as :class:`_ShardDegradation`.
+        """
+        rec = self.flow.parallel_stats.recovery
+        sup = self.executor.supervision
+        budget = resolve_retry_budget(sup.retry_budget)
+        timeout = resolve_worker_timeout(sup.worker_timeout)
+        keys = self.keys[shard]
+        last_error: Optional[WorkerLostError] = None
+        while True:
+            self._restarts += 1
+            if self._restarts > budget:
+                raise _ShardDegradation(
+                    logs=self.logs,
+                    current=msgs,
+                    shard=shard,
+                    keys=keys,
+                    cause=last_error,
+                ) from last_error
+            rec.worker_restarts += 1
+            rec.backoff_seconds += sup.backoff_base * (
+                1 << min(self._restarts - 1, 20)
+            )
+            old = self.handles[shard]
+            if old.process.is_alive():
+                old.process.kill()
+            old.process.join(5)
+            try:
+                old.conn.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+            (handle,) = self.executor.spawn_workers(
+                self._shard_main, 1, first_id=shard
+            )
+            self.handles[shard] = handle
+            try:
+                # deterministic replay of everything this shard had
+                # acknowledged rebuilds its chain state byte-identically
+                for past in self.logs[shard]:
+                    handle.send(past)
+                    status, payload, _adv, _busy = handle.recv(timeout)
+                    if status == "err":
+                        raise RuntimeError(
+                            f"GroupApply shard worker {shard} failed "
+                            f"during recovery replay:\n{payload}"
+                        )
+                rec.chunks_reexecuted += len(self.logs[shard])
+                handle.send(msgs[shard])
+                return handle.recv(timeout)
+            except WorkerLostError as exc:
+                exc.worker_id = shard
+                exc.keys = tuple(keys)
+                last_error = exc
 
     def take_stats(self) -> List[WorkerStats]:
         stats, self._stats = self._stats, []
@@ -1144,6 +1391,7 @@ class Dataflow:
             return self.race_checker.run_wave(tasks, owners)
         results = self.executor.run_tasks(tasks)
         self.parallel_stats.add(self.executor.last_stats)
+        self.parallel_stats.recovery.merge(self.executor.last_recovery)
         return results
 
     def close(self) -> None:

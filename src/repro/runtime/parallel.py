@@ -41,6 +41,30 @@ that hold per-key chain state across GroupApply watermark waves, which
 is what lets the incremental runtime keep its wave schedule — and hence
 its exact serial output order — under process parallelism (see
 ``runtime/dataflow.py`` and docs/PARALLELISM.md).
+
+Supervision
+-----------
+
+Parallel execution is *supervised*: the driver watches worker process
+sentinels (not just queue timeouts), attributes every in-flight chunk
+to its owning worker, and recovers from worker death by re-executing
+the unacknowledged work inline. Because tasks are pure and the merge is
+position-exact, a recovered run is byte-identical to an unfailed one —
+the same argument the paper makes for MapReduce's restart-based failure
+handling (Section III-C.1), applied one level down.
+
+The knobs live in :class:`Supervision` (threaded in from
+``RunContext``): a per-run worker retry budget
+(``REPRO_WORKER_RETRIES``, default 3) and a call-time-resolved worker
+timeout (``REPRO_PARALLEL_TIMEOUT``, default 300 s). When a worker kind
+keeps failing past the budget, the executor *degrades* — process →
+thread → serial — for the remainder of the run with an
+:class:`ExecutorDegradedWarning` instead of failing the query.
+Supervision activity is reported via :class:`RecoveryStats` (merged
+into :class:`ParallelStats` and ``EngineStats.parallel``); fault
+injection at the executor layer (``worker-kill`` / ``task-transient`` /
+``reply-drop`` sites) is drawn deterministically in the driver — see
+``mapreduce/faults.py`` and docs/FAULT_TOLERANCE.md.
 """
 
 from __future__ import annotations
@@ -48,19 +72,27 @@ from __future__ import annotations
 import os
 import threading
 import time as _time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 __all__ = [
     "Executor",
+    "ExecutorDegradedWarning",
     "ParallelSafetyWarning",
     "ParallelStats",
     "ProcessExecutor",
+    "RecoveryStats",
     "SerialExecutor",
+    "Supervision",
     "ThreadExecutor",
+    "WorkerHandle",
+    "WorkerLostError",
     "WorkerStats",
     "force_parallel_requested",
     "resolve_executor",
+    "resolve_retry_budget",
+    "resolve_worker_timeout",
 ]
 
 #: Environment knobs the default context resolves (see resolve_executor).
@@ -69,6 +101,25 @@ ENV_WORKERS = "REPRO_WORKERS"
 
 #: Skip the parallel-safety gate: run parallel even with findings.
 ENV_FORCE_PARALLEL = "REPRO_FORCE_PARALLEL"
+
+#: Supervision knobs, re-read at call time (see the resolvers below).
+ENV_WORKER_TIMEOUT = "REPRO_PARALLEL_TIMEOUT"
+ENV_RETRY_BUDGET = "REPRO_WORKER_RETRIES"
+
+#: Seconds a driver waits on a worker before declaring it lost.
+#: Generous on purpose: this is a hang breaker, not a performance knob.
+DEFAULT_WORKER_TIMEOUT = 300.0
+
+#: Worker deaths tolerated per run before the executor degrades a tier.
+DEFAULT_RETRY_BUDGET = 3
+
+#: How often the supervised driver wakes to check worker liveness.
+_POLL_INTERVAL = 0.05
+
+#: Injection attempts tolerated at one task-transient key before the
+#: fault is treated as permanent (guards against policies that never
+#: blacklist).
+_MAX_TASK_ATTEMPTS = 32
 
 
 class ParallelSafetyWarning(UserWarning):
@@ -82,6 +133,41 @@ class ParallelSafetyWarning(UserWarning):
     """
 
 
+class ExecutorDegradedWarning(UserWarning):
+    """An executor exhausted its worker retry budget and degraded a tier.
+
+    The run continues — process pools fall back to threads, thread
+    pools to inline serial execution — with identical output (the merge
+    is schedule-independent), just without the failed kind of fan-out.
+    Raise the budget with ``REPRO_WORKER_RETRIES`` or
+    ``RunContext(worker_retry_budget=...)``.
+    """
+
+
+class WorkerLostError(RuntimeError):
+    """A parallel worker died or stopped responding.
+
+    Attributes:
+        worker_id: the worker/shard index, when known.
+        keys: the GroupApply keys the worker owned (persistent shard
+            workers only; empty for per-call pools).
+        timed_out: True when the worker was declared lost by the
+            call-time worker timeout rather than a dead process/pipe.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        worker_id: Optional[int] = None,
+        keys: Sequence = (),
+        timed_out: bool = False,
+    ):
+        super().__init__(message)
+        self.worker_id = worker_id
+        self.keys = tuple(keys)
+        self.timed_out = timed_out
+
+
 def force_parallel_requested(context=None) -> bool:
     """True when the safety gate should be skipped for this run."""
     if context is not None and getattr(context, "force_parallel", False):
@@ -90,9 +176,112 @@ def force_parallel_requested(context=None) -> bool:
         "", "0", "false", "off", "no",
     )
 
-#: Seconds a driver waits on a worker reply before declaring it lost.
-#: Generous on purpose: this is a hang breaker, not a performance knob.
-WORKER_TIMEOUT = float(os.environ.get("REPRO_PARALLEL_TIMEOUT", "300"))
+
+def resolve_worker_timeout(override: Optional[float] = None) -> float:
+    """Worker-lost timeout in seconds, resolved at call time.
+
+    ``override`` (a ``RunContext.worker_timeout`` / ``Supervision``
+    value) wins; otherwise ``REPRO_PARALLEL_TIMEOUT`` is re-read on
+    every call — tests can lower it with ``monkeypatch.setenv`` without
+    reloading the module.
+    """
+    if override is not None:
+        return float(override)
+    raw = os.environ.get(ENV_WORKER_TIMEOUT)
+    if raw:
+        try:
+            return float(raw)
+        except ValueError:
+            raise ValueError(
+                f"{ENV_WORKER_TIMEOUT}={raw!r} is not a number of seconds"
+            ) from None
+    return DEFAULT_WORKER_TIMEOUT
+
+
+def resolve_retry_budget(override: Optional[int] = None) -> int:
+    """Worker deaths tolerated per run, resolved at call time."""
+    if override is not None:
+        return int(override)
+    raw = os.environ.get(ENV_RETRY_BUDGET)
+    if raw:
+        try:
+            return int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{ENV_RETRY_BUDGET}={raw!r} is not an integer retry budget"
+            ) from None
+    return DEFAULT_RETRY_BUDGET
+
+
+@dataclass
+class Supervision:
+    """Per-run supervision settings an executor runs under.
+
+    Built by ``RunContext.resolve_executor()`` so fault policy and
+    timeout/budget knobs reach the executor without widening every
+    ``run_tasks`` call site. ``None`` fields defer to the environment
+    (re-read at call time) and then to the defaults above.
+    """
+
+    fault_policy: Optional[object] = None
+    retry_budget: Optional[int] = None
+    worker_timeout: Optional[float] = None
+    #: base of the exponential backoff charged to *simulated* time per
+    #: recovery (mirrors the cluster's stage-retry accounting)
+    backoff_base: float = 0.05
+
+
+@dataclass
+class RecoveryStats:
+    """Supervision activity during one run (observability only).
+
+    Like :class:`WorkerStats`, nothing here ever feeds back into
+    results: recovery re-executes pure tasks whose values are already
+    determined, so these counters describe *how* the run survived, not
+    *what* it computed.
+    """
+
+    worker_restarts: int = 0
+    chunks_reexecuted: int = 0
+    tasks_reexecuted: int = 0
+    task_retries: int = 0
+    replies_dropped: int = 0
+    deadline_hits: int = 0
+    degradations: int = 0
+    backoff_seconds: float = 0.0
+
+    def any(self) -> bool:
+        return bool(
+            self.worker_restarts
+            or self.chunks_reexecuted
+            or self.tasks_reexecuted
+            or self.task_retries
+            or self.replies_dropped
+            or self.deadline_hits
+            or self.degradations
+        )
+
+    def merge(self, other: "RecoveryStats") -> None:
+        self.worker_restarts += other.worker_restarts
+        self.chunks_reexecuted += other.chunks_reexecuted
+        self.tasks_reexecuted += other.tasks_reexecuted
+        self.task_retries += other.task_retries
+        self.replies_dropped += other.replies_dropped
+        self.deadline_hits += other.deadline_hits
+        self.degradations += other.degradations
+        self.backoff_seconds += other.backoff_seconds
+
+    def as_dict(self) -> dict:
+        return {
+            "worker_restarts": self.worker_restarts,
+            "chunks_reexecuted": self.chunks_reexecuted,
+            "tasks_reexecuted": self.tasks_reexecuted,
+            "task_retries": self.task_retries,
+            "replies_dropped": self.replies_dropped,
+            "deadline_hits": self.deadline_hits,
+            "degradations": self.degradations,
+            "backoff_seconds": round(self.backoff_seconds, 6),
+        }
 
 
 @dataclass
@@ -124,6 +313,7 @@ class ParallelStats:
     stolen_chunks: int = 0
     busy_seconds: float = 0.0
     per_worker: Dict[int, WorkerStats] = field(default_factory=dict)
+    recovery: RecoveryStats = field(default_factory=RecoveryStats)
 
     def add(self, worker_stats: Sequence[WorkerStats]) -> None:
         if not worker_stats:
@@ -143,6 +333,29 @@ class ParallelStats:
             agg.stolen_chunks += ws.stolen_chunks
             agg.busy_seconds += ws.busy_seconds
 
+    def merge(self, other: "ParallelStats") -> "ParallelStats":
+        """Fold another accumulation into this one (returns self).
+
+        Used by multi-stage drivers (TiMR folds per-stage cluster stats
+        into one job-level summary).
+        """
+        self.calls += other.calls
+        self.tasks += other.tasks
+        self.chunks += other.chunks
+        self.stolen_chunks += other.stolen_chunks
+        self.busy_seconds += other.busy_seconds
+        for wid, ws in other.per_worker.items():
+            agg = self.per_worker.get(wid)
+            if agg is None:
+                agg = WorkerStats(worker=wid)
+                self.per_worker[wid] = agg
+            agg.tasks += ws.tasks
+            agg.chunks += ws.chunks
+            agg.stolen_chunks += ws.stolen_chunks
+            agg.busy_seconds += ws.busy_seconds
+        self.recovery.merge(other.recovery)
+        return self
+
     def as_dict(self) -> dict:
         return {
             "executor": self.kind,
@@ -152,6 +365,7 @@ class ParallelStats:
             "chunks": self.chunks,
             "stolen_chunks": self.stolen_chunks,
             "busy_seconds": round(self.busy_seconds, 6),
+            "recovery": self.recovery.as_dict(),
             "workers": [
                 {
                     "worker": ws.worker,
@@ -174,9 +388,26 @@ class _TaskError(Exception):
         self.detail = detail
 
 
+def _raise_lowest(errors: List[_TaskError]) -> None:
+    """Raise the lowest-index failure — independent of scheduling."""
+    first = min(errors, key=lambda e: e.index)
+    raise RuntimeError(
+        f"parallel task {first.index} failed:\n{first.detail}"
+    )
+
+
 def _chunk_size(n_tasks: int, n_workers: int) -> int:
     """Chunks per worker ~4: small enough to steal, big enough to amortize."""
     return max(1, -(-n_tasks // (n_workers * 4)))
+
+
+#: Sentinel for a result slot no worker has acknowledged yet. ``None``
+#: is a legitimate task value (cluster map tasks return it on exotic
+#: faults), so supervision needs a value no task can produce.
+_UNSET = object()
+
+#: Degradation ladder order (None = the executor's native tier).
+_TIER_ORDER = {None: 0, "thread": 1, "serial": 2}
 
 
 class Executor:
@@ -187,18 +418,34 @@ class Executor:
     call (persistent shard workers are owned by the dataflow node that
     spawned them). That makes executor objects cheap, reusable, and safe
     to stash in a frozen :class:`~repro.runtime.RunContext`.
+
+    Supervision state *is* per-instance: worker failures accumulate
+    against the retry budget across calls, and a degradation
+    (:attr:`degraded`) sticks for the remainder of the run.
     """
 
     kind = "serial"
     parallel = False
 
-    def __init__(self, max_workers: Optional[int] = None):
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        supervision: Optional[Supervision] = None,
+    ):
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         self.max_workers = max_workers or (os.cpu_count() or 1)
         #: per-worker stats of the most recent run_tasks call (the
         #: single-threaded driver reads this right after the call)
         self.last_stats: List[WorkerStats] = []
+        #: supervision activity of the most recent run_tasks call
+        self.last_recovery = RecoveryStats()
+        #: (worker id, claimed chunk start) pairs of the workers lost in
+        #: the most recent call — the attribution behind the recovery
+        self.last_lost: List = []
+        self.supervision = supervision if supervision is not None else Supervision()
+        self._degraded: Optional[str] = None
+        self._worker_failures = 0
 
     # -- protocol ------------------------------------------------------------
 
@@ -211,11 +458,154 @@ class Executor:
         """True when :meth:`spawn_workers` provides persistent workers."""
         return False
 
-    def spawn_workers(self, main: Callable, count: int) -> List["WorkerHandle"]:
+    @property
+    def degraded(self) -> Optional[str]:
+        """The tier this executor fell back to (``None``: native tier)."""
+        return self._degraded
+
+    def spawn_workers(
+        self, main: Callable, count: int, first_id: int = 0
+    ) -> List["WorkerHandle"]:
         raise RuntimeError(f"{self.kind} executor has no persistent workers")
+
+    def force_degrade(self, to_kind: str) -> None:
+        """Pin this executor at a lower tier for the rest of the run.
+
+        Used by shard-worker recovery (``runtime/dataflow.py``), which
+        detects budget exhaustion itself and owns the warning; the
+        per-call pools degrade through :meth:`_degrade` instead.
+        """
+        if _TIER_ORDER[to_kind] > _TIER_ORDER[self._degraded]:
+            self._degraded = to_kind
+            self._worker_failures = 0  # a fresh budget for the new tier
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} workers={self.max_workers}>"
+
+    # -- supervision helpers -------------------------------------------------
+
+    def _predraw_task_retries(self, n: int, rec: RecoveryStats, stage: str) -> None:
+        """Consult the fault policy for per-task transient faults.
+
+        Draws happen in the driver in task order — never in workers — so
+        the injection schedule is independent of OS scheduling, exactly
+        like the cluster's pre-consulted map draws. Each injected fault
+        charges exponential backoff to *simulated* time and retries the
+        (virtual) attempt; blacklisting bounds the loop, with a hard cap
+        as a backstop for policies that never relent.
+        """
+        policy = self.supervision.fault_policy
+        if policy is None:
+            return
+        from ..mapreduce.faults import TASK_TRANSIENT, InjectedFault
+
+        base = self.supervision.backoff_base
+        for i in range(n):
+            attempt = 1
+            while True:
+                try:
+                    policy.maybe_fail(TASK_TRANSIENT, stage, i, attempt)
+                    break
+                except InjectedFault as fault:
+                    if attempt >= _MAX_TASK_ATTEMPTS:
+                        raise RuntimeError(
+                            f"task {i} still faulting after "
+                            f"{_MAX_TASK_ATTEMPTS} attempts at {stage}"
+                        ) from fault
+                    rec.task_retries += 1
+                    rec.backoff_seconds += base * (1 << (attempt - 1))
+                    attempt += 1
+
+    def _predraw_worker_kills(self, count: int, stage: str, first_id: int = 0):
+        """Which workers the seeded chaos policy kills this call."""
+        policy = self.supervision.fault_policy
+        if policy is None:
+            return set()
+        from ..mapreduce.faults import WORKER_KILL, InjectedFault
+
+        doomed = set()
+        for wid in range(first_id, first_id + count):
+            try:
+                policy.maybe_fail(WORKER_KILL, stage, wid, 1)
+            except InjectedFault:
+                doomed.add(wid)
+        return doomed
+
+    def _predraw_reply_drops(self, n: int, chunk: int, stage: str):
+        """Chunk starts whose first reply the driver will discard."""
+        policy = self.supervision.fault_policy
+        if policy is None:
+            return set()
+        from ..mapreduce.faults import REPLY_DROP, InjectedFault
+
+        drops = set()
+        for ci, start in enumerate(range(0, n, chunk)):
+            try:
+                policy.maybe_fail(REPLY_DROP, stage, ci, 1)
+            except InjectedFault:
+                drops.add(start)
+        return drops
+
+    def _refill_missing(
+        self, tasks, results: List[object], rec: RecoveryStats, chunk: int
+    ) -> List[_TaskError]:
+        """Re-execute every task whose result never arrived, inline.
+
+        This is the recovery ground truth: whatever messages were lost
+        (dead worker, dropped reply, abandoned thread), any slot still
+        unacknowledged is recomputed in the driver. Tasks are pure, so
+        the refilled values are byte-identical to what the worker would
+        have sent.
+        """
+        missing = [i for i, r in enumerate(results) if r is _UNSET]
+        if not missing:
+            return []
+        import traceback
+
+        rec.tasks_reexecuted += len(missing)
+        rec.chunks_reexecuted += len({i // chunk for i in missing})
+        errors: List[_TaskError] = []
+        for i in missing:
+            try:
+                results[i] = tasks[i]()
+            except BaseException:
+                errors.append(_TaskError(i, traceback.format_exc()))
+        return errors
+
+    def _note_worker_failures(self, count: int, rec: RecoveryStats) -> None:
+        """Charge ``count`` worker deaths against the run's retry budget."""
+        if count <= 0:
+            return
+        rec.worker_restarts += count
+        base = self.supervision.backoff_base
+        for _ in range(count):
+            self._worker_failures += 1
+            rec.backoff_seconds += base * (
+                1 << min(self._worker_failures - 1, 20)
+            )
+        budget = resolve_retry_budget(self.supervision.retry_budget)
+        if self._worker_failures > budget:
+            self._degrade(rec)
+
+    def _degrade(self, rec: RecoveryStats) -> None:
+        if self._degraded == "serial":
+            return
+        nxt = (
+            "thread"
+            if self.kind == "process" and self._degraded is None
+            else "serial"
+        )
+        self.force_degrade(nxt)
+        rec.degradations += 1
+        warnings.warn(
+            ExecutorDegradedWarning(
+                f"{self.kind} executor exceeded its worker retry budget; "
+                f"degrading to {nxt} execution for the remainder of the "
+                f"run (raise the budget with {ENV_RETRY_BUDGET} or "
+                f"RunContext(worker_retry_budget=...))"
+            ),
+            stacklevel=4,
+        )
 
 
 class SerialExecutor(Executor):
@@ -224,10 +614,15 @@ class SerialExecutor(Executor):
     kind = "serial"
     parallel = False
 
-    def __init__(self, max_workers: Optional[int] = None):
-        super().__init__(max_workers=1)
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        supervision: Optional[Supervision] = None,
+    ):
+        super().__init__(max_workers=1, supervision=supervision)
 
     def run_tasks(self, tasks: Sequence[Callable[[], object]]) -> List[object]:
+        self.last_recovery = RecoveryStats()
         t0 = _time.perf_counter()
         results = [task() for task in tasks]
         self.last_stats = [
@@ -249,11 +644,13 @@ class ThreadExecutor(Executor):
 
     def run_tasks(self, tasks: Sequence[Callable[[], object]]) -> List[object]:
         n = len(tasks)
-        if n <= 1:
+        if self._degraded == "serial" or n <= 1:
             return SerialExecutor.run_tasks(self, tasks)
+        rec = self.last_recovery = RecoveryStats()
+        self._predraw_task_retries(n, rec, "executor.pool")
         workers = min(self.max_workers, n)
         chunk = _chunk_size(n, workers)
-        results: List[object] = [None] * n
+        results: List[object] = [_UNSET] * n
         errors: List[_TaskError] = []
         cursor = [0]
         lock = threading.Lock()
@@ -295,19 +692,26 @@ class ThreadExecutor(Executor):
         ]
         for t in threads:
             t.start()
+        timeout = resolve_worker_timeout(self.supervision.worker_timeout)
+        deadline = _time.monotonic() + timeout
+        stalled = 0
         for t in threads:
-            t.join(WORKER_TIMEOUT)
-            if t.is_alive():  # pragma: no cover - hang breaker
-                raise RuntimeError(
-                    f"parallel worker {t.name} did not finish within "
-                    f"{WORKER_TIMEOUT:.0f}s"
-                )
+            t.join(max(0.0, deadline - _time.monotonic()))
+            if t.is_alive():
+                stalled += 1
         self.last_stats = stats
         if errors:
-            first = min(errors, key=lambda e: e.index)
-            raise RuntimeError(
-                f"parallel task {first.index} failed:\n{first.detail}"
-            )
+            _raise_lowest(errors)
+        if stalled:
+            # deadline recovery: abandon the stuck daemon threads and
+            # re-run their unfinished tasks inline. A straggler that
+            # races a late write stores the identical value (tasks are
+            # pure), so the refill stays byte-identical.
+            rec.deadline_hits += 1
+            refill_errors = self._refill_missing(tasks, results, rec, chunk)
+            if refill_errors:
+                _raise_lowest(refill_errors)
+            self._note_worker_failures(stalled, rec)
         return results
 
 
@@ -319,16 +723,51 @@ class WorkerHandle:
         self.conn = conn
         self.worker_id = worker_id
 
-    def send(self, message) -> None:
-        self.conn.send(message)
+    def alive(self) -> bool:
+        """Liveness straight from the process sentinel."""
+        return self.process.is_alive()
 
-    def recv(self):
-        if not self.conn.poll(WORKER_TIMEOUT):  # pragma: no cover - hang breaker
-            raise RuntimeError(
+    def send(self, message) -> None:
+        try:
+            self.conn.send(message)
+        except (OSError, ValueError) as exc:
+            raise WorkerLostError(
+                f"shard worker {self.worker_id} is gone "
+                f"(send failed: {exc!r})",
+                worker_id=self.worker_id,
+            ) from exc
+
+    def recv(self, timeout: Optional[float] = None):
+        """Receive one reply, or raise :class:`WorkerLostError`.
+
+        ``timeout`` overrides the call-time-resolved worker timeout. A
+        dead pipe (the worker crashed) and a silent worker are both
+        reported as :class:`WorkerLostError` naming the worker, so shard
+        supervision can recover either the same way.
+        """
+        limit = resolve_worker_timeout(timeout)
+        try:
+            ready = self.conn.poll(limit)
+        except (OSError, ValueError) as exc:
+            raise WorkerLostError(
+                f"shard worker {self.worker_id} died (pipe unusable: {exc!r})",
+                worker_id=self.worker_id,
+            ) from exc
+        if not ready:
+            state = "alive but silent" if self.alive() else "dead"
+            raise WorkerLostError(
                 f"shard worker {self.worker_id} sent no reply within "
-                f"{WORKER_TIMEOUT:.0f}s"
+                f"{limit:.0f}s (process is {state})",
+                worker_id=self.worker_id,
+                timed_out=True,
             )
-        return self.conn.recv()
+        try:
+            return self.conn.recv()
+        except EOFError as exc:
+            raise WorkerLostError(
+                f"shard worker {self.worker_id} died mid-reply (pipe closed)",
+                worker_id=self.worker_id,
+            ) from exc
 
     def close(self) -> None:
         try:
@@ -360,6 +799,14 @@ class ProcessExecutor(ThreadExecutor):
     tagged with their task index, so the merge is position-exact. Task
     results must therefore be picklable — events and rows with plain
     payloads are; exotic payload objects should use threads instead.
+
+    The pool is *supervised*: the driver polls child sentinels while it
+    drains the result queue, attributes each claimed chunk to its owner
+    through a shared claims array, and re-executes any unacknowledged
+    task inline when a worker dies — byte-identically, since tasks are
+    pure and slots are position-exact. Worker deaths count against the
+    run's retry budget; exhausting it degrades the executor to threads
+    (then serial) with an :class:`ExecutorDegradedWarning`.
     """
 
     kind = "process"
@@ -370,23 +817,51 @@ class ProcessExecutor(ThreadExecutor):
 
     @property
     def supports_shards(self) -> bool:
-        return self.can_fork
+        return self.can_fork and self._degraded is None
 
     def run_tasks(self, tasks: Sequence[Callable[[], object]]) -> List[object]:
         n = len(tasks)
-        if n <= 1 or not self.can_fork:
+        if self._degraded is not None or n <= 1 or not self.can_fork:
             return super().run_tasks(tasks)
+        rec = self.last_recovery = RecoveryStats()
+        sup = self.supervision
         ctx = _fork_context()
         workers = min(self.max_workers, n)
         chunk = _chunk_size(n, workers)
+        # seeded executor chaos, drawn serially in the driver so the
+        # schedule is reproducible (workers never consult the policy)
+        kill_plan = self._predraw_worker_kills(workers, "executor.pool")
+        drop_plan = self._predraw_reply_drops(n, chunk, "executor.pool")
+        self._predraw_task_retries(n, rec, "executor.pool")
         cursor = ctx.Value("l", 0)
+        claims = ctx.Array("l", [-1] * workers)
         queue = ctx.Queue()
 
         def child(wid: int) -> None:  # pragma: no cover - runs in fork
             import traceback
 
+            if wid in kill_plan:
+                # injected crash: claim one chunk if work remains, burn
+                # half of it, then die holding the claim with nothing
+                # reported — the driver must notice and recover. Dying
+                # unconditionally (even when siblings drained the
+                # cursor first) keeps the kill schedule deterministic.
+                with cursor.get_lock():
+                    start = cursor.value
+                    if start < n:
+                        cursor.value = start + chunk
+                        claims[wid] = start
+                    else:
+                        start = n
+                for i in range(start, (start + min(start + chunk, n)) // 2):
+                    try:
+                        tasks[i]()
+                    except BaseException:
+                        pass
+                os._exit(113)
             tasks_done = chunks = stolen = 0
             t0 = _time.perf_counter()
+            failed = False
             try:
                 while True:
                     with cursor.get_lock():
@@ -394,15 +869,27 @@ class ProcessExecutor(ThreadExecutor):
                         if start >= n:
                             break
                         cursor.value = start + chunk
+                        claims[wid] = start
                     chunks += 1
                     if chunks > 1:
                         stolen += 1
                     end = min(start + chunk, n)
-                    try:
-                        block = [tasks[i]() for i in range(start, end)]
-                    except BaseException:
-                        queue.put(("err", wid, start, traceback.format_exc()))
-                        break
+                    block = []
+                    for i in range(start, end):
+                        try:
+                            block.append(tasks[i]())
+                        except BaseException:
+                            # report the completed prefix, then the true
+                            # failing task index (not the chunk start)
+                            if block:
+                                queue.put(("ok", wid, start, block))
+                            queue.put(
+                                ("err", wid, i, traceback.format_exc())
+                            )
+                            failed = True
+                            break
+                    if failed:
+                        break  # this worker stops; others drain the cursor
                     tasks_done += end - start
                     queue.put(("ok", wid, start, block))
             finally:
@@ -421,28 +908,58 @@ class ProcessExecutor(ThreadExecutor):
         ]
         for p in procs:
             p.start()
-        results: List[object] = [None] * n
+        results: List[object] = [_UNSET] * n
         stats = [WorkerStats(worker=i) for i in range(workers)]
         errors: List[_TaskError] = []
-        pending = workers
-        try:
-            import queue as _queue_mod
+        done = set()
+        lost = set()
+        timeout = resolve_worker_timeout(sup.worker_timeout)
+        import queue as _queue_mod
 
-            while pending:
+        last_progress = _time.monotonic()
+        try:
+            while len(done) + len(lost) < workers:
                 try:
-                    msg = queue.get(timeout=WORKER_TIMEOUT)
-                except _queue_mod.Empty:  # pragma: no cover - hang breaker
-                    raise RuntimeError(
-                        f"process pool produced no message within "
-                        f"{WORKER_TIMEOUT:.0f}s ({pending} worker(s) pending)"
-                    ) from None
+                    msg = queue.get(timeout=_POLL_INTERVAL)
+                except _queue_mod.Empty:
+                    # no message: check the process sentinels, not just
+                    # the clock — a crashed child never sends "done"
+                    progressed = False
+                    for wid, p in enumerate(procs):
+                        if wid in done or wid in lost:
+                            continue
+                        if not p.is_alive():
+                            p.join()
+                            lost.add(wid)
+                            progressed = True
+                    now = _time.monotonic()
+                    if progressed:
+                        last_progress = now
+                    elif now - last_progress > timeout:
+                        # every worker claims alive yet nothing arrives:
+                        # per-call deadline. Reap the pool and recover
+                        # inline rather than failing the run.
+                        rec.deadline_hits += 1
+                        for wid, p in enumerate(procs):
+                            if wid not in done:
+                                p.terminate()
+                                p.join(5)
+                                lost.add(wid)
+                    continue
+                last_progress = _time.monotonic()
                 tag = msg[0]
                 if tag == "ok":
-                    _, _, start, block = msg
+                    _, wid, start, block = msg
+                    if start in drop_plan:
+                        # injected reply loss: the block vanishes in the
+                        # pipe; the refill pass recovers the slots
+                        drop_plan.discard(start)
+                        rec.replies_dropped += 1
+                        continue
                     results[start : start + len(block)] = block
                 elif tag == "err":
-                    _, _, start, detail = msg
-                    errors.append(_TaskError(start, detail))
+                    _, wid, index, detail = msg
+                    errors.append(_TaskError(index, detail))
                 else:  # done
                     _, wid, (tasks_done, chunks, stolen, busy) = msg
                     ws = stats[wid]
@@ -452,7 +969,11 @@ class ProcessExecutor(ThreadExecutor):
                         stolen,
                         busy,
                     )
-                    pending -= 1
+                    if wid in lost:
+                        # the liveness probe raced a clean exit whose
+                        # stats were still in flight — not a crash
+                        lost.discard(wid)
+                    done.add(wid)
         finally:
             for p in procs:
                 p.join(5)
@@ -462,26 +983,34 @@ class ProcessExecutor(ThreadExecutor):
             queue.close()
             queue.join_thread()
         self.last_stats = stats
+        # attribution: which chunk each lost worker held when it died
+        self.last_lost = [
+            (wid, claims[wid]) for wid in sorted(lost) if claims[wid] >= 0
+        ]
         if errors:
-            first = min(errors, key=lambda e: e.index)
-            raise RuntimeError(
-                f"parallel task chunk at {first.index} failed:\n{first.detail}"
-            )
+            _raise_lowest(errors)
+        refill_errors = self._refill_missing(tasks, results, rec, chunk)
+        if refill_errors:
+            _raise_lowest(refill_errors)
+        self._note_worker_failures(len(lost), rec)
         return results
 
-    def spawn_workers(self, main: Callable, count: int) -> List[WorkerHandle]:
+    def spawn_workers(
+        self, main: Callable, count: int, first_id: int = 0
+    ) -> List[WorkerHandle]:
         """Fork ``count`` persistent workers, each running ``main(conn, id)``.
 
         ``main`` is inherited through fork (closures welcome); it must
         loop on ``conn.recv()`` until it reads ``("stop",)``. Used by the
         dataflow's sharded GroupApply backend, which owns the handles'
-        lifecycle.
+        lifecycle. ``first_id`` lets shard recovery respawn a worker
+        under its original shard id.
         """
         if not self.can_fork:
             raise RuntimeError("persistent shard workers require os.fork")
         ctx = _fork_context()
         handles = []
-        for wid in range(count):
+        for wid in range(first_id, first_id + count):
             parent_conn, child_conn = ctx.Pipe()
             proc = ctx.Process(
                 target=_shard_entry, args=(main, child_conn, wid), daemon=True
@@ -502,7 +1031,7 @@ def _shard_entry(main, conn, worker_id):  # pragma: no cover - runs in fork
             pass
 
 
-#: The shared inline executor (no state worth isolating per run).
+#: The shared inline executor (serial runs have no supervision state).
 SERIAL = SerialExecutor()
 
 _KINDS = {
@@ -512,7 +1041,11 @@ _KINDS = {
 }
 
 
-def resolve_executor(spec=None, max_workers: Optional[int] = None) -> Executor:
+def resolve_executor(
+    spec=None,
+    max_workers: Optional[int] = None,
+    supervision: Optional[Supervision] = None,
+) -> Executor:
     """Resolve an executor spec (string / instance / None) to an instance.
 
     ``None`` defers to the environment: ``REPRO_EXECUTOR`` names the
@@ -524,8 +1057,14 @@ def resolve_executor(spec=None, max_workers: Optional[int] = None) -> Executor:
 
     ``"auto"`` picks processes when ``fork`` is available (real
     multi-core speedup) and threads otherwise.
+
+    ``supervision`` (when given) is attached to the resolved executor —
+    including a passed-through instance, so a context's fault policy and
+    timeout/budget knobs always reach the executor that runs under it.
     """
     if isinstance(spec, Executor):
+        if supervision is not None:
+            spec.supervision = supervision
         return spec
     if spec is None:
         spec = os.environ.get(ENV_EXECUTOR) or None
@@ -552,7 +1091,7 @@ def resolve_executor(spec=None, max_workers: Optional[int] = None) -> Executor:
         # one worker cannot fan out; keep the cheap inline path unless the
         # caller explicitly asked for a kind with default (cpu_count) workers
         if max_workers is not None:
-            return SerialExecutor()
+            return SerialExecutor(supervision=supervision)
     try:
         cls = _KINDS[spec]
     except KeyError:
@@ -560,4 +1099,4 @@ def resolve_executor(spec=None, max_workers: Optional[int] = None) -> Executor:
             f"unknown executor {spec!r}; expected one of "
             f"{sorted(_KINDS)} or 'auto'"
         ) from None
-    return cls(max_workers=max_workers)
+    return cls(max_workers=max_workers, supervision=supervision)

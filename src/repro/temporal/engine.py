@@ -73,7 +73,8 @@ class EngineStats:
         self.operator_labels: Dict[str, str] = {}
         self.wall_seconds = 0.0
         #: per-worker fan-out summary of a parallel run (executor kind,
-        #: workers, tasks, stolen chunks, busy seconds); None when serial
+        #: workers, tasks, stolen chunks, busy seconds, plus supervision
+        #: recovery counters under ``"recovery"``); None when serial
         self.parallel: Optional[dict] = None
 
     @property
@@ -116,6 +117,18 @@ class EngineStats:
                     + other.parallel.get("busy_seconds", 0.0),
                     6,
                 )
+                ours = merged.get("recovery")
+                theirs = other.parallel.get("recovery")
+                if theirs and ours:
+                    folded = dict(ours)
+                    for field, value in theirs.items():
+                        folded[field] = folded.get(field, 0) + value
+                    folded["backoff_seconds"] = round(
+                        folded.get("backoff_seconds", 0.0), 6
+                    )
+                    merged["recovery"] = folded
+                elif theirs:
+                    merged["recovery"] = dict(theirs)
                 merged.pop("workers", None)  # worker identity is per-run
                 self.parallel = merged
         return self
@@ -322,6 +335,14 @@ class Engine:
         stats.output_events = len(output)
         if flow.parallel_stats is not None:
             stats.parallel = flow.parallel_stats.as_dict()
+            recovery = flow.parallel_stats.recovery
+            if tracer.enabled and recovery.any():
+                # supervision activity (worker restarts, re-executed
+                # chunks, degradations) is rare enough to always surface
+                metrics = tracer.metrics
+                for key, value in recovery.as_dict().items():
+                    if value:
+                        metrics.counter(f"engine.executor_{key}").inc(value)
         keys = plan_node_keys(root)
         for node, events_in, events_out, busy in flow.node_stats():
             key = keys.get(node.node_id)

@@ -42,6 +42,9 @@ class TiMRResult:
     annotation: Optional[AnnotationResult]
     resumed_stages: int = 0
     quarantined_rows: int = 0
+    #: ``ParallelStats.as_dict()`` of the cluster's map fan-out — worker
+    #: summary plus supervision ``recovery`` counters; None when serial
+    parallel: Optional[dict] = None
 
     def output_rows(self) -> List[dict]:
         return self.output.all_rows()
@@ -236,6 +239,7 @@ class TiMR:
         stages: List[CompiledStage] = []
         output: Optional[DistributedFile] = None
         resumed = 0
+        job_parallel = None  # folded across stages (run_stage resets its own)
         tracer = self.tracer
         with tracer.span(
             "timr.job", category="timr", job=job_name, fragments=len(fragments)
@@ -282,6 +286,16 @@ class TiMR:
                         quarantine_name=quarantine_name,
                     )
                     report.stages.extend(self.cluster.last_report.stages)
+                    stage_parallel = self.cluster.last_parallel
+                    if stage_parallel is not None:
+                        if job_parallel is None:
+                            from ..runtime.parallel import ParallelStats
+
+                            job_parallel = ParallelStats(
+                                kind=stage_parallel.kind,
+                                max_workers=stage_parallel.max_workers,
+                            )
+                        job_parallel.merge(stage_parallel)
                     if tracer.enabled:
                         frag_span.set("rows_out", output.num_rows)
                         tracer.metrics.counter(
@@ -317,6 +331,9 @@ class TiMR:
             annotation=annotation,
             resumed_stages=resumed,
             quarantined_rows=quarantined,
+            parallel=(
+                job_parallel.as_dict() if job_parallel is not None else None
+            ),
         )
 
     def run_many(

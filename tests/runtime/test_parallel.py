@@ -105,6 +105,23 @@ class TestProcessExecutor:
         with pytest.raises(RuntimeError, match="ZeroDivisionError"):
             ex.run_tasks(tasks)
 
+    def test_error_reports_true_task_index(self):
+        """The reported index is the failing *task's*, not its chunk's
+        start — and with two failures, the lowest index wins just like
+        the thread executor."""
+
+        def boom(i):
+            raise ValueError(f"boom-{i}")
+
+        tasks = _square_tasks(40)
+        tasks[7] = lambda: boom(7)  # chunk start would be 5 with 2 workers
+        ex = ProcessExecutor(max_workers=2)
+        with pytest.raises(RuntimeError, match="parallel task 7 failed"):
+            ex.run_tasks(tasks)
+        tasks[3] = lambda: boom(3)
+        with pytest.raises(RuntimeError, match="parallel task 3 failed"):
+            ex.run_tasks(tasks)
+
     def test_spawn_workers_echo_and_close(self):
         secret = {"tag": "inherited-through-fork"}
 
@@ -129,6 +146,29 @@ class TestProcessExecutor:
             for h in handles:
                 h.close()
         assert all(not h.process.is_alive() for h in handles)
+
+
+class TestProcessExecutorNoFork:
+    """Platforms without ``os.fork``: the process executor must keep
+    working with thread semantics instead of crashing at import or call
+    time."""
+
+    @pytest.fixture(autouse=True)
+    def _no_fork(self, monkeypatch):
+        monkeypatch.setattr(ProcessExecutor, "can_fork", False)
+
+    def test_run_tasks_falls_back_to_threads(self):
+        ex = ProcessExecutor(max_workers=4)
+        assert ex.run_tasks(_square_tasks(23)) == [i * i for i in range(23)]
+        assert sum(ws.tasks for ws in ex.last_stats) == 23
+
+    def test_no_shard_support(self):
+        assert not ProcessExecutor(max_workers=2).supports_shards
+
+    def test_spawn_workers_raises(self):
+        ex = ProcessExecutor(max_workers=2)
+        with pytest.raises(RuntimeError, match="require os.fork"):
+            ex.spawn_workers(lambda conn, wid: None, 2)
 
 
 class TestResolveExecutor:

@@ -18,6 +18,7 @@ from hypothesis import strategies as st
 from repro.analysis import builtin_query_suite
 from repro.data import GeneratorConfig, generate
 from repro.mapreduce import (
+    WORKER_KILL,
     ChaosPolicy,
     Cluster,
     CostModel,
@@ -155,7 +156,16 @@ BAD_ROWS = [
 ]
 
 
-def _timr_run(rows, executor, *, seed=None, checkpoint_dir=None, resume=False):
+def _timr_run(
+    rows,
+    executor,
+    *,
+    seed=None,
+    checkpoint_dir=None,
+    resume=False,
+    worker_policy=None,
+    worker_retry_budget=None,
+):
     """One TiMR run of the combined BT job over ``rows`` (quarantine on)."""
     from repro.bt import BTConfig, bot_elimination_query, feature_selection_query
     from repro.temporal import Query
@@ -172,7 +182,8 @@ def _timr_run(rows, executor, *, seed=None, checkpoint_dir=None, resume=False):
         # each attempt passes two fault sites with separate blacklists
         kwargs["max_restarts"] = 2 * policy.blacklist_after + 1
     fs = DistributedFileSystem()
-    fs.write("logs", rows, require_time_column=False)
+    # partitioned input so the first stage's map phase genuinely fans out
+    fs.write("logs", rows, num_partitions=3, require_time_column=False)
     cluster = Cluster(
         fs=fs,
         cost_model=CostModel(num_machines=4),
@@ -182,6 +193,11 @@ def _timr_run(rows, executor, *, seed=None, checkpoint_dir=None, resume=False):
             quarantine=True,
             checkpoint_dir=checkpoint_dir,
             resume=resume,
+            # worker-level (executor-site) chaos rides the context: the
+            # cluster re-resolves its executor per stage, rebuilding the
+            # Supervision from these fields each time
+            fault_policy=worker_policy,
+            worker_retry_budget=worker_retry_budget,
         ),
         **kwargs,
     )
@@ -213,6 +229,89 @@ def test_chaos_quarantine_identical_under_process_executor(seed, dirty_rows):
         dirty_rows, ProcessExecutor(max_workers=2), seed=seed
     )
     assert serial_q is not None  # the malformed rows really were diverted
+    assert forked_out == serial_out
+    assert forked_q == serial_q
+
+
+# ---------------------------------------------------------------------------
+# Worker crash recovery: killed forked workers in BOTH parallel modes
+# must leave the bytes untouched (ISSUE 7 acceptance)
+# ---------------------------------------------------------------------------
+
+
+@needs_fork
+def test_shard_worker_kill_byte_identical_to_serial():
+    """Persistent shard mode: seeded executor chaos kills a forked shard
+    worker mid-run; deterministic replay rebuilds it and the raw output
+    bytes and EngineStats counters equal the unfailed serial baseline."""
+    from repro.temporal import Query
+    from repro.temporal.time import days
+
+    query = Query.source("logs", ("Time", "UserId", "Clicks")).group_apply(
+        ("UserId",), lambda g: g.window(days(1)).count()
+    )
+    rows = [{"Time": i * 3600, "UserId": i % 7, "Clicks": 1} for i in range(400)]
+    serial, serial_stats = run_with(SerialExecutor(), query, rows)
+    # seed 8 at rate 0.4 kills a shard on the very first roundtrip
+    policy = ChaosPolicy(seed=8, rates={WORKER_KILL: 0.4})
+    engine = Engine(
+        context=RunContext(
+            executor="process",
+            max_workers=4,
+            fault_policy=policy,
+            worker_retry_budget=20,
+        )
+    )
+    out = engine.run(query, {"logs": rows}, validate=False)
+    stats = engine.last_stats
+    assert policy.stats.by_site.get(WORKER_KILL, 0) >= 1  # a kill happened
+    assert stats.parallel["recovery"]["worker_restarts"] >= 1
+    assert raw_bytes(out) == raw_bytes(serial)
+    assert stats.input_events == serial_stats.input_events
+    assert stats.output_events == serial_stats.output_events
+    assert stats.operator_events == serial_stats.operator_events
+
+
+@needs_fork
+def test_pool_worker_kill_byte_identical_to_serial(dirty_rows):
+    """Per-call pool mode: executor chaos kills forked map workers
+    mid-fan-out; gap-fill re-execution keeps the TiMR output *and* the
+    quarantine dead-letter dataset byte-identical to the serial run."""
+    _, serial_out, serial_q = _timr_run(dirty_rows, SerialExecutor())
+    policy = ChaosPolicy(seed=4, rates={WORKER_KILL: 1.0})
+    executor = ProcessExecutor(max_workers=4)
+    result, forked_out, forked_q = _timr_run(
+        dirty_rows, executor, worker_policy=policy, worker_retry_budget=50
+    )
+    assert policy.stats.by_site.get(WORKER_KILL, 0) >= 1
+    assert forked_out == serial_out
+    assert forked_q == serial_q
+    assert serial_q is not None
+    assert result.parallel is not None
+    assert result.parallel["recovery"]["worker_restarts"] >= 1
+    assert executor.degraded is None  # recovered within budget, no ladder
+
+
+@needs_fork
+def test_pool_budget_exhaustion_degrades_yet_matches_serial(dirty_rows):
+    """Past the retry budget the pool degrades process → thread with a
+    structured warning instead of failing — and the bytes still match."""
+    import warnings
+
+    from repro.runtime import ExecutorDegradedWarning
+
+    _, serial_out, serial_q = _timr_run(dirty_rows, SerialExecutor())
+    executor = ProcessExecutor(max_workers=4)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        _, forked_out, forked_q = _timr_run(
+            dirty_rows,
+            executor,
+            worker_policy=ChaosPolicy(seed=4, rates={WORKER_KILL: 1.0}),
+            worker_retry_budget=0,
+        )
+    assert any(issubclass(w.category, ExecutorDegradedWarning) for w in caught)
+    assert executor.degraded == "thread"
     assert forked_out == serial_out
     assert forked_q == serial_q
 

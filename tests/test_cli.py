@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.cli import main
+from repro.runtime import ProcessExecutor
 
 
 @pytest.fixture(scope="module")
@@ -410,3 +411,45 @@ class TestChaos:
         assert doc["resume"]["byte_identical"] is True
         assert doc["baseline"]["sha256"] == doc["chaos"]["sha256"]
         assert doc["resume"]["resumed_stages"] >= 1
+        # serial default: the executor-chaos phase is explicitly skipped
+        assert doc["executor_chaos"] is None
+        assert set(doc["timings"]) >= {
+            "baseline_seconds",
+            "chaos_seconds",
+            "resume_seconds",
+        }
+
+    @pytest.mark.skipif(
+        not ProcessExecutor.can_fork, reason="fork start method unavailable"
+    )
+    def test_executor_chaos_phase_kills_workers_byte_identically(
+        self, tmp_path, capsys
+    ):
+        rc = main(
+            [
+                "chaos",
+                "--users",
+                "25",
+                "--days",
+                "1",
+                "--executor",
+                "process",
+                "--workers",
+                "4",
+                "--worker-kill-rate",
+                "0.5",
+                "--json",
+                "--checkpoint-dir",
+                str(tmp_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        doc = json.loads(out)
+        assert rc == 0, out
+        assert doc["passed"] is True
+        ec = doc["executor_chaos"]
+        assert ec["byte_identical"] is True
+        assert ec["sha256"] == doc["baseline"]["sha256"]
+        assert ec["rate"] == 0.5
+        assert ec["injected"] >= 1  # seeded chaos really struck workers
+        assert "executor_chaos_seconds" in doc["timings"]
