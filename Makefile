@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test lint selflint ruff chaos chaos-parallel bench-smoke bench-compare race-check
+.PHONY: check test lint selflint ruff chaos chaos-parallel bench-smoke bench-compare bench-trend race-check
 
 check: test selflint chaos ruff
 
@@ -30,16 +30,24 @@ chaos-parallel:
 # fast machine-readable benchmark: events/sec + peak heap per builtin
 # BT query, a memory-scaling series, per-stage wall times of the
 # combined TiMR job, and the serial-vs-parallel speedup table, written
-# to BENCH_pr5.json (CI uploads it as a non-gating artifact)
+# to BENCH_current.json (git-ignored; CI uploads it as a non-gating
+# artifact). Committed reference baselines live in benchmarks/baselines/.
 bench-smoke:
-	$(PYTHON) benchmarks/bench_smoke.py --out BENCH_pr5.json
+	$(PYTHON) benchmarks/bench_smoke.py --out BENCH_current.json
 
 # re-measure into a scratch artifact and compare per-query events/sec
-# against the committed BENCH_pr5.json baseline; exits non-zero when a
-# query regresses past the threshold (CI runs this non-gating)
+# against the committed baseline; exits non-zero when a query regresses
+# past the threshold (CI runs this non-gating)
 bench-compare:
 	$(PYTHON) benchmarks/bench_smoke.py --out BENCH_current.json \
-		--baseline BENCH_pr5.json
+		--baseline benchmarks/baselines/BENCH_pr5.json
+
+# run-over-run tracking: append the current artifact to
+# BENCH_history.jsonl and compare against the best-known per-query
+# events/sec across every committed baseline and prior history entry.
+# Always exits 0 (the report is advisory; pass --strict to gate).
+bench-trend: bench-smoke
+	$(PYTHON) benchmarks/trend.py --run BENCH_current.json
 
 # the tier-1 suite under the shadow race checker: every parallel wave is
 # replayed serially with owning-schedule attribution; byte-identity means

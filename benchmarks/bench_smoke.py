@@ -2,8 +2,10 @@
 
 Unlike the figure benchmarks (pytest-benchmark suites sized for
 EXPERIMENTS.md), this is a fast standalone script — ``make bench-smoke``
-— that emits one JSON artifact (default ``BENCH_pr5.json``) CI uploads
-on every push:
+— that emits one JSON artifact (default ``BENCH_current.json``) CI
+uploads on every push. Committed reference artifacts live under
+``benchmarks/baselines/`` (one per PR that re-baselined); generated
+root-level ``BENCH_*.json`` files stay git-ignored. The artifact:
 
 * ``queries`` — events/sec of every built-in BT query that runs over
   the unified log, measured on the single-node engine (EngineStats),
@@ -32,12 +34,18 @@ tracking data, not gates — CI runs this step non-blocking.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_smoke.py --out BENCH_pr5.json
+    PYTHONPATH=src python benchmarks/bench_smoke.py --out BENCH_current.json
 
     # compare against a committed artifact; exits 1 when any query's
     # events/sec drops past --regression-threshold (default 0.5)
     PYTHONPATH=src python benchmarks/bench_smoke.py \
-        --out BENCH_new.json --baseline BENCH_pr5.json
+        --out BENCH_current.json \
+        --baseline benchmarks/baselines/BENCH_pr5.json
+
+For run-over-run tracking against the *best* known numbers (not just
+one pinned baseline), feed the artifact to ``benchmarks/trend.py`` —
+``make bench-trend`` — which appends to ``BENCH_history.jsonl`` and
+prints a non-gating regression/improvement report.
 """
 
 from __future__ import annotations
@@ -264,7 +272,7 @@ def compare_to_baseline(doc: dict, baseline: dict, threshold: float) -> list:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default="BENCH_pr5.json")
+    parser.add_argument("--out", default="BENCH_current.json")
     parser.add_argument(
         "--baseline",
         default=None,

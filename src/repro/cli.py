@@ -21,7 +21,13 @@ Commands:
 * ``profile`` — run a pipeline with the telemetry layer enabled and
   export the span tree + metrics (Chrome ``trace_event`` JSON for
   Perfetto, JSON-lines for CI, a terminal tree) plus the optimizer's
-  estimated-vs-observed calibration table.
+  estimated-vs-observed calibration table. Artifacts land in
+  ``--out-dir`` (default ``profile_out/``) rather than the working
+  directory; relative ``--trace-out`` / ``--metrics-out`` paths resolve
+  under it. With ``--parallel`` (and a parallel ``--executor``) the
+  Chrome trace gains one lane per worker including supervision events,
+  and an overhead attribution table decomposes the worker-time budget
+  against a serial-equivalent run (docs/OBSERVABILITY.md).
 
 Exit codes (stable; CI relies on them):
 
@@ -33,7 +39,8 @@ Exit codes (stable; CI relies on them):
   ``parallel.dynamic-race`` alone still exit 0); ``chaos`` produced
   divergent output or could not be killed/resumed as scheduled.
 * ``2`` — usage or input errors: StreamSQL parse failures, plans
-  rejected by pre-flight analysis, bad flags, unreadable files. The
+  rejected by pre-flight analysis, bad flags, unreadable files,
+  ``profile --parallel`` when the resolved executor is serial. The
   diagnostic is a single line on stderr, never a traceback.
 
 ``lint``, ``chaos``, and ``profile`` accept ``--json``, which replaces
@@ -229,14 +236,31 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--machines", type=int, default=8)
     profile.add_argument("--partitions", type=int, default=4)
     profile.add_argument(
+        "--out-dir",
+        default="profile_out",
+        metavar="DIR",
+        help="directory for generated artifacts (created if missing); "
+        "relative --trace-out / --metrics-out paths land inside it",
+    )
+    profile.add_argument(
         "--trace-out",
         default="trace.json",
-        help="Chrome trace_event output path (open in ui.perfetto.dev)",
+        help="Chrome trace_event output path (open in ui.perfetto.dev); "
+        "relative paths resolve under --out-dir",
     )
     profile.add_argument(
         "--metrics-out",
         default="metrics.jsonl",
-        help="JSON-lines spans+metrics output path",
+        help="JSON-lines spans+metrics output path; relative paths "
+        "resolve under --out-dir",
+    )
+    profile.add_argument(
+        "--parallel",
+        action="store_true",
+        help="decompose the parallel run's worker-time budget "
+        "(serialize/dispatch/compute/idle/merge/supervision) into an "
+        "attribution table against a serial-equivalent run; requires a "
+        "parallel --executor",
     )
     profile.add_argument(
         "--max-depth",
@@ -770,8 +794,29 @@ def _cmd_chaos(args) -> int:
     return 1
 
 
+def _profile_run(query, rows, args, tracer):
+    """One TiMR run of the profile query on a fresh simulated cluster."""
+    from .mapreduce import Cluster, CostModel, DistributedFileSystem
+    from .runtime import RunContext
+    from .timr import TiMR
+
+    fs = DistributedFileSystem()
+    # partition the input so a parallel executor's map fan-out (and its
+    # supervision counters) actually appears in the profile
+    fs.write("logs", rows, num_partitions=max(1, args.partitions))
+    cluster = Cluster(
+        fs=fs,
+        cost_model=CostModel(num_machines=args.machines),
+        context=RunContext(tracer=tracer, **_exec_overrides(args)),
+    )
+    timr = TiMR(cluster)
+    return timr, timr.run(query, num_partitions=args.partitions)
+
+
 def _cmd_profile(args) -> int:
     import json as _json
+    import os
+    import time as _time
 
     from .bt.queries import (
         UNIFIED_COLUMNS,
@@ -779,12 +824,32 @@ def _cmd_profile(args) -> int:
         feature_selection_query,
     )
     from .bt.schema import BTConfig
-    from .mapreduce import Cluster, CostModel, DistributedFileSystem
     from .obs import Tracer, calibrate, render_tree, write_chrome_trace, write_jsonl
+    from .obs.attribution import attribute, render_table
     from .runtime import RunContext
     from .temporal import Query
     from .temporal.time import days
-    from .timr import TiMR
+
+    if args.parallel:
+        # fail fast on a serial resolution instead of printing an empty
+        # attribution table at the end of an expensive run
+        probe = RunContext(**_exec_overrides(args)).resolve_executor()
+        if probe.kind == "serial" or probe.max_workers < 2:
+            print(
+                "repro profile: --parallel needs a parallel executor "
+                f"(resolved {probe.kind} x {probe.max_workers}); pass "
+                "--executor thread|process with --workers >= 2",
+                file=sys.stderr,
+            )
+            return 2
+
+    def _resolve_out(path: str) -> str:
+        return path if os.path.isabs(path) else os.path.join(args.out_dir, path)
+
+    trace_out = _resolve_out(args.trace_out)
+    metrics_out = _resolve_out(args.metrics_out)
+    if not (os.path.isabs(args.trace_out) and os.path.isabs(args.metrics_out)):
+        os.makedirs(args.out_dir, exist_ok=True)
 
     if args.data is not None:
         rows = _load_rows(args.data).rows
@@ -803,23 +868,35 @@ def _cmd_profile(args) -> int:
     query = feature_selection_query(clean, cfg, days(3))
 
     tracer = Tracer()
-    fs = DistributedFileSystem()
-    # partition the input so a parallel executor's map fan-out (and its
-    # supervision counters) actually appears in the profile
-    fs.write("logs", rows, num_partitions=max(1, args.partitions))
-    cluster = Cluster(
-        fs=fs,
-        cost_model=CostModel(num_machines=args.machines),
-        context=RunContext(tracer=tracer, **_exec_overrides(args)),
-    )
-    timr = TiMR(cluster)
-    result = timr.run(query, num_partitions=args.partitions)
+    wall_t0 = _time.perf_counter()
+    timr, result = _profile_run(query, rows, args, tracer)
+    parallel_wall = _time.perf_counter() - wall_t0
+
+    attribution = None
+    serial_wall = None
+    if args.parallel:
+        # serial-equivalent twin: same query, same data, NULL_TRACER and
+        # one worker — the honest baseline the speedup column reports
+        from .obs.trace import NULL_TRACER
+
+        class _SerialArgs:
+            machines = args.machines
+            partitions = args.partitions
+            executor = "serial"
+            workers = 1
+            force_parallel = getattr(args, "force_parallel", False)
+
+        serial_t0 = _time.perf_counter()
+        _profile_run(query, rows, _SerialArgs, NULL_TRACER)
+        serial_wall = _time.perf_counter() - serial_t0
+        overhead = (result.parallel or {}).get("overhead", {})
+        attribution = attribute(overhead, serial_wall_seconds=serial_wall)
 
     calibration = calibrate(
         result.fragments, result.report, timr.statistics, {"logs": len(rows)}
     )
-    trace_events = write_chrome_trace(tracer, args.trace_out)
-    jsonl_lines = write_jsonl(tracer, args.metrics_out)
+    trace_events = write_chrome_trace(tracer, trace_out)
+    jsonl_lines = write_jsonl(tracer, metrics_out)
 
     spans = tracer.finished()
     by_category: dict = {}
@@ -832,13 +909,25 @@ def _cmd_profile(args) -> int:
         "output_rows": result.output.num_rows,
         "spans": len(spans),
         "spans_by_category": dict(sorted(by_category.items())),
-        "trace_out": args.trace_out,
+        "out_dir": args.out_dir,
+        "trace_out": trace_out,
         "trace_events": trace_events,
-        "metrics_out": args.metrics_out,
+        "metrics_out": metrics_out,
         "jsonl_lines": jsonl_lines,
         "calibration": calibration.as_dict(),
         "parallel": result.parallel,
+        "wall_seconds": round(parallel_wall, 6),
     }
+    if attribution is not None:
+        summary["attribution"] = {
+            "components": {k: round(v, 6) for k, v in attribution.components.items()},
+            "budget_seconds": round(attribution.budget_seconds, 6),
+            "coverage": round(attribution.coverage, 4),
+            "dominant_overhead": attribution.dominant_overhead,
+            "parallel_wall_seconds": round(attribution.wall_seconds, 6),
+            "serial_wall_seconds": round(serial_wall, 6),
+            "speedup": round(attribution.speedup, 4) if attribution.speedup else None,
+        }
     if args.json:
         print(_json.dumps(summary, indent=2, sort_keys=True))
         return 0
@@ -857,12 +946,15 @@ def _cmd_profile(args) -> int:
             f"{result.parallel['calls']} call(s); "
             f"supervision: {active if active else 'no recovery activity'}"
         )
+    if attribution is not None:
+        print()
+        print(render_table(attribution))
     print()
     print(
-        f"wrote {trace_events} trace events to {args.trace_out} "
+        f"wrote {trace_events} trace events to {trace_out} "
         "(open in ui.perfetto.dev or chrome://tracing)"
     )
-    print(f"wrote {jsonl_lines} span/metric lines to {args.metrics_out}")
+    print(f"wrote {jsonl_lines} span/metric lines to {metrics_out}")
     return 0
 
 

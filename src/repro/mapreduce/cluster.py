@@ -512,12 +512,17 @@ class Cluster:
         self.last_parallel.add(executor.last_stats)
         recovery = executor.last_recovery
         self.last_parallel.recovery.merge(recovery)
+        self.last_parallel.overhead.merge(executor.last_overhead)
         if self.tracer.enabled and recovery.any():
             metrics = self.tracer.metrics
             for key, value in recovery.as_dict().items():
                 if value:
+                    # how far a killed pool worker got is a race, so the
+                    # re-execution counts stay out of the deterministic
+                    # snapshot
                     metrics.counter(
-                        f"executor.{key}", stage=stage.name
+                        f"executor.{key}", stage=stage.name,
+                        deterministic=False,
                     ).inc(value)
         results = []
         for pi, res in enumerate(raw):

@@ -1,7 +1,8 @@
 """``repro.obs`` — the unified telemetry layer.
 
 Spans (:mod:`~repro.obs.trace`), metrics (:mod:`~repro.obs.metrics`),
-exporters (:mod:`~repro.obs.export`), and optimizer calibration
+exporters (:mod:`~repro.obs.export`), executor overhead attribution
+(:mod:`~repro.obs.attribution`), and optimizer calibration
 (:mod:`~repro.obs.calibration`) shared by the temporal engine, the
 simulated cluster, TiMR, and the streaming engine. See
 ``docs/OBSERVABILITY.md`` for the span model and metric catalog.
@@ -9,19 +10,30 @@ simulated cluster, TiMR, and the streaming engine. See
 Tracing is off by default everywhere: every instrumented constructor
 takes ``tracer=None`` and substitutes :data:`NULL_TRACER`, whose spans
 and instruments are shared no-ops, so disabled runs execute the exact
-pre-instrumentation code path.
+pre-instrumentation code path. Tracing crosses the process boundary via
+:class:`WorkerSpanRecorder` buffers shipped back with worker results and
+folded in with :func:`absorb_worker_state`.
 """
 
+from .attribution import (
+    AttributionReport,
+    COMPONENTS,
+    TRACER_OVERHEAD_BUDGET_FACTOR,
+    attribute,
+    render_table,
+)
 from .calibration import CalibrationReport, OperatorCalibration, calibrate
 from .export import (
     chrome_trace,
     render_tree,
+    sim_trace_tree,
     span_record,
     write_chrome_trace,
     write_jsonl,
 )
 from .metrics import (
     DEFAULT_BUCKETS,
+    TIME_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -29,9 +41,18 @@ from .metrics import (
     NullRegistry,
     NULL_REGISTRY,
 )
-from .trace import NULL_TRACER, NullTracer, Span, Tracer
+from .trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    WorkerSpanRecorder,
+    absorb_worker_state,
+)
 
 __all__ = [
+    "AttributionReport",
+    "COMPONENTS",
     "CalibrationReport",
     "Counter",
     "DEFAULT_BUCKETS",
@@ -44,10 +65,17 @@ __all__ = [
     "NullTracer",
     "OperatorCalibration",
     "Span",
+    "TIME_BUCKETS",
+    "TRACER_OVERHEAD_BUDGET_FACTOR",
     "Tracer",
+    "WorkerSpanRecorder",
+    "absorb_worker_state",
+    "attribute",
     "calibrate",
     "chrome_trace",
+    "render_table",
     "render_tree",
+    "sim_trace_tree",
     "span_record",
     "write_chrome_trace",
     "write_jsonl",

@@ -11,6 +11,11 @@ Three formats, one tracer:
   ``chrome://tracing`` or https://ui.perfetto.dev.
 * :func:`render_tree` — a terminal summary: the span tree with wall
   times and the most useful attributes inline.
+
+Plus one *comparison* view: :func:`sim_trace_tree`, the canonical
+deterministic form of a trace — wall times and scheduling-dependent
+attributes stripped, children canonically ordered — which is what the
+same-seed identity tests compare across executors and chaos runs.
 """
 
 from __future__ import annotations
@@ -69,10 +74,23 @@ def write_jsonl(tracer: Tracer, out: Union[str, IO[str]]) -> int:
 def chrome_trace(tracer: Tracer) -> dict:
     """The tracer's spans as a Chrome ``trace_event`` JSON document.
 
-    All spans go on one pid/tid (instrumented code runs single-threaded),
-    so viewers nest them by time containment; categories become the
-    ``cat`` field for filtering/coloring in the UI.
+    Spans carrying a ``lane`` attribute (absorbed worker spans,
+    supervision events) are routed to a per-lane ``tid`` so the viewer
+    renders one timeline row per worker; everything else — the
+    single-threaded driver — stays on the ``driver`` row (tid 1).
+    Zero-duration spans become instant events (``"ph": "i"``), the
+    markers supervision uses for kills/respawns/replays/degradations.
+    Categories become the ``cat`` field for filtering/coloring.
     """
+    lanes = sorted(
+        {
+            str(span.attrs["lane"])
+            for span in tracer.finished()
+            if "lane" in span.attrs
+        }
+        - {"driver"}  # driver-lane spans (recovery) share the driver row
+    )
+    tid_by_lane = {lane: tid for tid, lane in enumerate(lanes, start=2)}
     events: List[dict] = [
         {
             "ph": "M",
@@ -86,22 +104,49 @@ def chrome_trace(tracer: Tracer) -> dict:
             "pid": 1,
             "tid": 1,
             "name": "thread_name",
-            "args": {"name": "pipeline"},
+            "args": {"name": "driver"},
         },
     ]
-    for span in tracer.finished():
+    for lane in lanes:
         events.append(
             {
-                "ph": "X",
+                "ph": "M",
                 "pid": 1,
-                "tid": 1,
-                "name": span.name,
-                "cat": span.category or "span",
-                "ts": round((span.start - tracer.epoch) * 1e6, 3),
-                "dur": round(span.wall_seconds * 1e6, 3),
-                "args": _json_safe(span.attrs),
+                "tid": tid_by_lane[lane],
+                "name": "thread_name",
+                "args": {"name": lane},
             }
         )
+    for span in tracer.finished():
+        lane = span.attrs.get("lane")
+        tid = tid_by_lane.get(str(lane), 1) if lane is not None else 1
+        ts = round((span.start - tracer.epoch) * 1e6, 3)
+        if span.end == span.start:
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "pid": 1,
+                    "tid": tid,
+                    "name": span.name,
+                    "cat": span.category or "span",
+                    "ts": ts,
+                    "args": _json_safe(span.attrs),
+                }
+            )
+        else:
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": tid,
+                    "name": span.name,
+                    "cat": span.category or "span",
+                    "ts": ts,
+                    "dur": round(span.wall_seconds * 1e6, 3),
+                    "args": _json_safe(span.attrs),
+                }
+            )
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
@@ -111,6 +156,54 @@ def write_chrome_trace(tracer: Tracer, path: str) -> int:
     with open(path, "w", encoding="utf-8") as fp:
         json.dump(doc, fp)
     return len(doc["traceEvents"])
+
+
+#: Attributes excluded from :func:`sim_trace_tree`: values that depend on
+#: OS scheduling / which worker won a chunk, not on the data.
+_SCHED_ATTRS = frozenset(
+    {"lane", "worker", "recovered", "pid", "sort_seconds", "busy_seconds",
+     "send_seconds"}
+)
+
+
+def sim_trace_tree(tracer: Tracer, exclude_categories=()) -> list:
+    """The canonical deterministic view of a trace, for equality checks.
+
+    Strips everything scheduling-dependent — wall-clock times, span ids,
+    and the attributes in ``_SCHED_ATTRS`` (worker lane, recovery
+    markers, measured busy/sort durations) — keeping names, categories,
+    and the remaining (``sim_*``, row-count, byte-count) attributes.
+    Children are ordered by their canonical JSON form, not by start
+    time, so work-stealing cannot reorder the tree. Two same-seed runs
+    must produce equal trees regardless of executor choice or injected
+    chaos; ``exclude_categories`` drops whole subtrees (e.g.
+    ``("supervision",)`` when comparing a chaos run against a clean one).
+    """
+    exclude = frozenset(exclude_categories)
+    by_parent: dict = {}
+    for span in tracer.finished():
+        if span.category in exclude:
+            continue
+        by_parent.setdefault(span.parent_id, []).append(span)
+
+    def canon(node: dict) -> str:
+        return json.dumps(node, sort_keys=True)
+
+    def node(span: Span) -> dict:
+        return {
+            "name": span.name,
+            "category": span.category,
+            "attrs": {
+                str(k): _json_safe(v)
+                for k, v in sorted(span.attrs.items())
+                if k not in _SCHED_ATTRS
+            },
+            "children": sorted(
+                (node(c) for c in by_parent.get(span.span_id, ())), key=canon
+            ),
+        }
+
+    return sorted((node(r) for r in by_parent.get(None, ())), key=canon)
 
 
 #: Span attributes surfaced inline by :func:`render_tree`, in this order.

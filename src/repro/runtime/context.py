@@ -111,6 +111,7 @@ class RunContext:
             fault_policy=self.fault_policy,
             retry_budget=self.worker_retry_budget,
             worker_timeout=self.worker_timeout,
+            tracer=self.tracer,
         )
         return resolve_executor(
             self.executor, self.max_workers, supervision=supervision

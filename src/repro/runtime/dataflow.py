@@ -52,8 +52,10 @@ from ..temporal.plan import (
     topological_order,
 )
 from ..temporal.time import MAX_TIME, MIN_TIME
+from ..obs.trace import NULL_TRACER, WorkerSpanRecorder, absorb_worker_state
 from .parallel import (
     ExecutorDegradedWarning,
+    OverheadStats,
     ParallelStats,
     WorkerLostError,
     WorkerStats,
@@ -500,6 +502,12 @@ class _OpNode:
         seq = self._seq
         added = False
         items = list(self._active.items())
+        if self.flow.tracer.enabled:
+            # wave width is a pure function of the data and the wave
+            # schedule — identical across executors and seeds alike
+            self.flow.tracer.metrics.histogram("dataflow.wave_width").observe(
+                len(items)
+            )
         if self._group_mode == "thread" and len(items) > 1:
             # chain computation fans out; the merge below consumes the
             # results in exactly the order the serial loop would produce
@@ -595,6 +603,10 @@ class _OpNode:
                 return
         self._fed_since_wave = 0
         added = False
+        if self.flow.tracer.enabled:
+            self.flow.tracer.metrics.histogram("dataflow.wave_width").observe(
+                len(self._active)
+            )
         if backend is not None and self._active:
             try:
                 shard_results = backend.roundtrip("wave", w)
@@ -660,6 +672,11 @@ class _OpNode:
         backend, self._shards = self._shards, None
         backend.close()
         flow.parallel_stats.recovery.degradations += 1
+        if flow.tracer.enabled:
+            flow.tracer.event(
+                "supervision.degraded", category="supervision",
+                lane="driver", to="thread", shard=deg.shard,
+            )
         flow.executor.force_degrade("thread")
         self._group_mode = "thread"
         warnings.warn(
@@ -869,14 +886,25 @@ class _ChainProxy:
 
 
 class _ChainSettings:
-    """The two Dataflow fields a chain constructor reads, fork-portable."""
+    """The Dataflow fields a chain constructor reads, fork-portable.
 
-    __slots__ = ("allow_unstreamable", "group_wave_events", "executor")
+    ``trace`` tells a forked shard worker to record wave spans/metrics
+    into a :class:`~repro.obs.trace.WorkerSpanRecorder` and ship the
+    buffer back with each reply (the chains themselves never read it).
+    """
 
-    def __init__(self, allow_unstreamable: bool, group_wave_events: int):
+    __slots__ = ("allow_unstreamable", "group_wave_events", "executor", "trace")
+
+    def __init__(
+        self,
+        allow_unstreamable: bool,
+        group_wave_events: int,
+        trace: bool = False,
+    ):
         self.allow_unstreamable = allow_unstreamable
         self.group_wave_events = group_wave_events
         self.executor = None  # chains never nest parallelism
+        self.trace = trace
 
 
 class _ShardChains:
@@ -947,10 +975,29 @@ def _shard_worker(conn, node, settings):  # pragma: no cover - forked child
         msg = conn.recv()
         if msg[0] == "stop":
             return
+        recorder = WorkerSpanRecorder() if settings.trace else None
         t0 = _time.perf_counter()
         try:
-            result = chains.apply(msg)
-            conn.send(("ok", result, len(result), _time.perf_counter() - t0))
+            if recorder is not None:
+                with recorder.span(
+                    "shard.wave", category="worker", tag=msg[0], fed=len(msg[1])
+                ) as span:
+                    result = chains.apply(msg)
+                    span.set("keys", len(result))
+                busy = _time.perf_counter() - t0
+                import pickle as _pickle
+
+                s0 = _time.perf_counter()
+                payload_bytes = len(_pickle.dumps(result))
+                send_s = _time.perf_counter() - s0
+                recorder.metrics.histogram(
+                    "executor.pipe_bytes", deterministic=False
+                ).observe(payload_bytes)
+                extras = {"send_seconds": send_s, "state": recorder.state()}
+                conn.send(("ok", result, len(result), busy, extras))
+            else:
+                result = chains.apply(msg)
+                conn.send(("ok", result, len(result), _time.perf_counter() - t0))
         except BaseException:
             conn.send(("err", traceback.format_exc(), 0, 0.0))
 
@@ -1001,7 +1048,9 @@ class _ShardedGroups:
         self.flow = flow
         self.num_shards = max(1, executor.max_workers)
         settings = _ChainSettings(
-            flow.allow_unstreamable, flow.group_wave_events
+            flow.allow_unstreamable,
+            flow.group_wave_events,
+            trace=flow.tracer.enabled,
         )
 
         def shard_main(conn, worker_id):  # pragma: no cover - forked child
@@ -1009,6 +1058,12 @@ class _ShardedGroups:
 
         self._shard_main = shard_main
         self.handles = executor.spawn_workers(shard_main, self.num_shards)
+        if flow.tracer.enabled:
+            for shard in range(self.num_shards):
+                flow.tracer.event(
+                    "supervision.spawn", category="supervision",
+                    lane=f"shard-{shard}", worker=shard, tier="shard",
+                )
         self.outbox: List[List[Tuple[Tuple, List[Event]]]] = [
             [] for _ in range(self.num_shards)
         ]
@@ -1041,6 +1096,9 @@ class _ShardedGroups:
         message twice.
         """
         num = self.num_shards
+        tracer = self.flow.tracer
+        overhead = OverheadStats()
+        call_t0 = _time.perf_counter()
         msgs = []
         for shard in range(num):
             fed = self.outbox[shard]
@@ -1049,38 +1107,68 @@ class _ShardedGroups:
         self._inject_kills()
         timeout = resolve_worker_timeout(self.executor.supervision.worker_timeout)
         send_failed = [False] * num
+        d0 = _time.perf_counter()
         for shard in range(num):
             try:
                 self.handles[shard].send(msgs[shard])
             except WorkerLostError:
                 send_failed[shard] = True
+        overhead.dispatch_seconds = _time.perf_counter() - d0
         results = []
         self._stats = []
         for shard in range(num):
             reply = None
+            recovered = False
             if not send_failed[shard]:
                 try:
                     reply = self.handles[shard].recv(timeout)
                 except WorkerLostError:
                     reply = None
             if reply is None:
+                s0 = _time.perf_counter()
                 reply = self._recover(shard, msgs)
-            status, payload, advanced, busy = reply
+                overhead.supervision_seconds += _time.perf_counter() - s0
+                recovered = True
+            # older 4-tuple replies (and test fakes) carry no extras
+            status, payload, advanced, busy = reply[:4]
+            extras = reply[4] if len(reply) > 4 else None
             if status == "err":
                 raise RuntimeError(
                     f"GroupApply shard worker {shard} failed:\n{payload}"
                 )
+            m0 = _time.perf_counter()
             results.append(payload)
+            send_s = 0.0
+            if extras is not None:
+                send_s = extras.get("send_seconds", 0.0)
+                if tracer.enabled:
+                    # shard order is deterministic, so absorbed span
+                    # insertion order reproduces across runs
+                    absorb_worker_state(
+                        tracer,
+                        extras.get("state"),
+                        lane=f"shard-{shard}",
+                        worker=shard,
+                        **({"recovered": True} if recovered else {}),
+                    )
             self._stats.append(
                 WorkerStats(
                     worker=shard,
                     tasks=advanced,
                     chunks=1 if advanced else 0,
                     busy_seconds=busy,
+                    serialize_seconds=send_s,
                 )
             )
+            overhead.merge_seconds += _time.perf_counter() - m0
         for shard in range(num):
             self.logs[shard].append(msgs[shard])
+        overhead.compute_seconds = sum(ws.busy_seconds for ws in self._stats)
+        overhead.serialize_seconds = sum(
+            ws.serialize_seconds for ws in self._stats
+        )
+        overhead.finish(_time.perf_counter() - call_t0, num)
+        self.flow.parallel_stats.overhead.merge(overhead)
         return results
 
     def _inject_kills(self) -> None:
@@ -1093,10 +1181,16 @@ class _ShardedGroups:
             return
         from ..mapreduce.faults import WORKER_KILL, InjectedFault
 
+        tracer = self.flow.tracer
         for shard in range(self.num_shards):
             try:
                 policy.maybe_fail(WORKER_KILL, "executor.shard", shard, 1)
             except InjectedFault:
+                if tracer.enabled:
+                    tracer.event(
+                        "supervision.worker_kill", category="supervision",
+                        lane=f"shard-{shard}", worker=shard,
+                    )
                 process = self.handles[shard].process
                 if process.is_alive():
                     process.kill()
@@ -1112,6 +1206,7 @@ class _ShardedGroups:
         """
         rec = self.flow.parallel_stats.recovery
         sup = self.executor.supervision
+        tracer = self.flow.tracer
         budget = resolve_retry_budget(sup.retry_budget)
         timeout = resolve_worker_timeout(sup.worker_timeout)
         keys = self.keys[shard]
@@ -1142,12 +1237,20 @@ class _ShardedGroups:
                 self._shard_main, 1, first_id=shard
             )
             self.handles[shard] = handle
+            if tracer.enabled:
+                tracer.event(
+                    "supervision.respawn", category="supervision",
+                    lane=f"shard-{shard}", worker=shard,
+                    replayed=len(self.logs[shard]),
+                )
             try:
                 # deterministic replay of everything this shard had
-                # acknowledged rebuilds its chain state byte-identically
+                # acknowledged rebuilds its chain state byte-identically.
+                # Replay replies' trace buffers are dropped: the original
+                # roundtrips already absorbed those spans once.
                 for past in self.logs[shard]:
                     handle.send(past)
-                    status, payload, _adv, _busy = handle.recv(timeout)
+                    status, payload, _adv, _busy = handle.recv(timeout)[:4]
                     if status == "err":
                         raise RuntimeError(
                             f"GroupApply shard worker {shard} failed "
@@ -1217,11 +1320,15 @@ class Dataflow:
         group_wave_events: int = 0,
         executor=None,
         race_checker=None,
+        tracer=None,
     ):
         self.allow_unstreamable = allow_unstreamable
         self.timed = timed
         self.group_wave_events = group_wave_events
         self.race_checker = race_checker
+        #: the run's tracer: shard workers ship span/metric buffers back
+        #: with wave replies when it is enabled (NULL_TRACER otherwise)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         if executor is not None and executor.parallel:
             self.executor = executor
             self.parallel_stats = ParallelStats(
@@ -1392,6 +1499,7 @@ class Dataflow:
         results = self.executor.run_tasks(tasks)
         self.parallel_stats.add(self.executor.last_stats)
         self.parallel_stats.recovery.merge(self.executor.last_recovery)
+        self.parallel_stats.overhead.merge(self.executor.last_overhead)
         return results
 
     def close(self) -> None:

@@ -76,9 +76,13 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from ..obs.metrics import TIME_BUCKETS
+from ..obs.trace import NULL_TRACER, WorkerSpanRecorder, absorb_worker_state
+
 __all__ = [
     "Executor",
     "ExecutorDegradedWarning",
+    "OverheadStats",
     "ParallelSafetyWarning",
     "ParallelStats",
     "ProcessExecutor",
@@ -229,6 +233,10 @@ class Supervision:
     #: base of the exponential backoff charged to *simulated* time per
     #: recovery (mirrors the cluster's stage-retry accounting)
     backoff_base: float = 0.05
+    #: the run's tracer (None = NULL_TRACER): when enabled, workers ship
+    #: span/metric buffers back with results and the driver re-parents
+    #: them into per-worker lanes (see repro.obs.trace)
+    tracer: Optional[object] = None
 
 
 @dataclass
@@ -285,13 +293,82 @@ class RecoveryStats:
 
 
 @dataclass
+class OverheadStats:
+    """Where the worker-time *budget* (workers × wall) of a run went.
+
+    Every ``run_tasks`` call decomposes its capacity into six components
+    (see :mod:`repro.obs.attribution` for the model): task function time
+    (``compute``), result pickling (``serialize``), spawn/handoff gaps
+    (``dispatch``), driver-side result folding (``merge``), recovery
+    machinery and lost-lane capacity (``supervision``), and the clamped
+    residual nobody used (``idle``). The components sum to the budget by
+    construction, so an attribution table always covers ~100% of
+    capacity. Observability only — never feeds back into results.
+    """
+
+    serialize_seconds: float = 0.0
+    dispatch_seconds: float = 0.0
+    compute_seconds: float = 0.0
+    idle_seconds: float = 0.0
+    merge_seconds: float = 0.0
+    supervision_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    budget_seconds: float = 0.0
+    calls: int = 0
+
+    def finish(self, wall: float, workers: int) -> None:
+        """Close one call: record wall/budget, make ``idle`` the residual."""
+        self.calls += 1
+        self.wall_seconds += wall
+        budget = wall * workers
+        self.budget_seconds += budget
+        used = (
+            self.serialize_seconds
+            + self.dispatch_seconds
+            + self.compute_seconds
+            + self.merge_seconds
+            + self.supervision_seconds
+            + self.idle_seconds
+        )
+        self.idle_seconds += max(0.0, budget - used)
+
+    def merge(self, other: "OverheadStats") -> "OverheadStats":
+        self.serialize_seconds += other.serialize_seconds
+        self.dispatch_seconds += other.dispatch_seconds
+        self.compute_seconds += other.compute_seconds
+        self.idle_seconds += other.idle_seconds
+        self.merge_seconds += other.merge_seconds
+        self.supervision_seconds += other.supervision_seconds
+        self.wall_seconds += other.wall_seconds
+        self.budget_seconds += other.budget_seconds
+        self.calls += other.calls
+        return self
+
+    def as_dict(self) -> dict:
+        return {
+            "serialize_seconds": round(self.serialize_seconds, 6),
+            "dispatch_seconds": round(self.dispatch_seconds, 6),
+            "compute_seconds": round(self.compute_seconds, 6),
+            "idle_seconds": round(self.idle_seconds, 6),
+            "merge_seconds": round(self.merge_seconds, 6),
+            "supervision_seconds": round(self.supervision_seconds, 6),
+            "wall_seconds": round(self.wall_seconds, 6),
+            "budget_seconds": round(self.budget_seconds, 6),
+            "calls": self.calls,
+        }
+
+
+@dataclass
 class WorkerStats:
     """What one worker did during one fan-out (observability only).
 
     ``tasks`` and ``chunks`` depend only on the work list; which worker
-    claimed them — and therefore ``stolen_chunks`` and ``busy_seconds``
+    claimed them — and therefore ``stolen_chunks`` and the timing fields
     — depends on OS scheduling. None of these values ever feed back into
-    results, so determinism is preserved.
+    results, so determinism is preserved. ``busy_seconds`` is task
+    function time only; ``serialize_seconds`` is result pickling/pipe
+    time (process workers); ``lifetime_seconds`` spans the worker's
+    start to exit, so ``lifetime - busy - serialize`` is its wait time.
     """
 
     worker: int
@@ -299,6 +376,8 @@ class WorkerStats:
     chunks: int = 0
     stolen_chunks: int = 0
     busy_seconds: float = 0.0
+    serialize_seconds: float = 0.0
+    lifetime_seconds: float = 0.0
 
 
 @dataclass
@@ -314,6 +393,7 @@ class ParallelStats:
     busy_seconds: float = 0.0
     per_worker: Dict[int, WorkerStats] = field(default_factory=dict)
     recovery: RecoveryStats = field(default_factory=RecoveryStats)
+    overhead: OverheadStats = field(default_factory=OverheadStats)
 
     def add(self, worker_stats: Sequence[WorkerStats]) -> None:
         if not worker_stats:
@@ -332,6 +412,8 @@ class ParallelStats:
             agg.chunks += ws.chunks
             agg.stolen_chunks += ws.stolen_chunks
             agg.busy_seconds += ws.busy_seconds
+            agg.serialize_seconds += ws.serialize_seconds
+            agg.lifetime_seconds += ws.lifetime_seconds
 
     def merge(self, other: "ParallelStats") -> "ParallelStats":
         """Fold another accumulation into this one (returns self).
@@ -353,7 +435,10 @@ class ParallelStats:
             agg.chunks += ws.chunks
             agg.stolen_chunks += ws.stolen_chunks
             agg.busy_seconds += ws.busy_seconds
+            agg.serialize_seconds += ws.serialize_seconds
+            agg.lifetime_seconds += ws.lifetime_seconds
         self.recovery.merge(other.recovery)
+        self.overhead.merge(other.overhead)
         return self
 
     def as_dict(self) -> dict:
@@ -366,6 +451,7 @@ class ParallelStats:
             "stolen_chunks": self.stolen_chunks,
             "busy_seconds": round(self.busy_seconds, 6),
             "recovery": self.recovery.as_dict(),
+            "overhead": self.overhead.as_dict(),
             "workers": [
                 {
                     "worker": ws.worker,
@@ -373,6 +459,8 @@ class ParallelStats:
                     "chunks": ws.chunks,
                     "stolen_chunks": ws.stolen_chunks,
                     "busy_seconds": round(ws.busy_seconds, 6),
+                    "serialize_seconds": round(ws.serialize_seconds, 6),
+                    "lifetime_seconds": round(ws.lifetime_seconds, 6),
                 }
                 for ws in sorted(self.per_worker.values(), key=lambda w: w.worker)
             ],
@@ -440,6 +528,8 @@ class Executor:
         self.last_stats: List[WorkerStats] = []
         #: supervision activity of the most recent run_tasks call
         self.last_recovery = RecoveryStats()
+        #: overhead decomposition of the most recent run_tasks call
+        self.last_overhead = OverheadStats()
         #: (worker id, claimed chunk start) pairs of the workers lost in
         #: the most recent call — the attribution behind the recovery
         self.last_lost: List = []
@@ -457,6 +547,12 @@ class Executor:
     def supports_shards(self) -> bool:
         """True when :meth:`spawn_workers` provides persistent workers."""
         return False
+
+    @property
+    def tracer(self):
+        """The run's tracer (:data:`~repro.obs.trace.NULL_TRACER` default)."""
+        t = self.supervision.tracer
+        return t if t is not None else NULL_TRACER
 
     @property
     def degraded(self) -> Optional[str]:
@@ -563,13 +659,37 @@ class Executor:
         import traceback
 
         rec.tasks_reexecuted += len(missing)
-        rec.chunks_reexecuted += len({i // chunk for i in missing})
-        errors: List[_TaskError] = []
+        groups: Dict[int, List[int]] = {}
         for i in missing:
+            groups.setdefault((i // chunk) * chunk, []).append(i)
+        rec.chunks_reexecuted += len(groups)
+        tracer = self.tracer
+        errors: List[_TaskError] = []
+        for start in sorted(groups):
+            idxs = groups[start]
+            span = None
+            if tracer.enabled:
+                # the re-executed chunk gets a real span on the driver's
+                # recovery lane, so the trace shows exactly one span per
+                # chunk even when the original owner died mid-claim
+                span = tracer.span(
+                    "worker.chunk",
+                    category="worker",
+                    chunk_start=start,
+                    tasks=len(idxs),
+                    lane="driver",
+                    recovered=True,
+                )
+                span.__enter__()
             try:
-                results[i] = tasks[i]()
-            except BaseException:
-                errors.append(_TaskError(i, traceback.format_exc()))
+                for i in idxs:
+                    try:
+                        results[i] = tasks[i]()
+                    except BaseException:
+                        errors.append(_TaskError(i, traceback.format_exc()))
+            finally:
+                if span is not None:
+                    span.__exit__(None, None, None)
         return errors
 
     def _note_worker_failures(self, count: int, rec: RecoveryStats) -> None:
@@ -597,6 +717,12 @@ class Executor:
         )
         self.force_degrade(nxt)
         rec.degradations += 1
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.event(
+                "supervision.degraded", category="supervision",
+                lane="driver", to=nxt,
+            )
         warnings.warn(
             ExecutorDegradedWarning(
                 f"{self.kind} executor exceeded its worker retry budget; "
@@ -623,16 +749,21 @@ class SerialExecutor(Executor):
 
     def run_tasks(self, tasks: Sequence[Callable[[], object]]) -> List[object]:
         self.last_recovery = RecoveryStats()
+        overhead = self.last_overhead = OverheadStats()
         t0 = _time.perf_counter()
         results = [task() for task in tasks]
+        busy = _time.perf_counter() - t0
         self.last_stats = [
             WorkerStats(
                 worker=0,
                 tasks=len(tasks),
                 chunks=1 if tasks else 0,
-                busy_seconds=_time.perf_counter() - t0,
+                busy_seconds=busy,
+                lifetime_seconds=busy,
             )
         ]
+        overhead.compute_seconds = busy
+        overhead.finish(busy, 1)
         return results
 
 
@@ -647,6 +778,9 @@ class ThreadExecutor(Executor):
         if self._degraded == "serial" or n <= 1:
             return SerialExecutor.run_tasks(self, tasks)
         rec = self.last_recovery = RecoveryStats()
+        overhead = self.last_overhead = OverheadStats()
+        tracer = self.tracer
+        trace_on = tracer.enabled
         self._predraw_task_retries(n, rec, "executor.pool")
         workers = min(self.max_workers, n)
         chunk = _chunk_size(n, workers)
@@ -655,34 +789,54 @@ class ThreadExecutor(Executor):
         cursor = [0]
         lock = threading.Lock()
         stats = [WorkerStats(worker=i) for i in range(workers)]
+        recorders = [WorkerSpanRecorder() if trace_on else None for _ in range(workers)]
+        call_t0 = _time.perf_counter()
 
         def worker(wid: int) -> None:
             import traceback
 
             ws = stats[wid]
+            recorder = recorders[wid]
             t0 = _time.perf_counter()
-            while True:
-                with lock:
-                    start = cursor[0]
-                    if start >= n:
-                        break
-                    cursor[0] = start + chunk
-                ws.chunks += 1
-                if ws.chunks > 1:
-                    ws.stolen_chunks += 1
-                for i in range(start, min(start + chunk, n)):
+            try:
+                while True:
+                    with lock:
+                        start = cursor[0]
+                        if start >= n:
+                            break
+                        cursor[0] = start + chunk
+                    ws.chunks += 1
+                    if ws.chunks > 1:
+                        ws.stolen_chunks += 1
+                    end = min(start + chunk, n)
+                    span = None
+                    if recorder is not None:
+                        span = recorder.span(
+                            "worker.chunk", category="worker",
+                            chunk_start=start, tasks=end - start,
+                        )
+                        span.__enter__()
+                    c0 = _time.perf_counter()
                     try:
-                        results[i] = tasks[i]()
-                    except BaseException:
-                        with lock:
-                            errors.append(
-                                _TaskError(i, traceback.format_exc())
-                            )
-                        ws.tasks += 1
-                        ws.busy_seconds += _time.perf_counter() - t0
-                        return  # this worker stops; others drain the cursor
-                    ws.tasks += 1
-            ws.busy_seconds += _time.perf_counter() - t0
+                        for i in range(start, end):
+                            try:
+                                results[i] = tasks[i]()
+                            except BaseException:
+                                with lock:
+                                    errors.append(
+                                        _TaskError(i, traceback.format_exc())
+                                    )
+                                ws.tasks += 1
+                                if span is not None:
+                                    span.set("error", True)
+                                return  # this worker stops; others drain
+                            ws.tasks += 1
+                    finally:
+                        ws.busy_seconds += _time.perf_counter() - c0
+                        if span is not None:
+                            span.__exit__(None, None, None)
+            finally:
+                ws.lifetime_seconds = _time.perf_counter() - t0
 
         threads = [
             threading.Thread(
@@ -692,6 +846,12 @@ class ThreadExecutor(Executor):
         ]
         for t in threads:
             t.start()
+        if trace_on:
+            for wid in range(workers):
+                tracer.event(
+                    "supervision.spawn", category="supervision",
+                    lane=f"worker-{wid}", worker=wid, tier="thread",
+                )
         timeout = resolve_worker_timeout(self.supervision.worker_timeout)
         deadline = _time.monotonic() + timeout
         stalled = 0
@@ -699,19 +859,44 @@ class ThreadExecutor(Executor):
             t.join(max(0.0, deadline - _time.monotonic()))
             if t.is_alive():
                 stalled += 1
+        window = _time.perf_counter() - call_t0  # the workers' live window
         self.last_stats = stats
         if errors:
             _raise_lowest(errors)
+        supervision_t = 0.0
         if stalled:
             # deadline recovery: abandon the stuck daemon threads and
             # re-run their unfinished tasks inline. A straggler that
             # races a late write stores the identical value (tasks are
             # pure), so the refill stays byte-identical.
             rec.deadline_hits += 1
+            if trace_on:
+                tracer.event(
+                    "supervision.deadline", category="supervision",
+                    lane="driver", stalled=stalled,
+                )
+            s0 = _time.perf_counter()
             refill_errors = self._refill_missing(tasks, results, rec, chunk)
+            supervision_t += _time.perf_counter() - s0
             if refill_errors:
                 _raise_lowest(refill_errors)
             self._note_worker_failures(stalled, rec)
+        if trace_on:
+            for wid, recorder in enumerate(recorders):
+                absorb_worker_state(
+                    tracer, recorder.state(), lane=f"worker-{wid}", worker=wid
+                )
+            chunk_hist = tracer.metrics.histogram("executor.chunk_tasks")
+            for start in range(0, n, chunk):
+                chunk_hist.observe(min(chunk, n - start))
+        overhead.compute_seconds = sum(ws.busy_seconds for ws in stats)
+        overhead.dispatch_seconds = sum(
+            max(0.0, window - ws.lifetime_seconds)
+            for ws in stats
+            if ws.lifetime_seconds > 0
+        )
+        overhead.supervision_seconds = supervision_t + stalled * window
+        overhead.finish(_time.perf_counter() - call_t0, workers)
         return results
 
 
@@ -824,7 +1009,10 @@ class ProcessExecutor(ThreadExecutor):
         if self._degraded is not None or n <= 1 or not self.can_fork:
             return super().run_tasks(tasks)
         rec = self.last_recovery = RecoveryStats()
+        overhead = self.last_overhead = OverheadStats()
         sup = self.supervision
+        tracer = self.tracer
+        trace_on = tracer.enabled  # inherited by forked children
         ctx = _fork_context()
         workers = min(self.max_workers, n)
         chunk = _chunk_size(n, workers)
@@ -859,7 +1047,20 @@ class ProcessExecutor(ThreadExecutor):
                     except BaseException:
                         pass
                 os._exit(113)
+            recorder = WorkerSpanRecorder() if trace_on else None
+            if recorder is not None:
+                import pickle as _pickle
+
+                task_hist = recorder.metrics.histogram(
+                    "executor.task_seconds",
+                    buckets=TIME_BUCKETS,
+                    deterministic=False,
+                )
+                pipe_hist = recorder.metrics.histogram(
+                    "executor.pipe_bytes", deterministic=False
+                )
             tasks_done = chunks = stolen = 0
+            busy_s = send_s = 0.0
             t0 = _time.perf_counter()
             failed = False
             try:
@@ -875,14 +1076,33 @@ class ProcessExecutor(ThreadExecutor):
                         stolen += 1
                     end = min(start + chunk, n)
                     block = []
+                    span = None
+                    if recorder is not None:
+                        span = recorder.span(
+                            "worker.chunk", category="worker",
+                            chunk_start=start, tasks=end - start,
+                        )
+                        span.__enter__()
+                    c0 = _time.perf_counter()
                     for i in range(start, end):
                         try:
-                            block.append(tasks[i]())
+                            if recorder is not None:
+                                tk0 = _time.perf_counter()
+                                block.append(tasks[i]())
+                                task_hist.observe(_time.perf_counter() - tk0)
+                            else:
+                                block.append(tasks[i]())
                         except BaseException:
                             # report the completed prefix, then the true
                             # failing task index (not the chunk start)
+                            busy_s += _time.perf_counter() - c0
+                            if span is not None:
+                                span.set("error", True)
+                                span.__exit__(None, None, None)
                             if block:
+                                s0 = _time.perf_counter()
                                 queue.put(("ok", wid, start, block))
+                                send_s += _time.perf_counter() - s0
                             queue.put(
                                 ("err", wid, i, traceback.format_exc())
                             )
@@ -890,14 +1110,28 @@ class ProcessExecutor(ThreadExecutor):
                             break
                     if failed:
                         break  # this worker stops; others drain the cursor
+                    busy_s += _time.perf_counter() - c0
+                    if span is not None:
+                        span.__exit__(None, None, None)
+                        pipe_hist.observe(len(_pickle.dumps(block)))
                     tasks_done += end - start
+                    s0 = _time.perf_counter()
                     queue.put(("ok", wid, start, block))
+                    send_s += _time.perf_counter() - s0
             finally:
                 queue.put(
                     (
                         "done",
                         wid,
-                        (tasks_done, chunks, stolen, _time.perf_counter() - t0),
+                        (
+                            tasks_done,
+                            chunks,
+                            stolen,
+                            busy_s,
+                            send_s,
+                            _time.perf_counter() - t0,
+                            recorder.state() if recorder is not None else None,
+                        ),
                     )
                 )
                 queue.close()
@@ -906,13 +1140,23 @@ class ProcessExecutor(ThreadExecutor):
             ctx.Process(target=child, args=(i,), daemon=True)
             for i in range(workers)
         ]
+        call_t0 = _time.perf_counter()
         for p in procs:
             p.start()
+        if trace_on:
+            for wid in range(workers):
+                tracer.event(
+                    "supervision.spawn", category="supervision",
+                    lane=f"worker-{wid}", worker=wid, tier="process",
+                )
         results: List[object] = [_UNSET] * n
         stats = [WorkerStats(worker=i) for i in range(workers)]
+        states: Dict[int, object] = {}
+        dropped: List[int] = []
         errors: List[_TaskError] = []
         done = set()
         lost = set()
+        merge_t = 0.0
         timeout = resolve_worker_timeout(sup.worker_timeout)
         import queue as _queue_mod
 
@@ -940,6 +1184,12 @@ class ProcessExecutor(ThreadExecutor):
                         # per-call deadline. Reap the pool and recover
                         # inline rather than failing the run.
                         rec.deadline_hits += 1
+                        if trace_on:
+                            tracer.event(
+                                "supervision.deadline",
+                                category="supervision",
+                                lane="driver",
+                            )
                         for wid, p in enumerate(procs):
                             if wid not in done:
                                 p.terminate()
@@ -955,20 +1205,27 @@ class ProcessExecutor(ThreadExecutor):
                         # pipe; the refill pass recovers the slots
                         drop_plan.discard(start)
                         rec.replies_dropped += 1
+                        dropped.append(start)
                         continue
+                    m0 = _time.perf_counter()
                     results[start : start + len(block)] = block
+                    merge_t += _time.perf_counter() - m0
                 elif tag == "err":
                     _, wid, index, detail = msg
                     errors.append(_TaskError(index, detail))
                 else:  # done
-                    _, wid, (tasks_done, chunks, stolen, busy) = msg
+                    _, wid, payload = msg
+                    (tasks_done, chunks, stolen, busy, send_s, lifetime,
+                     state) = payload
                     ws = stats[wid]
-                    ws.tasks, ws.chunks, ws.stolen_chunks, ws.busy_seconds = (
-                        tasks_done,
-                        chunks,
-                        stolen,
-                        busy,
+                    ws.tasks, ws.chunks, ws.stolen_chunks = (
+                        tasks_done, chunks, stolen,
                     )
+                    ws.busy_seconds = busy
+                    ws.serialize_seconds = send_s
+                    ws.lifetime_seconds = lifetime
+                    if state is not None:
+                        states[wid] = state
                     if wid in lost:
                         # the liveness probe raced a clean exit whose
                         # stats were still in flight — not a crash
@@ -982,6 +1239,7 @@ class ProcessExecutor(ThreadExecutor):
                     p.join(5)
             queue.close()
             queue.join_thread()
+        window = _time.perf_counter() - call_t0  # the workers' live window
         self.last_stats = stats
         # attribution: which chunk each lost worker held when it died
         self.last_lost = [
@@ -989,10 +1247,44 @@ class ProcessExecutor(ThreadExecutor):
         ]
         if errors:
             _raise_lowest(errors)
+        if trace_on:
+            # supervision markers, in deterministic order (the kill and
+            # drop plans are seeded; arrival order is not)
+            for wid in sorted(lost):
+                tracer.event(
+                    "supervision.worker_lost", category="supervision",
+                    lane=f"worker-{wid}", worker=wid,
+                )
+            for start in sorted(dropped):
+                tracer.event(
+                    "supervision.reply_dropped", category="supervision",
+                    lane="driver", chunk_start=start,
+                )
+        supervision_t = 0.0
+        s0 = _time.perf_counter()
         refill_errors = self._refill_missing(tasks, results, rec, chunk)
+        supervision_t += _time.perf_counter() - s0
         if refill_errors:
             _raise_lowest(refill_errors)
         self._note_worker_failures(len(lost), rec)
+        if trace_on:
+            for wid in sorted(states):
+                absorb_worker_state(
+                    tracer, states[wid], lane=f"worker-{wid}", worker=wid
+                )
+            chunk_hist = tracer.metrics.histogram("executor.chunk_tasks")
+            for start in range(0, n, chunk):
+                chunk_hist.observe(min(chunk, n - start))
+        overhead.compute_seconds = sum(ws.busy_seconds for ws in stats)
+        overhead.serialize_seconds = sum(ws.serialize_seconds for ws in stats)
+        overhead.dispatch_seconds = sum(
+            max(0.0, window - ws.lifetime_seconds)
+            for ws in stats
+            if ws.lifetime_seconds > 0
+        )
+        overhead.merge_seconds = merge_t
+        overhead.supervision_seconds = supervision_t + len(lost) * window
+        overhead.finish(_time.perf_counter() - call_t0, workers)
         return results
 
     def spawn_workers(

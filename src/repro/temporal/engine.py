@@ -129,6 +129,20 @@ class EngineStats:
                     merged["recovery"] = folded
                 elif theirs:
                     merged["recovery"] = dict(theirs)
+                ours_oh = merged.get("overhead")
+                theirs_oh = other.parallel.get("overhead")
+                if theirs_oh and ours_oh:
+                    folded = {
+                        field: round(
+                            ours_oh.get(field, 0) + value,
+                            6 if field != "calls" else 0,
+                        )
+                        for field, value in theirs_oh.items()
+                    }
+                    folded["calls"] = int(folded.get("calls", 0))
+                    merged["overhead"] = folded
+                elif theirs_oh:
+                    merged["overhead"] = dict(theirs_oh)
                 merged.pop("workers", None)  # worker identity is per-run
                 self.parallel = merged
         return self
@@ -217,6 +231,7 @@ class Engine:
             group_wave_events=max(chunk_size, 4096),
             executor=executor,
             race_checker=race_checker,
+            tracer=tracer,
         )
         for name in flow.source_names():
             if name not in sources:
@@ -342,7 +357,12 @@ class Engine:
                 metrics = tracer.metrics
                 for key, value in recovery.as_dict().items():
                     if value:
-                        metrics.counter(f"engine.executor_{key}").inc(value)
+                        # pool worker kills make re-execution counts a
+                        # race against how far the victim got, so these
+                        # stay out of the deterministic snapshot
+                        metrics.counter(
+                            f"engine.executor_{key}", deterministic=False
+                        ).inc(value)
         keys = plan_node_keys(root)
         for node, events_in, events_out, busy in flow.node_stats():
             key = keys.get(node.node_id)

@@ -348,6 +348,64 @@ class TestProfile:
         assert set(doc["spans_by_category"]) >= {"engine", "cluster", "timr"}
         assert doc["calibration"]["fragments"]
 
+    def test_out_dir_collects_relative_artifacts(self, tmp_path, capsys):
+        out_dir = tmp_path / "artifacts"
+        rc = main(
+            [
+                "profile",
+                "--users",
+                "20",
+                "--json",
+                "--out-dir",
+                str(out_dir),
+            ]
+        )
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["trace_out"] == str(out_dir / "trace.json")
+        assert doc["metrics_out"] == str(out_dir / "metrics.jsonl")
+        assert (out_dir / "trace.json").exists()
+        assert (out_dir / "metrics.jsonl").exists()
+
+    def test_parallel_requires_parallel_executor(self, capsys):
+        rc = main(["profile", "--parallel", "--users", "20"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "--parallel needs a parallel executor" in err
+
+    def test_parallel_attribution_table(self, tmp_path, capsys):
+        rc = main(
+            [
+                "profile",
+                "--users",
+                "20",
+                "--parallel",
+                "--executor",
+                "thread",
+                "--workers",
+                "2",
+                "--json",
+                "--out-dir",
+                str(tmp_path / "out"),
+            ]
+        )
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        attribution = doc["attribution"]
+        assert set(attribution["components"]) == {
+            "compute",
+            "serialize",
+            "dispatch",
+            "merge",
+            "supervision",
+            "idle",
+        }
+        # components sum to the workers x wall budget by construction
+        assert attribution["budget_seconds"] > 0
+        assert abs(attribution["coverage"] - 1.0) <= 0.05
+        assert attribution["dominant_overhead"] != "compute"
+        assert attribution["serial_wall_seconds"] > 0
+
 
 class TestChaos:
     def test_full_suite_passes(self, tmp_path, capsys):
