@@ -20,34 +20,40 @@ chaos:
 # "Worker failure semantics"); the JSON report carries phase timings
 # and is folded into the CI benchmark artifact upload
 chaos-parallel:
+	@mkdir -p profile_out
 	$(PYTHON) -m repro chaos --executor process --workers 4 \
-		--json > chaos_parallel.json
-	@$(PYTHON) -c "import json; d = json.load(open('chaos_parallel.json')); \
+		--json > profile_out/chaos_parallel.json
+	@$(PYTHON) -c "import json; d = json.load(open('profile_out/chaos_parallel.json')); \
 		assert d['passed'], d; ec = d['executor_chaos']; \
 		print('chaos-parallel passed:', ec['injected'], 'worker fault(s),', \
 		'byte_identical =', ec['byte_identical'])"
 
 # fast machine-readable benchmark: events/sec + peak heap per builtin
 # BT query, a memory-scaling series, per-stage wall times of the
-# combined TiMR job, and the serial-vs-parallel speedup table, written
-# to BENCH_current.json (git-ignored; CI uploads it as a non-gating
-# artifact). Committed reference baselines live in benchmarks/baselines/.
+# combined TiMR job, the serial-vs-parallel speedup table, and the
+# row-vs-columnar batch-format table, written to
+# profile_out/BENCH_current.json (profile_out/ is git-ignored; CI
+# uploads it as a non-gating artifact). Committed reference baselines
+# live in benchmarks/baselines/.
 bench-smoke:
-	$(PYTHON) benchmarks/bench_smoke.py --out BENCH_current.json
+	@mkdir -p profile_out
+	$(PYTHON) benchmarks/bench_smoke.py --out profile_out/BENCH_current.json
 
 # re-measure into a scratch artifact and compare per-query events/sec
 # against the committed baseline; exits non-zero when a query regresses
 # past the threshold (CI runs this non-gating)
 bench-compare:
-	$(PYTHON) benchmarks/bench_smoke.py --out BENCH_current.json \
+	@mkdir -p profile_out
+	$(PYTHON) benchmarks/bench_smoke.py --out profile_out/BENCH_current.json \
 		--baseline benchmarks/baselines/BENCH_pr5.json
 
 # run-over-run tracking: append the current artifact to
-# BENCH_history.jsonl and compare against the best-known per-query
-# events/sec across every committed baseline and prior history entry.
-# Always exits 0 (the report is advisory; pass --strict to gate).
+# profile_out/BENCH_history.jsonl and compare against the best-known
+# per-query events/sec across every committed baseline and prior
+# history entry. Always exits 0 (the report is advisory; pass --strict
+# to gate).
 bench-trend: bench-smoke
-	$(PYTHON) benchmarks/trend.py --run BENCH_current.json
+	$(PYTHON) benchmarks/trend.py
 
 # the tier-1 suite under the shadow race checker: every parallel wave is
 # replayed serially with owning-schedule attribution; byte-identity means

@@ -2,10 +2,11 @@
 
 Unlike the figure benchmarks (pytest-benchmark suites sized for
 EXPERIMENTS.md), this is a fast standalone script — ``make bench-smoke``
-— that emits one JSON artifact (default ``BENCH_current.json``) CI
-uploads on every push. Committed reference artifacts live under
-``benchmarks/baselines/`` (one per PR that re-baselined); generated
-root-level ``BENCH_*.json`` files stay git-ignored. The artifact:
+— that emits one JSON artifact (default
+``profile_out/BENCH_current.json``) CI uploads on every push. Committed
+reference artifacts live under ``benchmarks/baselines/`` (one per PR
+that re-baselined); generated artifacts live under the git-ignored
+``profile_out/`` directory. The artifact:
 
 * ``queries`` — events/sec of every built-in BT query that runs over
   the unified log, measured on the single-node engine (EngineStats),
@@ -27,6 +28,14 @@ root-level ``BENCH_*.json`` files stay git-ignored. The artifact:
   throughput side. On single-core runners expect ratios near (or
   below) 1.0 — the interesting number there is the absence of a large
   regression, not the speedup.
+* ``columnar`` — the row-vs-columnar physical-format table: events/sec
+  of every logs-only builtin BT query under the default row format and
+  under ``batch_format="columnar"`` (struct-of-arrays ``EventBatch``
+  chunks through the operator hot path, see ``docs/BATCH_FORMAT.md``).
+  Columnar output is byte-identical by construction; this table tracks
+  the throughput side. ``columnar_speedup`` > 1.0 is expected on the
+  Where/Project/AlterLifetime-heavy queries where the columnar kernels
+  skip per-event dispatch.
 
 Wall times vary run to run (this is a benchmark, not a determinism
 check); row/byte counts are exact under the fixed seed. The numbers are
@@ -34,25 +43,30 @@ tracking data, not gates — CI runs this step non-blocking.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_smoke.py --out BENCH_current.json
+    PYTHONPATH=src python benchmarks/bench_smoke.py \
+        --out profile_out/BENCH_current.json
 
     # compare against a committed artifact; exits 1 when any query's
     # events/sec drops past --regression-threshold (default 0.5)
     PYTHONPATH=src python benchmarks/bench_smoke.py \
-        --out BENCH_current.json \
+        --out profile_out/BENCH_current.json \
         --baseline benchmarks/baselines/BENCH_pr5.json
 
 For run-over-run tracking against the *best* known numbers (not just
 one pinned baseline), feed the artifact to ``benchmarks/trend.py`` —
-``make bench-trend`` — which appends to ``BENCH_history.jsonl`` and
-prints a non-gating regression/improvement report.
+``make bench-trend`` — which appends to
+``profile_out/BENCH_history.jsonl`` and prints a non-gating
+regression/improvement report.
 """
 
 from __future__ import annotations
 
 import argparse
+import gc
 import json
+import os
 import sys
+import time
 import tracemalloc
 
 
@@ -150,6 +164,83 @@ def run_parallel_benchmarks(rows, repeats: int, workers: int) -> dict:
         "parallel": {
             "workers": workers,
             "executor": parallel.kind,
+            "queries": table,
+        }
+    }
+
+
+#: Input scale for the columnar table, independent of the smoke scale.
+#: The format comparison needs realistic per-CTI batch sizes: at the
+#: default smoke scale batches carry a handful of rows each, so the
+#: table would measure per-batch framing overhead instead of the
+#: column kernels the format exists for.
+_COLUMNAR_USERS = 400
+_COLUMNAR_DAYS = 4.0
+
+
+def run_columnar_benchmarks(seed: int, repeats: int) -> dict:
+    """Row vs columnar events/sec per logs-only builtin BT query.
+
+    Both cells run the serial executor, so the ratio isolates the
+    physical batch format: ``columnar_speedup`` is columnar events/sec
+    over row events/sec, best-of-``repeats`` after one warmup each.
+    Because both cells are strictly single-threaded, they are timed with
+    ``time.process_time`` (CPU time): on shared CI boxes wall clock
+    swings ±20% with neighbor load, which would drown the format signal,
+    while CPU time measures exactly the work done. Repeats still
+    alternate row/columnar so cache/GC drift hits both cells equally.
+    The input is generated at ``_COLUMNAR_USERS``/``_COLUMNAR_DAYS``
+    rather than the smoke scale so batches are large enough for the
+    column kernels to matter. Outputs are byte-identical across formats
+    by construction (``docs/BATCH_FORMAT.md``); this table tracks the
+    throughput side.
+    """
+    from repro.analysis import builtin_query_suite
+    from repro.data import GeneratorConfig, generate
+    from repro.runtime import RunContext
+    from repro.temporal import Engine
+
+    rows = generate(
+        GeneratorConfig(
+            num_users=_COLUMNAR_USERS, duration_days=_COLUMNAR_DAYS, seed=seed
+        )
+    ).rows
+    table = {}
+    for name, query in sorted(builtin_query_suite().items()):
+        if not _logs_only(query):
+            continue
+        engines = {}
+        best = {}
+        for fmt in ("row", "columnar"):
+            engines[fmt] = Engine(context=RunContext(batch_format=fmt))
+            engines[fmt].run(query, {"logs": rows})  # warmup
+            best[fmt] = None
+        for _ in range(repeats):
+            for fmt in ("row", "columnar"):
+                gc.collect()  # don't bill one format for the other's garbage
+                start = time.process_time()
+                engines[fmt].run(query, {"logs": rows})
+                elapsed = time.process_time() - start
+                if best[fmt] is None or elapsed < best[fmt]:
+                    best[fmt] = elapsed
+        cells = {
+            fmt: {
+                "cpu_seconds": round(best[fmt], 6),
+                "events_per_second": round(len(rows) / max(best[fmt], 1e-9), 1),
+            }
+            for fmt in ("row", "columnar")
+        }
+        cells["columnar_speedup"] = round(
+            cells["columnar"]["events_per_second"]
+            / max(cells["row"]["events_per_second"], 1e-9),
+            3,
+        )
+        table[name] = cells
+    return {
+        "columnar": {
+            "users": _COLUMNAR_USERS,
+            "days": _COLUMNAR_DAYS,
+            "rows": len(rows),
             "queries": table,
         }
     }
@@ -272,7 +363,9 @@ def compare_to_baseline(doc: dict, baseline: dict, threshold: float) -> list:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default="BENCH_current.json")
+    parser.add_argument(
+        "--out", default=os.path.join("profile_out", "BENCH_current.json")
+    )
     parser.add_argument(
         "--baseline",
         default=None,
@@ -328,7 +421,11 @@ def main(argv=None) -> int:
     doc.update(run_memory_scaling(args.users, args.seed))
     doc.update(run_stage_benchmarks(rows, args.machines, args.partitions))
     doc.update(run_parallel_benchmarks(rows, args.repeats, args.workers))
+    doc.update(run_columnar_benchmarks(args.seed, args.repeats))
 
+    parent = os.path.dirname(args.out)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
     with open(args.out, "w", encoding="utf-8") as fp:
         json.dump(doc, fp, indent=2, sort_keys=True)
     slowest = max(doc["queries"].items(), key=lambda kv: kv[1]["wall_seconds"])
@@ -353,6 +450,12 @@ def main(argv=None) -> int:
     print(
         f"parallel ({par['executor']}, workers={par['workers']}): "
         f"best speedup {best[1]['speedup']:.2f}x on {best[0]}"
+    )
+    col = doc["columnar"]["queries"]
+    best_col = max(col.items(), key=lambda kv: kv[1]["columnar_speedup"])
+    print(
+        "columnar: best speedup "
+        f"{best_col[1]['columnar_speedup']:.2f}x on {best_col[0]}"
     )
     print(f"wrote {args.out}")
 

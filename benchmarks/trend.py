@@ -6,10 +6,12 @@ question — "how does this run sit against the best numbers this repo
 has ever recorded?" — and keeps the record:
 
 * appends a compact summary of the run (per-query events/sec, the
-  parallel speedup table, config, git revision) to a JSON-lines
-  history file (default ``BENCH_history.jsonl``, git-ignored locally,
-  uploaded as a CI artifact so runs accumulate across workflow runs
-  when the previous artifact is restored);
+  parallel and columnar speedup tables, config, git revision) to a
+  JSON-lines history file (default
+  ``profile_out/BENCH_history.jsonl``, outside version control like
+  every generated artifact, uploaded as a CI artifact so runs
+  accumulate across workflow runs when the previous artifact is
+  restored);
 * folds the **best-known** events/sec per query across every committed
   baseline in ``benchmarks/baselines/BENCH_*.json`` *and* every prior
   history entry;
@@ -25,11 +27,12 @@ single run.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_smoke.py --out BENCH_current.json
-    python benchmarks/trend.py --run BENCH_current.json
+    PYTHONPATH=src python benchmarks/bench_smoke.py \
+        --out profile_out/BENCH_current.json
+    python benchmarks/trend.py --run profile_out/BENCH_current.json
 
     # CI variant: machine-readable report document
-    python benchmarks/trend.py --run BENCH_current.json --json > trend.json
+    python benchmarks/trend.py --json > profile_out/trend.json
 """
 
 from __future__ import annotations
@@ -106,6 +109,7 @@ def best_known(baseline_docs: list, history: list) -> dict:
 def summarize(run: dict, git: str, timestamp: float) -> dict:
     """The compact history record for one bench_smoke artifact."""
     parallel = (run.get("parallel") or {}).get("queries") or {}
+    columnar = (run.get("columnar") or {}).get("queries") or {}
     return {
         "timestamp": round(timestamp, 1),
         "git": git,
@@ -118,6 +122,12 @@ def summarize(run: dict, git: str, timestamp: float) -> dict:
             name: cell.get("speedup")
             for name, cell in sorted(parallel.items())
             if isinstance(cell, dict) and cell.get("speedup") is not None
+        },
+        "columnar_speedup": {
+            name: cell.get("columnar_speedup")
+            for name, cell in sorted(columnar.items())
+            if isinstance(cell, dict)
+            and cell.get("columnar_speedup") is not None
         },
     }
 
@@ -156,15 +166,16 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--run",
-        default="BENCH_current.json",
+        default=os.path.join("profile_out", "BENCH_current.json"),
         metavar="JSON",
         help="bench_smoke artifact for the run to record and compare",
     )
     parser.add_argument(
         "--history",
-        default="BENCH_history.jsonl",
+        default=os.path.join("profile_out", "BENCH_history.jsonl"),
         metavar="JSONL",
-        help="append-only run history (created on first use)",
+        help="append-only run history (created on first use, parent "
+        "directory included)",
     )
     parser.add_argument(
         "--baselines",
@@ -219,6 +230,9 @@ def main(argv=None) -> int:
     record = summarize(run, _git_revision(), time.time())
 
     if not args.no_append:
+        parent = os.path.dirname(args.history)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
         with open(args.history, "a", encoding="utf-8") as fp:
             fp.write(json.dumps(record, sort_keys=True) + "\n")
 

@@ -1,0 +1,90 @@
+"""Batch-format pass: payload immutability under the columnar format.
+
+The columnar :class:`~repro.temporal.batch.EventBatch` shares payload
+mappings aggressively: Where predicates and Project functions receive a
+reused :class:`~repro.temporal.batch.BatchRowView` over the packed
+columns, join synopses alias payload dicts across stored and emitted
+events, and batches themselves share columns with their gathered or
+lifetime-rewritten descendants. The whole format is sound only under the
+payload-immutability contract of docs/BATCH_FORMAT.md: plan callables
+treat every payload argument as read-only and return *new* mappings.
+
+This pass inspects the bytecode of every payload-receiving callable for
+in-place writes to its payload parameters — subscript assignment or
+deletion and the dict-mutator methods (``update``, ``setdefault``,
+``pop``, ``popitem``, ``clear``) — and reports
+``batch.payload-mutation`` (warning severity: a row-format serial run
+still behaves, so the pre-flight gate never blocks on it). A scan UDO's
+*state* argument is deliberately exempt — folding into it is the
+operator's contract; only its payload argument is watched.
+
+Suppression follows the usual idiom: ``# repro:
+ignore[batch.payload-mutation]`` on the operator (or the lambda's
+definition line).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Type
+
+from ..temporal.plan import (
+    AntiSemiJoinNode,
+    PlanNode,
+    ProjectNode,
+    ScanUDONode,
+    TemporalJoinNode,
+    WhereNode,
+)
+from .callables import callable_location, payload_param_mutations
+
+#: node type -> {callable attribute: positional payload-parameter
+#: indexes}. AlterLifetime's le_fn/re_fn take integers and windowed /
+#: snapshot UDOs take a freshly copied payload *list*, so neither is
+#: watched; ScanUDO's fn is ``fn(state, payload, le)`` — only the
+#: payload at position 1 is read-shared (state at 0 is the fold's own).
+_PAYLOAD_PARAMS: Dict[Type[PlanNode], Dict[str, Tuple[int, ...]]] = {
+    WhereNode: {"predicate": (0,)},
+    ProjectNode: {"fn": (0,)},
+    TemporalJoinNode: {"residual": (0, 1), "select": (0, 1)},
+    AntiSemiJoinNode: {"residual": (0, 1)},
+    ScanUDONode: {"fn": (1,)},
+}
+
+def _describe(node: PlanNode, attr: str) -> str:
+    if isinstance(node, WhereNode):
+        return "predicate"
+    if isinstance(node, ProjectNode):
+        return "projection"
+    if isinstance(node, ScanUDONode):
+        return "scan UDO"
+    if attr == "residual":
+        return "join residual"
+    return "join select"
+
+
+def batch_pass(ctx) -> None:
+    for node in ctx.all_nodes():
+        attrs = None
+        for node_type, mapping in _PAYLOAD_PARAMS.items():
+            if isinstance(node, node_type):
+                attrs = mapping
+                break
+        if attrs is None:
+            continue
+        for attr, indexes in attrs.items():
+            fn = getattr(node, attr, None)
+            if fn is None:
+                continue
+            what = _describe(node, attr)
+            location = callable_location(fn) or node.source_location
+            for _name, desc in payload_param_mutations(fn, indexes):
+                ctx.report(
+                    "batch.payload-mutation",
+                    node,
+                    f"{what} {desc}; the columnar batch format shares "
+                    "payload mappings across rows and operators, so "
+                    "in-place writes corrupt neighbouring events — "
+                    "return a new mapping instead "
+                    "(docs/BATCH_FORMAT.md)",
+                    location=location,
+                )

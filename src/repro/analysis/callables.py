@@ -494,6 +494,78 @@ def order_dependent_writes(fn) -> List[Tuple[str, str]]:
     return found
 
 
+#: dict methods that mutate their receiver in place. ``pop`` doubles as
+#: a list method, but every payload argument this detector watches is a
+#: mapping, so the receiver-is-a-payload-param guard disambiguates.
+_DICT_MUTATORS = {"update", "setdefault", "pop", "popitem", "clear"}
+
+#: opcodes that push a local variable (3.11 spells plain LOAD_FAST;
+#: LOAD_DEREF covers a payload parameter captured by a nested lambda)
+_LOCAL_LOADS = ("LOAD_FAST", "LOAD_FAST_CHECK", "LOAD_DEREF")
+
+
+def payload_param_mutations(fn, param_indexes) -> List[Tuple[str, str]]:
+    """(param name, description) pairs for in-place payload mutation.
+
+    The columnar batch format shares payload mappings: Where/Project
+    hand callables a reused :class:`~repro.temporal.batch.BatchRowView`
+    over packed columns, and join synopses/output batches alias payload
+    dicts across events. A callable that writes into its payload
+    argument (``p[k] = v``, ``del p[k]``, ``p.update(...)``, ...)
+    therefore corrupts neighbouring rows or emitted events. This
+    best-effort bytecode scan flags exactly those shapes on the
+    parameters named by ``param_indexes`` (positions into the
+    callable's positional arguments — e.g. a scan UDO's *state*
+    argument is deliberately not listed, since mutating it is the whole
+    point of a fold).
+    """
+    code = function_code(fn)
+    if code is None:
+        return []
+    argnames = code.co_varnames[: code.co_argcount]
+    params = {argnames[i] for i in param_indexes if i < len(argnames)}
+    if not params:
+        return []
+    found: List[Tuple[str, str]] = []
+    seen: Set[Tuple[str, str]] = set()
+
+    def add(name: str, desc: str) -> None:
+        if (name, desc) not in seen:
+            seen.add((name, desc))
+            found.append((name, desc))
+
+    for c in _all_codes(code):
+        instructions = list(dis.get_instructions(c))
+        for i, ins in enumerate(instructions):
+            if ins.opname == "STORE_SUBSCR" and i >= 2:
+                prev = instructions[i - 2]
+                if prev.opname in _LOCAL_LOADS and prev.argval in params:
+                    add(
+                        prev.argval,
+                        f"assigns into payload argument {prev.argval!r}",
+                    )
+            elif ins.opname == "DELETE_SUBSCR" and i >= 2:
+                prev = instructions[i - 2]
+                if prev.opname in _LOCAL_LOADS and prev.argval in params:
+                    add(
+                        prev.argval,
+                        f"deletes a key from payload argument {prev.argval!r}",
+                    )
+            elif (
+                ins.opname in ("LOAD_ATTR", "LOAD_METHOD")
+                and ins.argval in _DICT_MUTATORS
+                and i > 0
+            ):
+                prev = instructions[i - 1]
+                if prev.opname in _LOCAL_LOADS and prev.argval in params:
+                    add(
+                        prev.argval,
+                        f"calls .{ins.argval}() on payload argument "
+                        f"{prev.argval!r}",
+                    )
+    return found
+
+
 def mutable_captures(fn) -> List[Tuple[str, object]]:
     """(label, object) for every mutable container the callable can reach.
 

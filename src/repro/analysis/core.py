@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..temporal.plan import GroupApplyNode, PlanNode
+from .batchfmt import batch_pass
 from .callables import callable_location, node_callables
 from .concurrency import concurrency_pass
 from .determinism import determinism_pass
@@ -120,6 +121,7 @@ def analyze(
     columns = schema_pass(ctx)
     determinism_pass(ctx)
     concurrency_pass(ctx)
+    batch_pass(ctx)
     partition_pass(ctx, columns)
     lifetime_pass(ctx)
 

@@ -156,6 +156,13 @@ _rule(
     "different output bytes: execution is schedule-dependent",
 )
 _rule(
+    "batch.payload-mutation",
+    "warning",
+    "a plan callable mutates a payload mapping in place; the columnar "
+    "batch format shares payload mappings across rows and operators, "
+    "so in-place writes corrupt neighbouring events",
+)
+_rule(
     "suppression.unknown-rule",
     "warning",
     "a # repro: ignore[...] comment names a rule id that does not exist",

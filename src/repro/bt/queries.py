@@ -53,13 +53,13 @@ def bot_detection_query(source: Query, cfg: BTConfig) -> Query:
     return windowed.group_apply(
         "UserId",
         lambda g: (
-            g.where(lambda p: p["StreamId"] == CLICK)
+            g.where_equals("StreamId", CLICK)
             .count(into="n")
-            .where(lambda p, _t=cfg.bot_click_threshold: p["n"] > _t)
+            .where_greater("n", cfg.bot_click_threshold)
             .union(
-                g.where(lambda p: p["StreamId"] == KEYWORD)
+                g.where_equals("StreamId", KEYWORD)
                 .count(into="n")
-                .where(lambda p, _t=cfg.bot_search_threshold: p["n"] > _t)
+                .where_greater("n", cfg.bot_search_threshold)
             )
         ),
         label="bot-detect",
@@ -87,8 +87,8 @@ def non_click_query(source: Query, cfg: BTConfig) -> Query:
     d-window.
     """
     source = _with_schema(source)
-    impressions = source.where(lambda p: p["StreamId"] == IMPRESSION)
-    clicks_back = source.where(lambda p: p["StreamId"] == CLICK).shift(
+    impressions = source.where_equals("StreamId", IMPRESSION)
+    clicks_back = source.where_equals("StreamId", CLICK).shift(
         -cfg.click_horizon, 0
     )
     return impressions.anti_semi_join(
@@ -105,7 +105,7 @@ def labeled_activity_query(source: Query, cfg: BTConfig) -> Query:
         columns=("UserId", "AdId", "y"),
     )
     clicks = (
-        source.where(lambda p: p["StreamId"] == CLICK)
+        source.where_equals("StreamId", CLICK)
         .project(
             lambda p: {"UserId": p["UserId"], "AdId": p["KwAdId"], "y": 1},
             label="label-click",
@@ -122,7 +122,7 @@ def ubp_query(source: Query, cfg: BTConfig) -> Query:
     Definition 1 in sparse representation.
     """
     source = _with_schema(source)
-    keywords = source.where(lambda p: p["StreamId"] == KEYWORD)
+    keywords = source.where_equals("StreamId", KEYWORD)
     counts = keywords.group_apply(
         ["UserId", "KwAdId"],
         lambda g: g.window(cfg.ubp_window).count(into="Count"),
@@ -209,7 +209,9 @@ def calc_score_query(per_kw: Query, totals: Query, cfg: BTConfig) -> Query:
     """
     joined = per_kw.temporal_join(totals, on="AdId", label="kw-vs-total")
     supported = joined.where(
-        lambda p, _s=cfg.min_support: p["ClicksWith"] >= _s, label="support-filter"
+        lambda p, _s=cfg.min_support: p["ClicksWith"] >= _s,
+        label="support-filter",
+        spec=("ge", "ClicksWith", cfg.min_support),
     )
     scored = supported.project(
         lambda p: {

@@ -22,6 +22,7 @@ from .parallel import (
     WorkerLostError,
     WorkerStats,
     force_parallel_requested,
+    resolve_batch_format,
     resolve_executor,
     resolve_retry_budget,
     resolve_worker_timeout,
@@ -56,6 +57,7 @@ __all__ = [
     "force_parallel_requested",
     "group_key",
     "race_check_mode",
+    "resolve_batch_format",
     "resolve_executor",
     "resolve_retry_budget",
     "resolve_worker_timeout",

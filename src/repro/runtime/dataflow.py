@@ -39,6 +39,7 @@ import warnings
 from bisect import bisect_left
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from ..temporal.batch import EventBatch
 from ..temporal.event import Event
 from ..temporal.plan import (
     AlterLifetimeNode,
@@ -65,6 +66,11 @@ from .parallel import (
 
 #: The reserved source name a GroupApply chain feeds its sub-plan under.
 GROUP_SOURCE = "<group>"
+
+#: Minimum events before a cross-process feed/reply is packed as one
+#: EventBatch; below this the packed form's array/layout framing costs
+#: more wire bytes than pickling the rows themselves.
+_PACK_MIN_EVENTS = 16
 
 
 class StreamingUnsupported(ValueError):
@@ -182,25 +188,40 @@ class _InputBuffer:
 class _OutputLog:
     """A node's output stream with absolute positions and prefix trimming.
 
-    Consumers address events by *absolute* index (``total`` never
+    Consumers address entries by *absolute* index (``total`` never
     decreases); ``trim_to`` drops the prefix every consumer has read, so
     buffered memory tracks the consumer lag, not the stream length.
+
+    In a columnar flow each entry is one *chunk* — an
+    :class:`~repro.temporal.batch.EventBatch` or a plain event list —
+    and all cursor/trim arithmetic counts chunks; ``event_total`` keeps
+    the row count either way, so per-node statistics are format-blind.
     """
 
-    __slots__ = ("events", "base", "total")
+    __slots__ = ("events", "base", "total", "event_total")
 
     def __init__(self):
         self.events: List[Event] = []
         self.base = 0  # absolute index of events[0]
-        self.total = 0  # absolute index one past the last event
+        self.total = 0  # absolute index one past the last entry
+        self.event_total = 0  # total event rows across all entries
 
     def append(self, event: Event) -> None:
         self.events.append(event)
         self.total += 1
+        self.event_total += 1
 
     def extend(self, events: Iterable[Event]) -> None:
         self.events.extend(events)
-        self.total = self.base + len(self.events)
+        new_total = self.base + len(self.events)
+        self.event_total += new_total - self.total
+        self.total = new_total
+
+    def append_chunk(self, chunk) -> None:
+        """Columnar mode: log one batch (or row-list) chunk as one entry."""
+        self.events.append(chunk)
+        self.total += 1
+        self.event_total += len(chunk)
 
     def read_from(self, cursor: int) -> List[Event]:
         return self.events[cursor - self.base :]
@@ -230,6 +251,7 @@ class _OpNode:
         self._operator = None
         self.deferred = False
         self._future = 0
+        self.columnar = flow.columnar
         if isinstance(plan_node, GroupApplyNode):
             self._groups: Dict[Tuple, _GroupChain] = {}
             self._active: Dict[Tuple, _GroupChain] = {}
@@ -270,10 +292,30 @@ class _OpNode:
             self._stores: List[List[Event]] = [[] for _ in self.inputs]
         else:
             self._future = future
+        # nodes that still think in Event rows (binary merges, GroupApply
+        # keying, deferred stores) get columnar chunks flattened at the
+        # edge — the transparent row bridge that keeps correctness
+        # independent of which operators understand EventBatch
+        self._flatten = self.columnar and (
+            self.deferred
+            or len(self.inputs) >= 2
+            or isinstance(plan_node, GroupApplyNode)
+        )
 
     @property
     def events_out(self) -> int:
-        return self.outputs.total
+        return self.outputs.event_total
+
+    def _emit(self, events) -> None:
+        """Append row events to the output log (as one chunk when the
+        flow is columnar, so cursor arithmetic stays uniform)."""
+        if self.columnar:
+            if not isinstance(events, list):
+                events = list(events)
+            if events:
+                self.outputs.append_chunk(events)
+        else:
+            self.outputs.extend(events)
 
     def is_idle(self) -> bool:
         """True iff a future (non-flush) watermark can emit nothing here
@@ -314,8 +356,13 @@ class _OpNode:
             # Logical repartitioning is the identity on a single node.
             buf = self.inputs[0]
             fresh = buf.take()
-            self.events_in += len(fresh)
-            self.outputs.extend(fresh)
+            if self.columnar:
+                for chunk in fresh:
+                    self.events_in += len(chunk)
+                    self.outputs.append_chunk(chunk)
+            else:
+                self.events_in += len(fresh)
+                self.outputs.extend(fresh)
             self.watermark = buf.watermark
             return
         if isinstance(node, GroupApplyNode):
@@ -333,6 +380,9 @@ class _OpNode:
         buf = self.inputs[0]
         op = self._operator
         fresh = buf.take()
+        if self.columnar:
+            self._advance_unary_columnar(buf, op, fresh)
+            return
         if fresh:
             self.events_in += len(fresh)
             self.outputs.extend(op.on_batch(fresh))
@@ -345,12 +395,43 @@ class _OpNode:
             base = op.watermark_out(buf.watermark)
             self.watermark = max(self.watermark, base - self._future)
 
+    def _advance_unary_columnar(self, buf, op, fresh) -> None:
+        """Columnar chunk flow: columnar-capable operators consume and
+        produce chunks directly; everything else crosses the row bridge
+        (one flattened row batch, exactly what row mode would feed)."""
+        if fresh:
+            if op.supports_columnar:
+                outputs = self.outputs
+                for chunk in fresh:
+                    self.events_in += len(chunk)
+                    out = op.on_batch(chunk)
+                    if len(out):
+                        outputs.append_chunk(out)
+            else:
+                events: List[Event] = []
+                for chunk in fresh:
+                    if type(chunk) is list:
+                        events.extend(chunk)
+                    else:
+                        events.extend(chunk.to_events())
+                self.events_in += len(events)
+                self._emit(op.on_batch(events))
+        if buf.watermark >= MAX_TIME and not self.flushed:
+            self._emit(op.on_flush())
+            self.flushed = True
+            self.watermark = MAX_TIME
+        else:
+            self._emit(op.on_watermark(buf.watermark))
+            base = op.watermark_out(buf.watermark)
+            self.watermark = max(self.watermark, base - self._future)
+
     def _advance_binary(self) -> None:
         left, right = self.inputs
         op = self._operator
         out: List[Event] = []
         ext = out.extend
-        on_left, on_right = op.on_left, op.on_right
+        on_left_batch = op.on_left_batch
+        on_right_batch = op.on_right_batch
         rw = right.watermark
         w = min(left.watermark, rw)
         levs, revs = left.events, right.events
@@ -359,16 +440,35 @@ class _OpNode:
         delivered = -li - ri
         # deliver merged input up to the joint watermark, right side first
         # at ties, so the right synopsis is complete before a left probe
-        # (the guarantee merge_streams gives the one-shot apply path)
+        # (the guarantee merge_streams gives the one-shot apply path).
+        # While one side's head does not change, the other side's
+        # deliverability bound is a constant — so maximal same-side runs
+        # are found by a scan and handed to the batch kernels in one call.
         while True:
             lh = levs[li] if li < nl else None
             rh = revs[ri] if ri < nr else None
             if rh is not None and rh.le <= w and (lh is None or rh.le <= lh.le):
-                ri += 1
-                ext(on_right(rh))
+                bound = w if lh is None or w <= lh.le else lh.le
+                rj = ri + 1
+                while rj < nr and revs[rj].le <= bound:
+                    rj += 1
+                ext(on_right_batch(revs[ri:rj]))
+                ri = rj
             elif lh is not None and (lh.le < rw or rw >= MAX_TIME):
-                li += 1
-                ext(on_left(lh))
+                if rw >= MAX_TIME:
+                    bound = rh.le if (rh is not None and rh.le <= w) else None
+                else:
+                    bound = rw
+                    if rh is not None and rh.le <= w and rh.le < bound:
+                        bound = rh.le
+                if bound is None:
+                    lj = nl
+                else:
+                    lj = li + 1
+                    while lj < nl and levs[lj].le < bound:
+                        lj += 1
+                ext(on_left_batch(levs[li:lj]))
+                li = lj
             else:
                 break
         if w >= MAX_TIME and not self.flushed:
@@ -377,11 +477,25 @@ class _OpNode:
                 lh = levs[li] if li < nl else None
                 rh = revs[ri] if ri < nr else None
                 if rh is not None and (lh is None or rh.le <= lh.le):
-                    ri += 1
-                    ext(on_right(rh))
+                    if lh is None:
+                        rj = nr
+                    else:
+                        bound = lh.le
+                        rj = ri + 1
+                        while rj < nr and revs[rj].le <= bound:
+                            rj += 1
+                    ext(on_right_batch(revs[ri:rj]))
+                    ri = rj
                 elif lh is not None:
-                    li += 1
-                    ext(on_left(lh))
+                    if rh is None:
+                        lj = nl
+                    else:
+                        bound = rh.le
+                        lj = li + 1
+                        while lj < nl and levs[lj].le < bound:
+                            lj += 1
+                    ext(on_left_batch(levs[li:lj]))
+                    li = lj
                 else:
                     break
             ext(op.on_flush())
@@ -390,7 +504,7 @@ class _OpNode:
         elif self.watermark < w:
             self.watermark = w
         if out:
-            self.outputs.extend(out)
+            self._emit(out)
         self.events_in += delivered + li + ri
         # write back read positions, compacting long-consumed prefixes
         if li > 1024 and li * 2 > nl:
@@ -418,9 +532,9 @@ class _OpNode:
         if all(b.watermark >= MAX_TIME for b in self.inputs) and not self.flushed:
             op = self._operator
             if len(self._stores) == 1:
-                self.outputs.extend(op.apply(self._stores[0]))
+                self._emit(op.apply(self._stores[0]))
             else:
-                self.outputs.extend(op.apply(self._stores[0], self._stores[1]))
+                self._emit(op.apply(self._stores[0], self._stores[1]))
             self._stores = [[] for _ in self.inputs]
             self.flushed = True
             self.watermark = MAX_TIME
@@ -486,7 +600,7 @@ class _OpNode:
         # (le, seq) sort == the cross-group LE merge; seq breaks ties
         # in chain order, so events never compare
         pending.sort()
-        self.outputs.extend(item[2] for item in pending)
+        self._emit([item[2] for item in pending])
         del pending[:]
         self.flushed = True
         self.watermark = MAX_TIME
@@ -532,7 +646,7 @@ class _OpNode:
             group_w = min(group_w, chain.watermark)
         idx = bisect_left(pending, (group_w,))
         if idx:
-            self.outputs.extend(item[2] for item in pending[:idx])
+            self._emit([item[2] for item in pending[:idx]])
             del pending[:idx]
         self.watermark = max(self.watermark, group_w)
 
@@ -592,7 +706,7 @@ class _OpNode:
                     if outs:
                         pending.extend((out.le, next(seq), out) for out in outs)
             pending.sort()
-            self.outputs.extend(item[2] for item in pending)
+            self._emit([item[2] for item in pending])
             del pending[:]
             self.flushed = True
             self.watermark = MAX_TIME
@@ -636,7 +750,7 @@ class _OpNode:
             group_w = min(group_w, proxy.watermark)
         idx = bisect_left(pending, (group_w,))
         if idx:
-            self.outputs.extend(item[2] for item in pending[:idx])
+            self._emit([item[2] for item in pending[:idx]])
             del pending[:idx]
         self.watermark = max(self.watermark, group_w)
 
@@ -893,18 +1007,26 @@ class _ChainSettings:
     buffer back with each reply (the chains themselves never read it).
     """
 
-    __slots__ = ("allow_unstreamable", "group_wave_events", "executor", "trace")
+    __slots__ = (
+        "allow_unstreamable",
+        "group_wave_events",
+        "executor",
+        "trace",
+        "columnar",
+    )
 
     def __init__(
         self,
         allow_unstreamable: bool,
         group_wave_events: int,
         trace: bool = False,
+        columnar: bool = False,
     ):
         self.allow_unstreamable = allow_unstreamable
         self.group_wave_events = group_wave_events
         self.executor = None  # chains never nest parallelism
         self.trace = trace
+        self.columnar = columnar
 
 
 class _ShardChains:
@@ -930,6 +1052,10 @@ class _ShardChains:
         node = self.node
         linear = self.linear
         for key, events in fed:
+            if not isinstance(events, list):
+                # columnar shard dispatch ships one packed EventBatch
+                # per (key, feed); chains always run on rows
+                events = events.to_events()
             chain = self.groups.get(key)
             if chain is None:
                 if linear is not None:
@@ -958,6 +1084,34 @@ class _ShardChains:
         return result
 
 
+def _encode_reply(result):
+    """Pack each keyed reply's non-empty output list into one
+    :class:`EventBatch` so a wave's outputs pickle as a few packed
+    buffers instead of one ``Event`` object per row (lists below the
+    packing cutoff ship as rows — see ``_PACK_MIN_EVENTS``). Works for
+    both flush replies ``(key, outs)`` and wave replies ``(key, outs,
+    watermark, idle_delta)``."""
+    packed = []
+    for item in result:
+        outs = item[1]
+        if len(outs) >= _PACK_MIN_EVENTS:
+            item = (item[0], EventBatch.from_events(outs)) + item[2:]
+        packed.append(item)
+    return packed
+
+
+def _decode_reply(payload):
+    """Inverse of :func:`_encode_reply`; row-list replies (recovery
+    fakes, local rebuilds) pass through untouched."""
+    decoded = []
+    for item in payload:
+        outs = item[1]
+        if not isinstance(outs, list):
+            item = (item[0], outs.to_events()) + item[2:]
+        decoded.append(item)
+    return decoded
+
+
 def _shard_worker(conn, node, settings):  # pragma: no cover - forked child
     """Main loop of one persistent shard worker (runs in a forked child).
 
@@ -984,6 +1138,8 @@ def _shard_worker(conn, node, settings):  # pragma: no cover - forked child
                 ) as span:
                     result = chains.apply(msg)
                     span.set("keys", len(result))
+                if settings.columnar:
+                    result = _encode_reply(result)
                 busy = _time.perf_counter() - t0
                 import pickle as _pickle
 
@@ -997,6 +1153,8 @@ def _shard_worker(conn, node, settings):  # pragma: no cover - forked child
                 conn.send(("ok", result, len(result), busy, extras))
             else:
                 result = chains.apply(msg)
+                if settings.columnar:
+                    result = _encode_reply(result)
                 conn.send(("ok", result, len(result), _time.perf_counter() - t0))
         except BaseException:
             conn.send(("err", traceback.format_exc(), 0, 0.0))
@@ -1047,10 +1205,12 @@ class _ShardedGroups:
         self.executor = executor
         self.flow = flow
         self.num_shards = max(1, executor.max_workers)
+        self.columnar = flow.columnar
         settings = _ChainSettings(
             flow.allow_unstreamable,
             flow.group_wave_events,
             trace=flow.tracer.enabled,
+            columnar=flow.columnar,
         )
 
         def shard_main(conn, worker_id):  # pragma: no cover - forked child
@@ -1086,7 +1246,14 @@ class _ShardedGroups:
         if key not in self._key_sets[shard]:
             self._key_sets[shard].add(key)
             self.keys[shard].append(key)
-        self.outbox[shard].append((key, events))
+        if self.columnar and len(events) >= _PACK_MIN_EVENTS:
+            # ship one packed struct-of-arrays buffer per feed instead
+            # of pickling each Event; the shard decodes on arrival.
+            # Tiny feeds stay as rows — below ~10 events the packed
+            # form's array/layout framing outweighs the savings
+            self.outbox[shard].append((key, EventBatch.from_events(events)))
+        else:
+            self.outbox[shard].append((key, events))
 
     def roundtrip(self, tag: str, watermark: int) -> List[list]:
         """Send one wave/flush to every shard; return per-shard results.
@@ -1137,6 +1304,8 @@ class _ShardedGroups:
                     f"GroupApply shard worker {shard} failed:\n{payload}"
                 )
             m0 = _time.perf_counter()
+            if self.columnar:
+                payload = _decode_reply(payload)
             results.append(payload)
             send_s = 0.0
             if extras is not None:
@@ -1308,6 +1477,13 @@ class Dataflow:
             are replayed exactly; only chain computation moves. Parallel
             flows with process shards hold OS resources: call
             :meth:`close` (the batch driver does so in a ``finally``).
+        batch_format: the physical format events move in between
+            operators: ``"row"`` (each output-log entry is one
+            :class:`Event`) or ``"columnar"`` (entries are chunks — a
+            struct-of-arrays :class:`EventBatch` or a plain list — and
+            operators with ``supports_columnar`` consume them whole,
+            with a row bridge everywhere else). Outputs are
+            byte-identical across formats — see docs/BATCH_FORMAT.md.
     """
 
     def __init__(
@@ -1321,11 +1497,19 @@ class Dataflow:
         executor=None,
         race_checker=None,
         tracer=None,
+        batch_format: str = "row",
     ):
         self.allow_unstreamable = allow_unstreamable
         self.timed = timed
         self.group_wave_events = group_wave_events
         self.race_checker = race_checker
+        if batch_format not in ("row", "columnar"):
+            raise ValueError(
+                f"unknown batch format {batch_format!r}; "
+                "expected one of ['row', 'columnar']"
+            )
+        #: nodes read this during construction to pick their physical path
+        self.columnar = batch_format == "columnar"
         #: the run's tracer: shard workers ship span/metric buffers back
         #: with wave replies when it is enabled (NULL_TRACER otherwise)
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -1429,8 +1613,22 @@ class Dataflow:
         ``watermark`` (usually the last event's LE) promises no earlier
         event will arrive on this source; ``None`` leaves the watermark
         untouched (the slack reorder buffer uses that to backfill).
+
+        Columnar flows pack the whole feed into one
+        :class:`EventBatch` chunk (a prebuilt batch is adopted as-is);
+        downstream operators never see a difference in output bytes.
         """
-        for node in self._require(name):
+        nodes = self._require(name)
+        if self.columnar:
+            if not isinstance(events, EventBatch):
+                events = EventBatch.from_events(list(events))
+            for node in nodes:
+                if len(events):
+                    node.outputs.append_chunk(events)
+                if watermark is not None:
+                    node.watermark = max(node.watermark, watermark)
+            return
+        for node in nodes:
             node.outputs.extend(events)
             if watermark is not None:
                 node.watermark = max(node.watermark, watermark)
@@ -1449,7 +1647,17 @@ class Dataflow:
             for buf, child in node.edges:
                 log = child.outputs
                 if log.total > buf.src_cursor:
-                    buf.events.extend(log.read_from(buf.src_cursor))
+                    fresh = log.read_from(buf.src_cursor)
+                    if node._flatten:
+                        # row bridge: this node needs Event objects
+                        # (binary / deferred / GroupApply input)
+                        for chunk in fresh:
+                            if type(chunk) is list:
+                                buf.events.extend(chunk)
+                            else:
+                                buf.events.extend(chunk.to_events())
+                    else:
+                        buf.events.extend(fresh)
                     buf.src_cursor = log.total
                     changed = True
                 cw = child.watermark
@@ -1464,8 +1672,18 @@ class Dataflow:
                 node.busy_seconds += _time.perf_counter() - t0
             else:
                 node.advance()
-        out = self._root.outputs.read_from(self._released)
-        self._released += len(out)
+        released = self._root.outputs.read_from(self._released)
+        self._released += len(released)
+        if self.columnar:
+            # callers receive rows regardless of the physical format
+            out: List[Event] = []
+            for chunk in released:
+                if type(chunk) is list:
+                    out.extend(chunk)
+                else:
+                    out.extend(chunk.to_events())
+        else:
+            out = released
         self._trim()
         return out
 

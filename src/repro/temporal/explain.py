@@ -14,7 +14,9 @@ from __future__ import annotations
 from typing import List, Optional, Union
 
 from .plan import (
+    ExchangeNode,
     GroupApplyNode,
+    GroupInputNode,
     PlanNode,
     SourceNode,
     render,
@@ -34,6 +36,33 @@ def _streamable(root: PlanNode) -> Optional[str]:
             if offender is not None:
                 return offender
     return None
+
+
+def _batch_path(node: PlanNode) -> str:
+    """One operator's physical path under the columnar batch format."""
+    if isinstance(node, (SourceNode, GroupInputNode)):
+        return "feeds struct-of-arrays EventBatch chunks"
+    if isinstance(node, ExchangeNode):
+        return "pass-through (chunks forwarded unchanged)"
+    if isinstance(node, GroupApplyNode):
+        return (
+            "row bridge at the per-key split; shard dispatch re-packs "
+            "rows as EventBatch across the process boundary"
+        )
+    if len(node.inputs) >= 2:
+        return (
+            "run-batched binary delivery "
+            "(on_left_batch/on_right_batch probes)"
+        )
+    if node.streaming_future_extent() is None:
+        return "row bridge (deferred buffering flattens chunks to rows)"
+    try:
+        operator = node.make_operator()
+    except Exception:
+        return "row bridge (per-event on_event)"
+    if getattr(operator, "supports_columnar", False):
+        return "columnar kernel (supports_columnar)"
+    return "row bridge (per-event on_event)"
 
 
 def explain(query: Union[Query, PlanNode], stats=None) -> str:
@@ -122,6 +151,17 @@ def explain(query: Union[Query, PlanNode], stats=None) -> str:
             "  escape hatches: '# repro: ignore[rule]' on the offending "
             "operator, --force-parallel, or REPRO_FORCE_PARALLEL=1"
         )
+
+    lines.append("")
+    lines.append("BATCH")
+    lines.append(
+        "  row format is the default; columnar is selected per run via "
+        'batch_format="columnar" or REPRO_BATCH=columnar '
+        "(byte-identical output either way, docs/BATCH_FORMAT.md)"
+    )
+    lines.append("  per-operator physical path under columnar:")
+    for node in topological_order(root):
+        lines.append(f"    {node.describe()}: {_batch_path(node)}")
 
     if stats is not None:
         lines.append("")

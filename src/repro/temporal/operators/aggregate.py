@@ -20,6 +20,7 @@ import heapq
 from bisect import bisect_left, insort
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
+from ..batch import EventBatch
 from ..event import Event
 from ..time import MAX_TIME
 from .base import UnaryOperator
@@ -214,6 +215,8 @@ class AggSpec:
 class SnapshotAggregate(UnaryOperator):
     """Compute one or more aggregates per snapshot via an endpoint sweep."""
 
+    supports_columnar = True
+
     def __init__(self, specs: Sequence[AggSpec]):
         if not specs:
             raise ValueError("SnapshotAggregate needs at least one AggSpec")
@@ -259,6 +262,8 @@ class SnapshotAggregate(UnaryOperator):
         heapq.heappush(self._pending, (event.re, self._seq, event.payload))
 
     def on_batch(self, events) -> list:
+        if isinstance(events, EventBatch):
+            return self._columnar_batch(events)
         # hot path: same sweep as on_event, list-building instead of
         # generator dispatch (identical emission order and state updates)
         out = []
@@ -290,6 +295,44 @@ class SnapshotAggregate(UnaryOperator):
             self._active += 1
             self._seq += 1
             heappush(pending, (event.re, self._seq, payload))
+        return out
+
+    def _columnar_batch(self, batch: EventBatch) -> list:
+        # the same endpoint sweep reading the packed le/re arrays; the
+        # only per-row materialisation is the payload dict, which must
+        # be real (it persists in the expiration heap and in aggregate
+        # state between batches)
+        out = []
+        append = out.append
+        pending = self._pending
+        states = self._states
+        heappop, heappush = heapq.heappop, heapq.heappush
+        les, res = batch.les, batch.res
+        payload_at = batch.payload_at
+        for i in range(len(les)):
+            le = les[i]
+            while pending and pending[0][0] <= le:
+                re = pending[0][0]
+                if self._active > 0 and self._segment_start is not None and re > self._segment_start:
+                    append(Event(self._segment_start, re, self._value_payload()))
+                self._segment_start = re
+                while pending and pending[0][0] == re:
+                    _, _, payload = heappop(pending)
+                    for st in states:
+                        st.remove(payload)
+                    self._active -= 1
+            if self._active > 0:
+                if self._segment_start is not None and le > self._segment_start:
+                    append(Event(self._segment_start, le, self._value_payload()))
+                self._segment_start = le
+            else:
+                self._segment_start = le
+            payload = payload_at(i)
+            for st in states:
+                st.add(payload)
+            self._active += 1
+            self._seq += 1
+            heappush(pending, (res[i], self._seq, payload))
         return out
 
     def on_flush(self) -> Iterable[Event]:

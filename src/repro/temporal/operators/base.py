@@ -36,6 +36,13 @@ def sort_events(events: List[Event]) -> List[Event]:
 class UnaryOperator:
     """Base class for one-input operators."""
 
+    #: True when ``on_batch`` accepts a columnar ``EventBatch`` and (for
+    #: stateless operators) returns one. Operators that leave this False
+    #: are bridged by the runtime: it converts columnar chunks back to
+    #: ``Event`` rows before calling ``on_batch``, so correctness never
+    #: depends on which operators were converted (docs/BATCH_FORMAT.md).
+    supports_columnar = False
+
     def on_event(self, event: Event) -> Iterable[Event]:
         """Process one input event (arriving in LE order); yield outputs."""
         raise NotImplementedError
@@ -97,6 +104,22 @@ class BinaryOperator:
 
     def on_right(self, event: Event) -> Iterable[Event]:
         raise NotImplementedError
+
+    def on_left_batch(self, events: Sequence[Event]) -> List[Event]:
+        """Process a contiguous run of left events whose delivery order
+        relative to the right input has already been decided by the
+        runtime. Semantically identical to per-event ``on_left``."""
+        out: List[Event] = []
+        for e in events:
+            out.extend(self.on_left(e))
+        return out
+
+    def on_right_batch(self, events: Sequence[Event]) -> List[Event]:
+        """Batch counterpart of ``on_right``; see ``on_left_batch``."""
+        out: List[Event] = []
+        for e in events:
+            out.extend(self.on_right(e))
+        return out
 
     def on_flush(self) -> Iterable[Event]:
         return ()

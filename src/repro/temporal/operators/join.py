@@ -134,6 +134,50 @@ class TemporalJoin(BinaryOperator):
     def on_right(self, event: Event) -> Iterable[Event]:
         return self._probe_and_insert(event, self._right, self._left, False)
 
+    def _probe_batch(
+        self,
+        events: Sequence[Event],
+        own: _Synopsis,
+        other: _Synopsis,
+        events_are_left: bool,
+    ) -> List[Event]:
+        """Batch probe: per-event semantics with the loop invariants
+        (key fn, synopsis methods, residual/select) hoisted out. The
+        per-key no-expiry fast path lives in ``_Synopsis.probe``."""
+        key_fn = self._key
+        residual = self.residual
+        select = self.select
+        probe = other.probe
+        insert = own.insert
+        out: List[Event] = []
+        append = out.append
+        for event in events:
+            payload = event.payload
+            key = key_fn(payload)
+            now = event.le
+            matches = probe(key, now)
+            if matches:
+                event_re = event.re
+                for match in matches:
+                    if events_are_left:
+                        lp, rp = payload, match.payload
+                    else:
+                        lp, rp = match.payload, payload
+                    if residual is not None and not residual(lp, rp):
+                        continue
+                    le = now if now >= match.le else match.le
+                    re = event_re if event_re <= match.re else match.re
+                    if re > le:
+                        append(Event(le, re, select(lp, rp)))
+            insert(key, event)
+        return out
+
+    def on_left_batch(self, events: Sequence[Event]) -> List[Event]:
+        return self._probe_batch(events, self._left, self._right, True)
+
+    def on_right_batch(self, events: Sequence[Event]) -> List[Event]:
+        return self._probe_batch(events, self._right, self._left, False)
+
 
 class AntiSemiJoin(BinaryOperator):
     """Emit left *point* events not covered by any matching right event."""
@@ -161,6 +205,36 @@ class AntiSemiJoin(BinaryOperator):
                     return ()
         return (event,)
 
+    def on_left_batch(self, events: Sequence[Event]) -> List[Event]:
+        key_fn = self._key
+        probe = self._right.probe
+        residual = self.residual
+        out: List[Event] = []
+        append = out.append
+        for event in events:
+            if not event.is_point:
+                raise ValueError(
+                    "AntiSemiJoin supports point events on its left input only "
+                    f"(got lifetime [{event.le}, {event.re}))"
+                )
+            payload = event.payload
+            le = event.le
+            for match in probe(key_fn(payload), le):
+                if match.le <= le and (
+                    residual is None or residual(payload, match.payload)
+                ):
+                    break  # covered: the probe event is eliminated
+            else:
+                append(event)
+        return out
+
     def on_right(self, event: Event) -> Iterable[Event]:
         self._right.insert(self._key(event.payload), event)
         return ()
+
+    def on_right_batch(self, events: Sequence[Event]) -> List[Event]:
+        key_fn = self._key
+        insert = self._right.insert
+        for event in events:
+            insert(key_fn(event.payload), event)
+        return []

@@ -8,8 +8,10 @@ windows, and lifetime shifts are all AlterLifetime specializations.
 
 from __future__ import annotations
 
+from array import array
 from typing import Callable, Iterable
 
+from ..batch import EventBatch
 from ..event import Event
 from ..time import MAX_TIME, TICK
 from .base import UnaryOperator
@@ -19,10 +21,21 @@ PayloadTransform = Callable[[dict], dict]
 
 
 class Where(UnaryOperator):
-    """Keep events whose payload satisfies ``predicate``."""
+    """Keep events whose payload satisfies ``predicate``.
 
-    def __init__(self, predicate: PayloadPredicate):
+    ``spec`` optionally declares the predicate's shape —
+    ``("eq", key, value)``, ``("ge", key, value)``, or
+    ``("gt", key, value)`` — letting the columnar kernel sweep the named
+    column directly with zero per-row Python calls. The spec must
+    describe ``predicate`` exactly (same contract as AlterLifetime's
+    spec).
+    """
+
+    supports_columnar = True
+
+    def __init__(self, predicate: PayloadPredicate, spec: tuple = None):
         self.predicate = predicate
+        self.spec = spec
 
     def on_event(self, event: Event) -> Iterable[Event]:
         if self.predicate(event.payload):
@@ -32,6 +45,38 @@ class Where(UnaryOperator):
         # hot path: a comprehension beats per-event generator dispatch
         # (input order is preserved)
         pred = self.predicate
+        if isinstance(events, EventBatch):
+            spec = self.spec
+            # spec kernel only when the key is in every layout: a row
+            # missing the key must raise KeyError exactly like the
+            # row-mode predicate would
+            if spec is not None and all(
+                spec[1] in keys for keys in events.layouts
+            ):
+                column = events.columns.get(spec[1])
+                if column is not None:
+                    value = spec[2]
+                    if spec[0] == "eq":
+                        keep = [i for i, v in enumerate(column) if v == value]
+                    elif spec[0] == "ge":
+                        keep = [i for i, v in enumerate(column) if v >= value]
+                    else:  # "gt"
+                        keep = [i for i, v in enumerate(column) if v > value]
+                    if len(keep) == len(events):
+                        return events
+                    return events.gather(keep)
+            # columnar fallback: predicate sweep over a reused row view
+            # produces a selection index, then one gather
+            view = events.row_view()
+            keep = []
+            append = keep.append
+            for i in range(len(events)):
+                view.index = i
+                if pred(view):
+                    append(i)
+            if len(keep) == len(events):
+                return events  # all rows pass: batches are immutable, share
+            return events.gather(keep)
         return [e for e in events if pred(e.payload)]
 
     def is_idle(self) -> bool:
@@ -41,6 +86,8 @@ class Where(UnaryOperator):
 class Project(UnaryOperator):
     """Rewrite each payload with ``fn`` (schema change, derived columns)."""
 
+    supports_columnar = True
+
     def __init__(self, fn: PayloadTransform):
         self.fn = fn
 
@@ -49,6 +96,17 @@ class Project(UnaryOperator):
 
     def on_batch(self, events) -> list:
         fn = self.fn
+        if isinstance(events, EventBatch):
+            # columnar kernel: rebuild payload columns from fn's output
+            # mappings; lifetimes are untouched so the arrays are shared.
+            # fn gets a private dict per row (not the shared view):
+            # projections overwhelmingly splat the whole payload
+            # ({**p, ...}), which runs at C speed on a real dict
+            return EventBatch.from_payloads(
+                events.les,
+                events.res,
+                [fn(p) for p in events.payload_dicts()],
+            )
         return [e.with_payload(fn(e.payload)) for e in events]
 
     def is_idle(self) -> bool:
@@ -63,13 +121,21 @@ class AlterLifetime(UnaryOperator):
     see LE order.
     """
 
+    supports_columnar = True
+
     def __init__(
         self,
         le_fn: Callable[[int, int], int],
         re_fn: Callable[[int, int], int],
+        spec: tuple = None,
     ):
         self.le_fn = le_fn
         self.re_fn = re_fn
+        # recognized shapes get pure-arithmetic columnar kernels with no
+        # per-row lambda dispatch: ("window", w) | ("hop", w, h) |
+        # ("shift", dle, dre) | ("point",) | ("infinity",); None falls
+        # back to calling le_fn/re_fn per row
+        self.spec = spec
 
     def on_event(self, event: Event) -> Iterable[Event]:
         new_le = self.le_fn(event.le, event.re)
@@ -78,6 +144,8 @@ class AlterLifetime(UnaryOperator):
             yield Event(new_le, new_re, event.payload)
 
     def on_batch(self, events) -> list:
+        if isinstance(events, EventBatch):
+            return self._columnar(events)
         le_fn, re_fn = self.le_fn, self.re_fn
         out = []
         append = out.append
@@ -88,6 +156,70 @@ class AlterLifetime(UnaryOperator):
             if new_re > new_le:
                 append(Event(new_le, new_re, e.payload))
         return out
+
+    def _columnar(self, batch: EventBatch) -> EventBatch:
+        """Lifetime arithmetic over the packed le/re arrays."""
+        les, res = batch.les, batch.res
+        spec = self.spec
+        if spec is not None:
+            kind = spec[0]
+            if kind == "window":
+                w = spec[1]
+                return batch.with_lifetimes(les, array("q", [le + w for le in les]))
+            if kind == "hop":
+                w, h = spec[1], spec[2]
+                new_les = array("q", [-(-le // h) * h for le in les])
+                return batch.with_lifetimes(
+                    new_les, array("q", [le + w for le in new_les])
+                )
+            if kind == "point":
+                return batch.with_lifetimes(
+                    les, array("q", [le + TICK for le in les])
+                )
+            if kind == "infinity":
+                if not les or max(les) < MAX_TIME:
+                    return batch.with_lifetimes(
+                        les, array("q", [MAX_TIME]) * len(les)
+                    )
+                keep = [i for i in range(len(les)) if les[i] < MAX_TIME]
+                gathered = batch.gather(keep)
+                return gathered.with_lifetimes(
+                    gathered.les, array("q", [MAX_TIME]) * len(keep)
+                )
+            if kind == "shift":
+                dle, dre = spec[1], spec[2]
+                new_les = array("q", [le + dle for le in les]) if dle else les
+                new_res = array("q", [re + dre for re in res]) if dre else res
+                if dle == dre:
+                    # a pure shift preserves extents: nothing can empty
+                    return batch.with_lifetimes(new_les, new_res)
+                keep = [
+                    i for i in range(len(new_les)) if new_res[i] > new_les[i]
+                ]
+                if len(keep) == len(new_les):
+                    return batch.with_lifetimes(new_les, new_res)
+                return batch.gather(keep).with_lifetimes(
+                    array("q", [new_les[i] for i in keep]),
+                    array("q", [new_res[i] for i in keep]),
+                )
+        # custom rewrite: per-row le_fn/re_fn calls, but still no Event
+        # allocation and no payload traffic
+        le_fn, re_fn = self.le_fn, self.re_fn
+        new_les = array("q")
+        new_res = array("q")
+        keep = []
+        append = keep.append
+        for i in range(len(les)):
+            le, re = les[i], res[i]
+            new_le = le_fn(le, re)
+            new_re = re_fn(le, re)
+            if new_re > new_le:
+                append(i)
+                new_les.append(new_le)
+                new_res.append(new_re)
+        if len(keep) == len(les):
+            return batch.with_lifetimes(new_les, new_res)
+        return batch.gather(keep).with_lifetimes(new_les, new_res)
 
     def is_idle(self) -> bool:
         return True
@@ -101,7 +233,9 @@ def sliding_window(w: int) -> AlterLifetime:
     """
     if w <= 0:
         raise ValueError("window width must be positive")
-    return AlterLifetime(lambda le, re: le, lambda le, re: le + w)
+    return AlterLifetime(
+        lambda le, re: le, lambda le, re: le + w, spec=("window", w)
+    )
 
 
 def hopping_window(w: int, h: int) -> AlterLifetime:
@@ -121,7 +255,9 @@ def hopping_window(w: int, h: int) -> AlterLifetime:
         return -(-t // h) * h
 
     return AlterLifetime(
-        lambda le, re: quantize_up(le), lambda le, re: quantize_up(le) + w
+        lambda le, re: quantize_up(le),
+        lambda le, re: quantize_up(le) + w,
+        spec=("hop", w, h),
     )
 
 
@@ -134,17 +270,25 @@ def shift_lifetime(delta_le: int, delta_re: int = None) -> AlterLifetime:
     """
     if delta_re is None:
         delta_re = delta_le
-    return AlterLifetime(lambda le, re: le + delta_le, lambda le, re: re + delta_re)
+    return AlterLifetime(
+        lambda le, re: le + delta_le,
+        lambda le, re: re + delta_re,
+        spec=("shift", delta_le, delta_re),
+    )
 
 
 def to_point_events() -> AlterLifetime:
     """Collapse each event to a point event at its LE."""
-    return AlterLifetime(lambda le, re: le, lambda le, re: le + TICK)
+    return AlterLifetime(
+        lambda le, re: le, lambda le, re: le + TICK, spec=("point",)
+    )
 
 
 def extend_to_infinity() -> AlterLifetime:
     """Extend each event's lifetime to the end of time (RE = MAX_TIME)."""
-    return AlterLifetime(lambda le, re: le, lambda le, re: MAX_TIME)
+    return AlterLifetime(
+        lambda le, re: le, lambda le, re: MAX_TIME, spec=("infinity",)
+    )
 
 
 class CountWindow(UnaryOperator):

@@ -30,7 +30,7 @@ class TestRegistry:
         families = {r.split(".")[0] for r in RULES}
         assert families == {
             "schema", "determinism", "parallel", "partition", "lifetime",
-            "suppression",
+            "batch", "suppression",
         }
 
 

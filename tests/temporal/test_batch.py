@@ -1,0 +1,252 @@
+"""EventBatch: exact row round-trips and transformation semantics.
+
+The columnar format's correctness contract is that it is *exactly*
+row-convertible (docs/BATCH_FORMAT.md): ``from_events(rows).to_events()``
+reproduces the input row list — payload key order, heterogeneous
+layouts, missing keys, and sentinel lifetimes included. Hypothesis
+drives the round-trip property; the unit tests pin the transformation
+kernels (gather / slice / concat / with_lifetimes) and the shared
+read-only row view.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.temporal import Event, EventBatch
+from repro.temporal.batch import MISSING, BatchRowView
+from repro.temporal.time import MAX_TIME, MIN_TIME
+
+# -- hypothesis strategies ---------------------------------------------------
+
+# a small key pool forces layout collisions *and* heterogeneity
+_KEYS = ("UserId", "AdId", "Score", "Flag")
+_values = st.one_of(
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.text(max_size=6),
+    st.none(),
+    st.booleans(),
+)
+_payloads = st.dictionaries(st.sampled_from(_KEYS), _values, max_size=4)
+
+
+@st.composite
+def _lifetime(draw):
+    """A valid ``[le, re)`` with the sentinels represented."""
+    le = draw(
+        st.one_of(
+            st.integers(min_value=-1000, max_value=1000), st.just(MIN_TIME)
+        )
+    )
+    re = draw(
+        st.one_of(
+            st.integers(min_value=le + 1, max_value=le + 2000),
+            st.just(MAX_TIME),
+        )
+    )
+    return le, re
+
+
+@st.composite
+def events(draw, max_n=25):
+    n = draw(st.integers(min_value=0, max_value=max_n))
+    out = []
+    for _ in range(n):
+        le, re = draw(_lifetime())
+        out.append(Event(le, re, draw(_payloads)))
+    return out
+
+
+# -- round trip --------------------------------------------------------------
+
+
+class TestRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(events())
+    def test_from_events_to_events_identity(self, rows):
+        batch = EventBatch.from_events(rows)
+        out = batch.to_events()
+        assert out == rows
+        # exact key *order* per row, not just dict equality
+        assert [list(e.payload) for e in out] == [
+            list(e.payload) for e in rows
+        ]
+        assert len(batch) == len(rows)
+
+    @settings(max_examples=100, deadline=None)
+    @given(events())
+    def test_payload_at_matches_rows(self, rows):
+        batch = EventBatch.from_events(rows)
+        for i, event in enumerate(rows):
+            payload = batch.payload_at(i)
+            assert payload == event.payload
+            assert list(payload) == list(event.payload)
+            payload["__scratch__"] = 1  # private dict: mutation is safe
+        assert batch.to_events() == rows
+
+    @settings(max_examples=100, deadline=None)
+    @given(events())
+    def test_pickle_round_trip(self, rows):
+        batch = EventBatch.from_events(rows)
+        clone = pickle.loads(pickle.dumps(batch))
+        assert clone.to_events() == rows
+        # MISSING stays a singleton across the pickle boundary
+        for col in clone.columns.values():
+            for value in col:
+                assert not isinstance(value, type(MISSING)) or value is MISSING
+
+    @settings(max_examples=100, deadline=None)
+    @given(events())
+    def test_from_payloads_matches_from_events(self, rows):
+        from array import array
+
+        batch = EventBatch.from_payloads(
+            array("q", [e.le for e in rows]),
+            array("q", [e.re for e in rows]),
+            [e.payload for e in rows],
+        )
+        assert batch.to_events() == rows
+
+    def test_empty_batch(self):
+        batch = EventBatch.empty()
+        assert len(batch) == 0
+        assert batch.to_events() == []
+        assert EventBatch.from_events([]).to_events() == []
+
+    def test_missing_keys_never_surface(self):
+        rows = [
+            Event(0, 10, {"UserId": 1, "AdId": 2}),
+            Event(1, 11, {"UserId": 3}),
+            Event(2, 12, {"AdId": 4, "UserId": 5}),  # reversed key order
+        ]
+        batch = EventBatch.from_events(rows)
+        assert set(batch.column_names()) == {"UserId", "AdId"}
+        assert batch.columns["AdId"][1] is MISSING
+        out = batch.to_events()
+        assert out == rows
+        assert "AdId" not in out[1].payload
+        assert list(out[2].payload) == ["AdId", "UserId"]
+
+    def test_sentinel_lifetimes_fit(self):
+        rows = [Event(MIN_TIME, MAX_TIME, {"UserId": 1})]
+        batch = EventBatch.from_events(rows)
+        assert batch.les[0] == MIN_TIME
+        assert batch.res[0] == MAX_TIME
+        assert batch.to_events() == rows
+
+
+# -- transformations ---------------------------------------------------------
+
+
+@settings(max_examples=100, deadline=None)
+@given(events(), st.data())
+def test_gather_selects_rows(rows, data):
+    batch = EventBatch.from_events(rows)
+    indices = data.draw(
+        st.lists(st.integers(min_value=0, max_value=max(len(rows) - 1, 0)))
+        if rows
+        else st.just([])
+    )
+    picked = batch.gather(indices)
+    assert picked.to_events() == [rows[i] for i in indices]
+
+
+@settings(max_examples=100, deadline=None)
+@given(events(), st.data())
+def test_slice_matches_list_slice(rows, data):
+    batch = EventBatch.from_events(rows)
+    start = data.draw(st.integers(min_value=0, max_value=len(rows)))
+    stop = data.draw(st.integers(min_value=start, max_value=len(rows)))
+    assert batch.slice(start, stop).to_events() == rows[start:stop]
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(events(max_n=8), max_size=4))
+def test_concat_matches_list_concat(chunks):
+    batches = [EventBatch.from_events(rows) for rows in chunks]
+    flat = [e for rows in chunks for e in rows]
+    assert EventBatch.concat(batches).to_events() == flat
+
+
+def test_with_lifetimes_shares_columns():
+    from array import array
+
+    rows = [Event(0, 10, {"UserId": 1}), Event(5, 15, {"UserId": 2})]
+    batch = EventBatch.from_events(rows)
+    shifted = batch.with_lifetimes(
+        array("q", [1, 6]), array("q", [11, 16])
+    )
+    assert shifted.columns is batch.columns  # shared, per the contract
+    assert [e.le for e in shifted.to_events()] == [1, 6]
+    assert [e.payload for e in shifted.to_events()] == [
+        {"UserId": 1},
+        {"UserId": 2},
+    ]
+    assert batch.to_events() == rows  # original untouched
+
+
+def test_last_le():
+    batch = EventBatch.from_events(
+        [Event(3, 9, {}), Event(7, 20, {"UserId": 1})]
+    )
+    assert batch.last_le == 7
+
+
+def test_batch_equality_is_row_equality():
+    rows = [Event(0, 5, {"UserId": 1})]
+    assert EventBatch.from_events(rows) == EventBatch.concat(
+        [EventBatch.from_events(rows)]
+    )
+    assert EventBatch.from_events(rows) != EventBatch.empty()
+
+
+# -- BatchRowView ------------------------------------------------------------
+
+
+class TestBatchRowView:
+    ROWS = [
+        Event(0, 10, {"UserId": 1, "AdId": 2}),
+        Event(1, 11, {"AdId": 7}),
+    ]
+
+    def view(self, index=0):
+        return EventBatch.from_events(self.ROWS).row_view(index)
+
+    def test_mapping_protocol(self):
+        from collections.abc import Mapping
+
+        view = self.view()
+        assert isinstance(view, Mapping)
+        assert view["UserId"] == 1
+        assert view.get("AdId") == 2
+        assert view.get("Nope", 9) == 9
+        assert "UserId" in view and "Nope" not in view
+        assert list(view) == ["UserId", "AdId"]
+        assert len(view) == 2
+        assert view.items() == [("UserId", 1), ("AdId", 2)]
+        assert view.values() == [1, 2]
+        assert view == {"UserId": 1, "AdId": 2}
+
+    def test_advancing_index_moves_the_view(self):
+        view = self.view()
+        view.index = 1
+        assert list(view) == ["AdId"]
+        assert view["AdId"] == 7
+        with pytest.raises(KeyError):
+            view["UserId"]  # MISSING slot must read as absent
+        assert view.get("UserId") is None
+        assert "UserId" not in view
+
+    def test_copy_is_a_private_dict(self):
+        view = self.view()
+        copy = view.copy()
+        assert copy == {"UserId": 1, "AdId": 2}
+        copy["UserId"] = 99
+        assert view["UserId"] == 1
+
+    def test_view_equality(self):
+        assert self.view() == self.view()
+        assert self.view() != self.view(1)
+        assert isinstance(self.view(), BatchRowView)

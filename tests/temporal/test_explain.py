@@ -66,6 +66,35 @@ class TestExplainLint:
         assert "no findings" not in report
 
 
+class TestExplainBatch:
+    def test_section_names_each_operator_path(self):
+        report = explain(click_count())
+        assert "BATCH" in report
+        assert "REPRO_BATCH=columnar" in report
+        assert "docs/BATCH_FORMAT.md" in report
+        assert "logs: feeds struct-of-arrays EventBatch chunks" in report
+        assert "where: columnar kernel (supports_columnar)" in report
+        assert "row bridge at the per-key split" in report
+
+    def test_binary_operator_reports_run_batched_delivery(self):
+        q = Query.source("a").temporal_join(
+            Query.source("b").window(hours(1)), on="UserId"
+        )
+        report = explain(q)
+        assert "run-batched binary delivery" in report
+        assert "window" in report and "columnar kernel" in report
+
+    def test_opaque_alter_lifetime_reports_deferred_bridge(self):
+        q = Query.source("s").alter_lifetime(
+            lambda le, re: le, lambda le, re: re
+        )
+        assert "deferred buffering flattens chunks to rows" in explain(q)
+
+    def test_exchange_is_passthrough(self):
+        q = Query.source("s").exchange("UserId").where(lambda p: True)
+        assert "pass-through (chunks forwarded unchanged)" in explain(q)
+
+
 class TestExplainTraceMetrics:
     def _stats(self):
         from repro.temporal import Engine
