@@ -1,12 +1,18 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test lint selflint ruff chaos chaos-parallel bench-smoke bench-compare bench-trend race-check
+.PHONY: check test test-stress lint selflint ruff chaos chaos-parallel bench-smoke bench-compare bench-scale bench-trend race-check
 
 check: test selflint chaos ruff
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# opt-in stress/soak tier: worker-kill chaos, wave batching, and the
+# columnar format all at once, plus leaked-process / leaked-fd checks.
+# Deselected from the default run by addopts (-m "not stress").
+test-stress:
+	$(PYTHON) -m pytest -x -q -m stress tests/stress
 
 # end-to-end fault-tolerance suite: full BT pipeline fault-free vs under
 # a seeded fault schedule vs killed-and-resumed; asserts byte-identical
@@ -39,13 +45,25 @@ bench-smoke:
 	@mkdir -p profile_out
 	$(PYTHON) benchmarks/bench_smoke.py --out profile_out/BENCH_current.json
 
-# re-measure into a scratch artifact and compare per-query events/sec
-# against the committed baseline; exits non-zero when a query regresses
-# past the threshold (CI runs this non-gating)
+# re-measure into a scratch artifact and compare against the committed
+# baseline: per-query events/sec (noisy, loose threshold) plus the
+# serial-vs-parallel speedup ratios, which divide runner speed out and
+# are stable enough to gate CI on
 bench-compare:
 	@mkdir -p profile_out
 	$(PYTHON) benchmarks/bench_smoke.py --out profile_out/BENCH_current.json \
-		--baseline benchmarks/baselines/BENCH_pr5.json
+		--baseline benchmarks/baselines/BENCH_pr10.json \
+		--gate queries,parallel
+
+# the millions-of-events scaling table on top of the smoke sections:
+# serial vs thread vs process with wave batching, recording both the
+# honest measured wall ratio and the labeled critical-path projection
+# (see the scale section docs in benchmarks/bench_smoke.py). This is
+# how benchmarks/baselines/BENCH_pr10.json was produced.
+bench-scale:
+	@mkdir -p profile_out
+	$(PYTHON) benchmarks/bench_smoke.py --out profile_out/BENCH_scale.json \
+		--scale-rows 1000000
 
 # run-over-run tracking: append the current artifact to
 # profile_out/BENCH_history.jsonl and compare against the best-known

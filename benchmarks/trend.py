@@ -110,6 +110,7 @@ def summarize(run: dict, git: str, timestamp: float) -> dict:
     """The compact history record for one bench_smoke artifact."""
     parallel = (run.get("parallel") or {}).get("queries") or {}
     columnar = (run.get("columnar") or {}).get("queries") or {}
+    scale = (run.get("scale") or {}).get("queries") or {}
     return {
         "timestamp": round(timestamp, 1),
         "git": git,
@@ -128,6 +129,13 @@ def summarize(run: dict, git: str, timestamp: float) -> dict:
             for name, cell in sorted(columnar.items())
             if isinstance(cell, dict)
             and cell.get("columnar_speedup") is not None
+        },
+        # projected critical-path speedups from the millions-of-events
+        # table (bench_smoke --scale-rows); absent on plain smoke runs
+        "scale_speedup": {
+            name: cell.get("best_speedup")
+            for name, cell in sorted(scale.items())
+            if isinstance(cell, dict) and cell.get("best_speedup") is not None
         },
     }
 

@@ -94,6 +94,16 @@ def build_parser() -> argparse.ArgumentParser:
         "static analyzer reports parallel.* hazards "
         "(docs/PARALLELISM.md#safety-model)",
     )
+    exec_opts.add_argument(
+        "--wave-batch",
+        default=None,
+        metavar="N|auto|max",
+        help="watermark waves batched per parallel dispatch (scheduling "
+        "granularity; default: REPRO_WAVE_BATCH, then 1). 'auto' adapts "
+        "from the dispatch/compute ratio; 'max' dispatches once per "
+        "drain. Output is byte-identical for every value "
+        "(docs/PARALLELISM.md#scheduling-granularity)",
+    )
 
     gen = sub.add_parser("generate", help="generate a synthetic advertising log")
     gen.add_argument("--users", type=int, default=500)
@@ -305,12 +315,13 @@ def _print_events(events, limit: int) -> None:
 
 
 def _exec_overrides(args) -> dict:
-    """The --executor/--workers/--force-parallel flags as RunContext
-    field overrides."""
+    """The --executor/--workers/--force-parallel/--wave-batch flags as
+    RunContext field overrides."""
     return {
         "executor": getattr(args, "executor", None),
         "max_workers": getattr(args, "workers", None),
         "force_parallel": getattr(args, "force_parallel", False),
+        "waves_per_dispatch": getattr(args, "wave_batch", None),
     }
 
 
@@ -889,8 +900,13 @@ def _cmd_profile(args) -> int:
         serial_t0 = _time.perf_counter()
         _profile_run(query, rows, _SerialArgs, NULL_TRACER)
         serial_wall = _time.perf_counter() - serial_t0
-        overhead = (result.parallel or {}).get("overhead", {})
-        attribution = attribute(overhead, serial_wall_seconds=serial_wall)
+        parallel_summary = result.parallel or {}
+        attribution = attribute(
+            parallel_summary.get("overhead", {}),
+            serial_wall_seconds=serial_wall,
+            dispatches=parallel_summary.get("dispatches", 0),
+            waves=parallel_summary.get("waves", 0),
+        )
 
     calibration = calibrate(
         result.fragments, result.report, timr.statistics, {"logs": len(rows)}
@@ -927,6 +943,13 @@ def _cmd_profile(args) -> int:
             "parallel_wall_seconds": round(attribution.wall_seconds, 6),
             "serial_wall_seconds": round(serial_wall, 6),
             "speedup": round(attribution.speedup, 4) if attribution.speedup else None,
+            "dispatches": attribution.dispatches,
+            "waves": attribution.waves,
+            "realized_wave_batch": (
+                round(attribution.realized_wave_batch, 4)
+                if attribution.realized_wave_batch is not None
+                else None
+            ),
         }
     if args.json:
         print(_json.dumps(summary, indent=2, sort_keys=True))
@@ -939,11 +962,20 @@ def _cmd_profile(args) -> int:
         recovery = result.parallel.get("recovery", {})
         active = {k: v for k, v in sorted(recovery.items()) if v}
         print()
+        scheduling = ""
+        dispatches = result.parallel.get("dispatches", 0)
+        waves = result.parallel.get("waves", 0)
+        if dispatches:
+            scheduling = (
+                f"; scheduling: {waves} wave(s) in {dispatches} "
+                f"dispatch(es), realized batch {waves / dispatches:.1f}"
+            )
         print(
             f"parallel: {result.parallel['executor']} x "
             f"{result.parallel['max_workers']} workers, "
             f"{result.parallel['tasks']} task(s) in "
-            f"{result.parallel['calls']} call(s); "
+            f"{result.parallel['calls']} call(s)"
+            f"{scheduling}; "
             f"supervision: {active if active else 'no recovery activity'}"
         )
     if attribution is not None:

@@ -286,6 +286,15 @@ class Cluster:
             report.num_partitions = stage.num_partitions
 
             # Reduce phase: run the reducer per partition, measuring work.
+            # Parallel only without tracing: reducers embedding an engine
+            # open driver-thread spans, which must keep nesting under the
+            # partition span (the map closures never open spans, so the
+            # map fan-out has no such constraint).
+            reduce_results = None
+            if executor.parallel and stage.num_partitions > 1 and not tracer.enabled:
+                reduce_results = self._run_reduce_parallel(
+                    executor, stage, partitions, report, quarantined
+                )
             outputs: List[List[Row]] = []
             for idx, rows in enumerate(partitions):
                 with tracer.span(
@@ -295,20 +304,40 @@ class Cluster:
                     partition=idx,
                     rows_in=len(rows),
                 ) as part_span:
-                    if stage.sort_by_time:
-                        sort_start = _time.perf_counter() if tracer.enabled else 0.0
-                        rows = self._sort_partition(stage, idx, rows, quarantined)
-                        if tracer.enabled:
+                    busy = None
+                    if reduce_results is not None:
+                        # work already done on the executor; the span is
+                        # a post-hoc summary carrying the worker-side
+                        # sort + reduce time (spans are main-thread)
+                        out_rows, seconds, restarts, sort_seconds = (
+                            reduce_results[idx]
+                        )
+                        busy = sort_seconds + seconds
+                        if tracer.enabled and stage.sort_by_time:
                             part_span.set(
-                                "sort_seconds",
-                                round(_time.perf_counter() - sort_start, 6),
+                                "sort_seconds", round(sort_seconds, 6)
                             )
-                    out_rows, seconds, restarts = self._run_reducer(
-                        stage, idx, rows, report, quarantined
-                    )
+                    else:
+                        if stage.sort_by_time:
+                            sort_start = (
+                                _time.perf_counter() if tracer.enabled else 0.0
+                            )
+                            rows = self._sort_partition(
+                                stage, idx, rows, quarantined
+                            )
+                            if tracer.enabled:
+                                part_span.set(
+                                    "sort_seconds",
+                                    round(_time.perf_counter() - sort_start, 6),
+                                )
+                        out_rows, seconds, restarts = self._run_reducer(
+                            stage, idx, rows, report, quarantined
+                        )
                     if tracer.enabled:
                         part_span.set("rows_out", len(out_rows))
                         part_span.set("restarts", restarts)
+                if busy is not None:
+                    part_span.set_duration(busy)
                 outputs.append(out_rows)
                 report.partition_seconds.append(seconds)
                 report.restarted_partitions += restarts
@@ -503,6 +532,22 @@ class Cluster:
         raw = executor.run_tasks(
             [map_task(pi, rows) for pi, rows in enumerate(parts)]
         )
+        self._fold_executor_stats(executor, stage)
+        results = []
+        for pi, res in enumerate(raw):
+            if res is None:
+                routed = self._run_map_partition(
+                    stage, pi, parts[pi], report, quarantined
+                )
+                results.append((routed, 0.0))
+                continue
+            routed, poisoned, busy = res
+            quarantined.extend(poisoned)
+            results.append((routed, busy))
+        return results
+
+    def _fold_executor_stats(self, executor, stage: MapReduceStage) -> None:
+        """Fold one fan-out's executor counters into ``last_parallel``."""
         if self.last_parallel is None:
             from ..runtime.parallel import ParallelStats
 
@@ -524,18 +569,6 @@ class Cluster:
                         f"executor.{key}", stage=stage.name,
                         deterministic=False,
                     ).inc(value)
-        results = []
-        for pi, res in enumerate(raw):
-            if res is None:
-                routed = self._run_map_partition(
-                    stage, pi, parts[pi], report, quarantined
-                )
-                results.append((routed, 0.0))
-                continue
-            routed, poisoned, busy = res
-            quarantined.extend(poisoned)
-            results.append((routed, busy))
-        return results
 
     def _sort_partition(
         self,
@@ -545,6 +578,20 @@ class Cluster:
         quarantined: List[Row],
     ) -> List[Row]:
         """Secondary sort by Time; malformed rows quarantine instead of crash."""
+        rows, records = self._sort_partition_rows(stage, idx, rows)
+        quarantined.extend(records)
+        return rows
+
+    def _sort_partition_rows(
+        self, stage: MapReduceStage, idx: int, rows: List[Row]
+    ) -> Tuple[List[Row], List[Row]]:
+        """The pure sort body: ``(sorted rows, dead-letter records)``.
+
+        Shared by the serial loop and the parallel reduce fan-out; reads
+        only immutable driver state, so it is safe on worker threads or
+        forked children.
+        """
+        records: List[Row] = []
         if self.quarantine:
             usable: List[Row] = []
             for row in rows:
@@ -554,7 +601,7 @@ class Cluster:
                 ):
                     usable.append(row)
                 else:
-                    quarantined.append(
+                    records.append(
                         self._quarantine_record(
                             stage.name,
                             idx,
@@ -564,8 +611,7 @@ class Cluster:
                         )
                     )
             rows = usable
-        rows.sort(key=lambda r: r["Time"])
-        return rows
+        return sorted(rows, key=lambda r: r["Time"]), records
 
     def _run_reducer(
         self,
@@ -575,18 +621,45 @@ class Cluster:
         report: StageReport,
         quarantined: List[Row],
     ) -> Tuple[List[Row], float, int]:
+        """One partition's reduce: injected-fault draws, then the pure body.
+
+        The draw loop and the reduce body are split so the parallel
+        reduce can pre-consult the fault policy in the driver (serial
+        partition order) while the pure body runs on a worker — and the
+        serial path goes through the exact same two halves, so the fault
+        schedule and quarantine bytes cannot depend on the executor.
+        """
+        restarts = self._predraw_reduce_faults(stage, idx, report)
+        out_rows, seconds, real_restarts, poison = self._reduce_partition_rows(
+            stage, idx, rows
+        )
+        quarantined.extend(poison)
+        if real_restarts:
+            report.retry_backoff_seconds += (
+                self.cost_model.retry_backoff_base * real_restarts
+            )
+        return out_rows, seconds, restarts + real_restarts
+
+    def _predraw_reduce_faults(
+        self, stage: MapReduceStage, idx: int, report: StageReport
+    ) -> int:
+        """Consume one partition's reduce-phase fault draws, serially.
+
+        Each attempt passes the shuffle and reduce sites in order, as
+        the historical retry loop did, charging exponential backoff per
+        injected restart and propagating past ``max_restarts``. Returns
+        the injected restart count.
+        """
+        if self.fault_policy is None:
+            return 0
         restarts = 0
-        real_retries = 0
         attempt = 0
         while True:
             attempt += 1
-            start = _time.perf_counter()
             try:
-                if self.fault_policy is not None:
-                    self.fault_policy.maybe_fail(SHUFFLE, stage.name, idx, attempt)
-                    self.fault_policy.maybe_fail(REDUCE, stage.name, idx, attempt)
-                out_rows = list(stage.reducer(idx, rows))
-                return out_rows, _time.perf_counter() - start, restarts
+                self.fault_policy.maybe_fail(SHUFFLE, stage.name, idx, attempt)
+                self.fault_policy.maybe_fail(REDUCE, stage.name, idx, attempt)
+                return restarts
             except InjectedFault:
                 restarts += 1
                 report.retry_backoff_seconds += (
@@ -594,27 +667,140 @@ class Cluster:
                 )
                 if restarts > self.max_restarts:
                     raise
+
+    def _reduce_partition_rows(
+        self, stage: MapReduceStage, idx: int, rows: List[Row]
+    ) -> Tuple[List[Row], float, int, List[Row]]:
+        """The pure reduce body: ``(output rows, measured seconds, real
+        restarts, dead-letter records)``.
+
+        Consults no fault policy and touches no driver state, so it is
+        safe on worker threads or forked children. A *real* failure —
+        user code or malformed data — is retried once (the restart
+        strategy costs nothing to try), then poison rows are bisected
+        out (quarantine mode) or the stage fails with full context.
+        """
+        attempt = 0
+        while True:
+            attempt += 1
+            start = _time.perf_counter()
+            try:
+                out_rows = list(stage.reducer(idx, rows))
+                return out_rows, _time.perf_counter() - start, attempt - 1, []
+            except InjectedFault:
+                raise  # exotic: a policy firing inside user reduce code
             except Exception as exc:
-                # A *real* failure: user code or malformed data. Retry
-                # once (the restart strategy costs nothing to try), then
-                # isolate poison rows or fail with full context.
-                if real_retries == 0:
-                    real_retries = 1
-                    restarts += 1
-                    report.retry_backoff_seconds += self.cost_model.retry_backoff_base
+                if attempt == 1:
                     continue
                 if self.quarantine:
                     isolated = self._isolate_poison(stage, idx, rows)
                     if isolated is not None:
                         poison, out_rows, seconds = isolated
-                        for row in poison:
-                            quarantined.append(
-                                self._quarantine_record(stage.name, idx, REDUCE, row, exc)
+                        records = [
+                            self._quarantine_record(
+                                stage.name, idx, REDUCE, row, exc
                             )
-                        return out_rows, seconds, restarts
+                            for row in poison
+                        ]
+                        return out_rows, seconds, attempt - 1, records
                 raise StageExecutionError(
                     stage.name, idx, attempt, len(rows), exc
                 ) from exc
+
+    def _run_reduce_parallel(
+        self,
+        executor,
+        stage: MapReduceStage,
+        partitions: Sequence[List[Row]],
+        report: StageReport,
+        quarantined: List[Row],
+    ) -> List[Tuple[List[Row], float, int, float]]:
+        """Fan reduce tasks over shuffled partitions, byte-identical to serial.
+
+        Mirrors :meth:`_run_map_parallel`'s discipline: the driver
+        pre-consults the fault policy for every partition in serial
+        partition order (charging exactly the backoff the serial loop
+        would), then dispatches the pure sort+reduce body. Quarantine
+        records — sort dead letters first, then bisected poison rows —
+        merge in partition order, so the ``{job}.quarantine`` dataset is
+        byte-identical to a serial run. A task that sees an exotic
+        injected fault or a real reduce failure returns ``None`` and
+        that partition re-runs through the full serial path in the
+        driver, preserving :class:`StageExecutionError` fidelity
+        (exception type, attempt count, ``__cause__``).
+        """
+        predrawn = [
+            self._predraw_reduce_faults(stage, idx, report)
+            for idx in range(len(partitions))
+        ]
+        sorter = self._sort_partition_rows
+        reducer = self._reduce_partition_rows
+        sort_by_time = stage.sort_by_time
+        clock = _time.perf_counter
+
+        def reduce_task(idx: int, rows: List[Row]):
+            def task():
+                sort_seconds = 0.0
+                sort_records: List[Row] = []
+                if sort_by_time:
+                    start = clock()
+                    rows_sorted, sort_records = sorter(stage, idx, rows)
+                    sort_seconds = clock() - start
+                else:
+                    rows_sorted = rows
+                try:
+                    out_rows, seconds, real_restarts, poison = reducer(
+                        stage, idx, rows_sorted
+                    )
+                except (InjectedFault, StageExecutionError):
+                    return None  # retry serially in the driver
+                return (
+                    out_rows,
+                    seconds,
+                    real_restarts,
+                    poison,
+                    sort_records,
+                    sort_seconds,
+                )
+
+            return task
+
+        raw = executor.run_tasks(
+            [reduce_task(idx, rows) for idx, rows in enumerate(partitions)]
+        )
+        self._fold_executor_stats(executor, stage)
+        results = []
+        for idx, res in enumerate(raw):
+            if res is None:
+                rows = partitions[idx]
+                sort_seconds = 0.0
+                if sort_by_time:
+                    start = clock()
+                    rows = self._sort_partition(stage, idx, rows, quarantined)
+                    sort_seconds = clock() - start
+                out_rows, seconds, real_restarts, poison = (
+                    self._reduce_partition_rows(stage, idx, rows)
+                )
+                quarantined.extend(poison)
+                if real_restarts:
+                    report.retry_backoff_seconds += (
+                        self.cost_model.retry_backoff_base * real_restarts
+                    )
+                results.append(
+                    (out_rows, seconds, predrawn[idx] + real_restarts, sort_seconds)
+                )
+                continue
+            out_rows, seconds, real_restarts, poison, sort_records, sort_seconds = res
+            quarantined.extend(sort_records)
+            quarantined.extend(poison)
+            if real_restarts:
+                report.retry_backoff_seconds += (
+                    self.cost_model.retry_backoff_base * real_restarts
+                )
+            results.append(
+                (out_rows, seconds, predrawn[idx] + real_restarts, sort_seconds)
+            )
+        return results
 
     def _isolate_poison(
         self, stage: MapReduceStage, idx: int, rows: List[Row]

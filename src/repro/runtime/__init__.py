@@ -19,12 +19,14 @@ from .parallel import (
     SerialExecutor,
     Supervision,
     ThreadExecutor,
+    WaveBatcher,
     WorkerLostError,
     WorkerStats,
     force_parallel_requested,
     resolve_batch_format,
     resolve_executor,
     resolve_retry_budget,
+    resolve_waves_per_dispatch,
     resolve_worker_timeout,
 )
 from .racecheck import (
@@ -52,6 +54,7 @@ __all__ = [
     "StreamingUnsupported",
     "Supervision",
     "ThreadExecutor",
+    "WaveBatcher",
     "WorkerLostError",
     "WorkerStats",
     "force_parallel_requested",
@@ -60,5 +63,6 @@ __all__ = [
     "resolve_batch_format",
     "resolve_executor",
     "resolve_retry_budget",
+    "resolve_waves_per_dispatch",
     "resolve_worker_timeout",
 ]

@@ -83,6 +83,16 @@ class RunContext:
             ``None`` defers to the ``REPRO_BATCH`` environment variable
             (row when unset). Outputs are byte-identical across formats
             — see docs/BATCH_FORMAT.md.
+        waves_per_dispatch: scheduling granularity for parallel
+            GroupApply: how many watermark waves are batched into one
+            parallel dispatch (thread fan-out or shard-worker
+            roundtrip). A positive int, ``"auto"`` (adaptive, driven by
+            the overhead attribution's dispatch/compute ratio), or
+            ``"max"`` (one dispatch per drain). ``None`` defers to the
+            ``REPRO_WAVE_BATCH`` environment variable (1 when unset —
+            the fine-grained schedule). Outputs are byte-identical for
+            every value — see docs/PARALLELISM.md, "Scheduling
+            granularity".
     """
 
     tracer: object = NULL_TRACER
@@ -103,6 +113,7 @@ class RunContext:
     worker_timeout: Optional[float] = None
     worker_retry_budget: Optional[int] = None
     batch_format: Optional[str] = None
+    waves_per_dispatch: Optional[object] = None
 
     def resolve_batch_format(self) -> str:
         """The physical batch format for this run (``"row"`` /
@@ -110,6 +121,13 @@ class RunContext:
         from .parallel import resolve_batch_format
 
         return resolve_batch_format(self.batch_format)
+
+    def resolve_waves_per_dispatch(self):
+        """Waves batched per parallel dispatch: an int >= 1, ``"auto"``,
+        or ``float("inf")``, with strict ``REPRO_WAVE_BATCH`` validation."""
+        from .parallel import resolve_waves_per_dispatch
+
+        return resolve_waves_per_dispatch(self.waves_per_dispatch)
 
     def resolve_executor(self):
         """The live :class:`~repro.runtime.parallel.Executor` for this run.

@@ -58,6 +58,7 @@ from .parallel import (
     ExecutorDegradedWarning,
     OverheadStats,
     ParallelStats,
+    WaveBatcher,
     WorkerLostError,
     WorkerStats,
     resolve_retry_budget,
@@ -260,6 +261,15 @@ class _OpNode:
             self._fed_since_wave = 0
             self._idle_delta = -1  # < 0: no chain has gone idle yet
             self._linear_stages = _linear_stages(plan_node)
+            #: deferred-wave scheduling state (docs/PARALLELISM.md,
+            #: "Scheduling granularity"): feeds of the current —
+            #: not-yet-boundary — wave, and complete waves awaiting one
+            #: batched dispatch as ``(watermark, feeds)`` windows. Wave
+            #: *boundaries* stay exactly where the serial schedule puts
+            #: them; only the dispatch is deferred, so outputs are
+            #: byte-identical for every waves_per_dispatch value.
+            self._wave_feeds: Dict[Tuple, List[Event]] = {}
+            self._wave_queue: List[Tuple[int, Dict[Tuple, List[Event]]]] = []
             # Per-key chains are independent, so waves can fan out. The
             # schedule (which chains advance, in what order the merge
             # assigns sequence numbers) is replayed exactly as the serial
@@ -278,6 +288,15 @@ class _OpNode:
                 self._shards: Optional[_ShardedGroups] = None
             else:
                 self._group_mode = "thread"
+            # Coarse scheduling only engages on genuinely parallel modes
+            # (the shadow race checker instruments individual waves, so
+            # it pins the fine-grained schedule).
+            wpd = flow.waves_per_dispatch
+            self._defer_waves = (
+                self._group_mode in ("thread", "shard")
+                and flow.race_checker is None
+                and (wpd == "auto" or wpd > 1)
+            )
         elif not isinstance(plan_node, (SourceNode, GroupInputNode, ExchangeNode)):
             self._operator = plan_node.make_operator()
         if future is None:
@@ -333,6 +352,8 @@ class _OpNode:
                 not self._pending
                 and not self._active
                 and not self._fed_since_wave
+                and not self._wave_queue
+                and not self._wave_feeds
             )
         for buf in self.inputs:
             if buf.head() is not None:
@@ -548,11 +569,20 @@ class _OpNode:
         if fresh:
             self.events_in += len(fresh)
             self._fed_since_wave += len(fresh)
-            self._feed_local_chains(
-                _batch_per_key(fresh, self.plan_node.keys)
-            )
+            per_key = _batch_per_key(fresh, self.plan_node.keys)
+            if self._defer_waves:
+                self._accumulate_feeds(per_key)
+            else:
+                self._feed_local_chains(per_key)
         w = buf.watermark
         if w >= MAX_TIME:
+            if self._defer_waves:
+                self._drain_deferred()
+                if self._wave_feeds:
+                    # partial (pre-boundary) feeds buffer exactly where
+                    # the serial path would have left them: in chains
+                    self._feed_local_chains(self._wave_feeds)
+                    self._wave_feeds = {}
             self._run_group_flush(w)
             return
         # The batch driver amortizes watermark waves: buffered group
@@ -567,6 +597,9 @@ class _OpNode:
             if self._fed_since_wave < threshold + 2 * len(self._groups):
                 return
         self._fed_since_wave = 0
+        if self._defer_waves:
+            self._queue_wave(w)
+            return
         self._run_group_wave(w)
 
     def _feed_local_chains(self, per_key) -> None:
@@ -583,6 +616,212 @@ class _OpNode:
                 self._groups[key] = chain
             chain.buffer(events)
             self._active[key] = chain
+
+    # -- deferred-wave scheduling (coarse dispatch granularity) --------------
+
+    def _accumulate_feeds(self, per_key) -> None:
+        """Hold one batch of per-key feeds for a later batched dispatch.
+
+        Chains (or shard proxies) are still *created* here — ``_groups``
+        insertion order and the wave-threshold arithmetic must stay a
+        pure function of the input stream — but buffering and activation
+        are deferred to the dispatch/merge, because a chain must only see
+        the events fed before the wave it is being advanced at.
+        """
+        node: GroupApplyNode = self.plan_node
+        linear = self._linear_stages
+        groups = self._groups
+        feeds = self._wave_feeds
+        sharded = self._group_mode == "shard"
+        if sharded:
+            backend = self._shards
+            if backend is None:
+                backend = self._shards = _ShardedGroups(node, self.flow)
+        for key, events in per_key.items():
+            if key not in groups:
+                if sharded:
+                    groups[key] = _ChainProxy(backend.shard_for_new_key())
+                elif linear is not None:
+                    groups[key] = _LinearChain(node, key, linear)
+                else:
+                    groups[key] = _GroupChain(node, key, self.flow)
+            prev = feeds.get(key)
+            if prev is None:
+                feeds[key] = events
+            else:
+                prev.extend(events)
+
+    def _queue_wave(self, w: int) -> None:
+        """Close the current wave at boundary ``w`` and dispatch once
+        enough waves are queued (the waves_per_dispatch target)."""
+        self._wave_queue.append((w, self._wave_feeds))
+        self._wave_feeds = {}
+        batcher = self.flow.wave_batcher
+        target = (
+            batcher.waves if batcher is not None
+            else self.flow.waves_per_dispatch
+        )
+        if len(self._wave_queue) >= target:
+            self._drain_deferred()
+
+    def _drain_deferred(self) -> None:
+        """Dispatch every queued wave as one coarse work unit and merge."""
+        window = self._wave_queue
+        if not window:
+            return
+        if self._group_mode == "shard":
+            if self._dispatch_window_shard(window):
+                self._wave_queue = []
+                return
+            # a shard degradation rebuilt the chains locally; re-run the
+            # same window (events were retained parent-side) on threads
+        self._wave_queue = []
+        self._dispatch_window_thread(window)
+
+    def _dispatch_window_thread(self, window) -> None:
+        """Run one deferred window on driver-local chains.
+
+        Each chain that the serial schedule would touch in this window
+        becomes one task that replays *all* its waves — buffer the
+        wave's feeds, advance, record ``(outs, watermark, idle_delta)``
+        per wave. Chains idle for a wave early-return from ``advance``
+        (pure watermark arithmetic, no operator calls), so advancing a
+        chain at waves where the serial path would have skipped it is
+        unobservable; newly created chains start at their first fed wave
+        because their operators must not see earlier watermarks.
+        """
+        flow = self.flow
+        entries: List[Tuple[Tuple, int]] = []  # (key, first wave index)
+        seen = set()
+        for key in self._active:
+            seen.add(key)
+            entries.append((key, 0))
+        for j, (_w, feeds) in enumerate(window):
+            for key in feeds:
+                if key not in seen:
+                    seen.add(key)
+                    entries.append((key, j))
+        n = len(window)
+        tasks = []
+        for key, birth in entries:
+            chain = self._groups[key]
+            waves = [
+                (window[j][0], window[j][1].get(key))
+                for j in range(birth, n)
+            ]
+            tasks.append(_window_advance(chain, waves))
+        results = flow.run_window_tasks(tasks)
+        by_wave: List[Dict[Tuple, tuple]] = [{} for _ in window]
+        for (key, birth), recs in zip(entries, results):
+            for off, rec in enumerate(recs):
+                by_wave[birth + off][key] = rec
+        self._merge_deferred(window, by_wave)
+        stats = flow.parallel_stats
+        if stats is not None:
+            stats.dispatches += 1
+            stats.waves += n
+            batcher = flow.wave_batcher
+            if batcher is not None and len(tasks) > 1:
+                batcher.observe(flow.executor.last_overhead)
+
+    def _dispatch_window_shard(self, window) -> bool:
+        """Ship one deferred window to the shard workers as a single
+        batched ``("waves", ...)`` message per shard; False when a shard
+        degradation pulled the chains home (caller re-runs on threads).
+        """
+        flow = self.flow
+        backend = self._shards
+        if backend is None:
+            # watermark-only waves before any feed: no chains anywhere
+            self._merge_deferred(window, [{} for _ in window])
+            return True
+        num = backend.num_shards
+        per_shard_waves: List[list] = [[] for _ in range(num)]
+        for w, feeds in window:
+            fed_by_shard: List[list] = [[] for _ in range(num)]
+            for key, events in feeds.items():
+                shard = self._groups[key].shard
+                fed_by_shard[shard].append(
+                    backend.pack_feed(shard, key, events)
+                )
+            for shard in range(num):
+                per_shard_waves[shard].append(("wave", fed_by_shard[shard], w))
+        last_w = window[-1][0]
+        msgs = [
+            ("waves", per_shard_waves[shard], last_w) for shard in range(num)
+        ]
+        try:
+            shard_results = backend.exchange(msgs)
+        except _ShardDegradation as deg:
+            self._degrade_to_local(deg)
+            return False
+        flow.parallel_stats.add(backend.take_stats())
+        by_wave: List[Dict[Tuple, tuple]] = [{} for _ in window]
+        for result in shard_results:
+            for j, wave_result in enumerate(result):
+                d = by_wave[j]
+                for key, outs, chain_w, idle in wave_result:
+                    d[key] = (outs, chain_w, idle)
+        self._merge_deferred(window, by_wave)
+        stats = flow.parallel_stats
+        stats.dispatches += 1
+        stats.waves += len(window)
+        batcher = flow.wave_batcher
+        if batcher is not None and backend.last_overhead is not None:
+            batcher.observe(backend.last_overhead)
+        return True
+
+    def _merge_deferred(self, window, by_wave) -> None:
+        """Replay the serial per-wave merge over recorded results.
+
+        Wave by wave: activate the wave's fed keys, walk the active set
+        in exactly the serial iteration order assigning ``(le, seq)``
+        merge positions from the *recorded* per-wave outputs, retire
+        idled chains, then release everything below the group watermark
+        — the same bookkeeping ``_run_group_wave`` does live, driven
+        from data instead of live chain attributes. Byte-identity across
+        waves_per_dispatch values holds by construction: outputs are
+        released later, never changed.
+        """
+        flow = self.flow
+        pending = self._pending
+        seq = self._seq
+        groups = self._groups
+        active = self._active
+        tracer_enabled = flow.tracer.enabled
+        for j, (w, feeds) in enumerate(window):
+            by_key = by_wave[j]
+            for key in feeds:
+                active[key] = groups[key]
+            if tracer_enabled:
+                flow.tracer.metrics.histogram("dataflow.wave_width").observe(
+                    len(active)
+                )
+            added = False
+            for key in list(active):
+                outs, chain_w, idle = by_key[key]
+                obj = active[key]
+                if type(obj) is _ChainProxy:
+                    obj.watermark = chain_w
+                    obj.idle_delta = idle
+                if outs:
+                    pending.extend((out.le, next(seq), out) for out in outs)
+                    added = True
+                if idle is not None:
+                    del active[key]
+                    self._idle_delta = max(self._idle_delta, idle)
+            if added:
+                pending.sort()
+            group_w = w if self._idle_delta < 0 else w - self._idle_delta
+            for key in active:
+                chain_w = by_key[key][1]
+                if chain_w < group_w:
+                    group_w = chain_w
+            idx = bisect_left(pending, (group_w,))
+            if idx:
+                self._emit([item[2] for item in pending[:idx]])
+                del pending[:idx]
+            self.watermark = max(self.watermark, group_w)
 
     def _run_group_flush(self, w: int) -> None:
         """End of input: every chain flushes for real."""
@@ -612,6 +851,11 @@ class _OpNode:
         watermark arithmetically (their delta is a plan constant, so
         one representative bound covers all of them).
         """
+        stats = self.flow.parallel_stats
+        if stats is not None:
+            # the fine-grained schedule: one dispatch per wave
+            stats.dispatches += 1
+            stats.waves += 1
         pending = self._pending
         seq = self._seq
         added = False
@@ -668,22 +912,44 @@ class _OpNode:
             self.events_in += len(fresh)
             self._fed_since_wave += len(fresh)
             per_key = _batch_per_key(fresh, node.keys)
-            backend = self._shards
-            if backend is None:
-                backend = self._shards = _ShardedGroups(node, self.flow)
-            for key, events in per_key.items():
-                proxy = self._groups.get(key)
-                if proxy is None:
-                    # keys shard round-robin by first-seen order: a pure
-                    # function of the input stream, so resumed/replayed
-                    # runs land every key on the same shard
-                    proxy = _ChainProxy(backend.shard_for_new_key())
-                    self._groups[key] = proxy
-                backend.queue_feed(proxy.shard, key, events)
-                proxy.idle_delta = None
-                self._active[key] = proxy
+            if self._defer_waves:
+                self._accumulate_feeds(per_key)
+            else:
+                backend = self._shards
+                if backend is None:
+                    backend = self._shards = _ShardedGroups(node, self.flow)
+                for key, events in per_key.items():
+                    proxy = self._groups.get(key)
+                    if proxy is None:
+                        # keys shard round-robin by first-seen order: a
+                        # pure function of the input stream, so resumed/
+                        # replayed runs land every key on the same shard
+                        proxy = _ChainProxy(backend.shard_for_new_key())
+                        self._groups[key] = proxy
+                    backend.queue_feed(proxy.shard, key, events)
+                    proxy.idle_delta = None
+                    self._active[key] = proxy
 
         w = buf.watermark
+        if self._defer_waves and w >= MAX_TIME:
+            self._drain_deferred()
+            if self._group_mode != "shard":
+                # degraded mid-drain: chains now live in the driver
+                if self._wave_feeds:
+                    self._feed_local_chains(self._wave_feeds)
+                    self._wave_feeds = {}
+                self._run_group_flush(w)
+                return
+            if self._wave_feeds:
+                # partial (pre-boundary) feeds ride with the flush
+                # message, exactly where the legacy path queues them
+                backend = self._shards
+                for key, events in self._wave_feeds.items():
+                    proxy = self._groups[key]
+                    backend.queue_feed(proxy.shard, key, events)
+                    proxy.idle_delta = None
+                    self._active[key] = proxy
+                self._wave_feeds = {}
         pending = self._pending
         seq = self._seq
         backend = self._shards
@@ -716,6 +982,12 @@ class _OpNode:
             if self._fed_since_wave < threshold + 2 * len(self._groups):
                 return
         self._fed_since_wave = 0
+        if self._defer_waves:
+            self._queue_wave(w)
+            return
+        stats = self.flow.parallel_stats
+        stats.dispatches += 1
+        stats.waves += 1
         added = False
         if self.flow.tracer.enabled:
             self.flow.tracer.metrics.histogram("dataflow.wave_width").observe(
@@ -777,12 +1049,31 @@ class _OpNode:
             chains = _ShardChains(node, settings)
             for msg in log:
                 chains.apply(msg)  # outputs were already delivered
-            # re-buffer the failing wave's feeds; the caller advances
             tag, fed, _w = deg.current[shard]
-            chains.feed(fed)
+            if tag != "waves":
+                # re-buffer the failing wave's feeds; the caller advances
+                # (deferred windows retain their events parent-side, so
+                # a failing "waves" message is simply dropped here and
+                # re-dispatched through the local path)
+                chains.feed(fed)
             chain_by_key.update(chains.groups)
-        self._groups = {key: chain_by_key[key] for key in self._groups}
-        self._active = {key: chain_by_key[key] for key in self._active}
+
+        def resolve(key):
+            # keys first fed in a not-yet-acknowledged deferred window
+            # have no worker-side state to replay; serial would have
+            # just created their chains, so a fresh chain is exact
+            chain = chain_by_key.get(key)
+            if chain is None:
+                linear = self._linear_stages
+                if linear is not None:
+                    chain = _LinearChain(node, key, linear)
+                else:
+                    chain = _GroupChain(node, key, flow)
+                chain_by_key[key] = chain
+            return chain
+
+        self._groups = {key: resolve(key) for key in self._groups}
+        self._active = {key: resolve(key) for key in self._active}
         backend, self._shards = self._shards, None
         backend.close()
         flow.parallel_stats.recovery.degradations += 1
@@ -1068,8 +1359,17 @@ class _ShardChains:
 
     def apply(self, msg):
         """Process one ``(tag, fed, watermark)`` message; return the
-        keyed reply payload."""
+        keyed reply payload.
+
+        A ``("waves", [wave messages], w)`` message is one deferred
+        window: each inner wave replays the exact per-wave feed/advance
+        semantics in order, so a batched dispatch reproduces the serial
+        wave schedule message for message (and replay recovery replays
+        windows just like single waves).
+        """
         tag, fed, w = msg
+        if tag == "waves":
+            return [self.apply(wave_msg) for wave_msg in fed]
         self.feed(fed)
         if tag == "flush":
             return [
@@ -1112,6 +1412,21 @@ def _decode_reply(payload):
     return decoded
 
 
+def _encode_window_reply(tag, result):
+    """Columnar packing dispatcher: per-wave for batched ``"waves"``
+    replies, flat for single wave/flush replies."""
+    if tag == "waves":
+        return [_encode_reply(wave) for wave in result]
+    return _encode_reply(result)
+
+
+def _decode_window_reply(tag, payload):
+    """Inverse of :func:`_encode_window_reply`."""
+    if tag == "waves":
+        return [_decode_reply(wave) for wave in payload]
+    return _decode_reply(payload)
+
+
 def _shard_worker(conn, node, settings):  # pragma: no cover - forked child
     """Main loop of one persistent shard worker (runs in a forked child).
 
@@ -1139,7 +1454,7 @@ def _shard_worker(conn, node, settings):  # pragma: no cover - forked child
                     result = chains.apply(msg)
                     span.set("keys", len(result))
                 if settings.columnar:
-                    result = _encode_reply(result)
+                    result = _encode_window_reply(msg[0], result)
                 busy = _time.perf_counter() - t0
                 import pickle as _pickle
 
@@ -1154,7 +1469,7 @@ def _shard_worker(conn, node, settings):  # pragma: no cover - forked child
             else:
                 result = chains.apply(msg)
                 if settings.columnar:
-                    result = _encode_reply(result)
+                    result = _encode_window_reply(msg[0], result)
                 conn.send(("ok", result, len(result), _time.perf_counter() - t0))
         except BaseException:
             conn.send(("err", traceback.format_exc(), 0, 0.0))
@@ -1236,29 +1551,44 @@ class _ShardedGroups:
         self.keys: List[list] = [[] for _ in range(self.num_shards)]
         self._key_sets = [set() for _ in range(self.num_shards)]
         self._restarts = 0
+        #: the most recent exchange's OverheadStats (adaptive wave
+        #: batching reads its dispatch/compute ratio)
+        self.last_overhead: Optional[OverheadStats] = None
 
     def shard_for_new_key(self) -> int:
         shard = self._next_shard
         self._next_shard = (shard + 1) % self.num_shards
         return shard
 
-    def queue_feed(self, shard: int, key: Tuple, events: List[Event]) -> None:
+    def pack_feed(self, shard: int, key: Tuple, events: List[Event]):
+        """One fed entry for a shard message: registers key ownership
+        and applies the columnar packing rule (ship one packed
+        struct-of-arrays buffer instead of pickling each Event; tiny
+        feeds stay as rows — below ~10 events the packed form's
+        array/layout framing outweighs the savings)."""
         if key not in self._key_sets[shard]:
             self._key_sets[shard].add(key)
             self.keys[shard].append(key)
         if self.columnar and len(events) >= _PACK_MIN_EVENTS:
-            # ship one packed struct-of-arrays buffer per feed instead
-            # of pickling each Event; the shard decodes on arrival.
-            # Tiny feeds stay as rows — below ~10 events the packed
-            # form's array/layout framing outweighs the savings
-            self.outbox[shard].append((key, EventBatch.from_events(events)))
-        else:
-            self.outbox[shard].append((key, events))
+            return (key, EventBatch.from_events(events))
+        return (key, events)
+
+    def queue_feed(self, shard: int, key: Tuple, events: List[Event]) -> None:
+        self.outbox[shard].append(self.pack_feed(shard, key, events))
 
     def roundtrip(self, tag: str, watermark: int) -> List[list]:
-        """Send one wave/flush to every shard; return per-shard results.
+        """Send one wave/flush to every shard; return per-shard results."""
+        msgs = []
+        for shard in range(self.num_shards):
+            fed = self.outbox[shard]
+            self.outbox[shard] = []
+            msgs.append((tag, fed, watermark))
+        return self.exchange(msgs)
 
-        Messages are logged only after the whole roundtrip succeeds, so
+    def exchange(self, msgs: List[tuple]) -> List[list]:
+        """One message per shard out, one reply per shard back.
+
+        Messages are logged only after the whole exchange succeeds, so
         a recovery triggered partway through never replays the in-flight
         message twice.
         """
@@ -1266,11 +1596,6 @@ class _ShardedGroups:
         tracer = self.flow.tracer
         overhead = OverheadStats()
         call_t0 = _time.perf_counter()
-        msgs = []
-        for shard in range(num):
-            fed = self.outbox[shard]
-            self.outbox[shard] = []
-            msgs.append((tag, fed, watermark))
         self._inject_kills()
         timeout = resolve_worker_timeout(self.executor.supervision.worker_timeout)
         send_failed = [False] * num
@@ -1305,7 +1630,7 @@ class _ShardedGroups:
                 )
             m0 = _time.perf_counter()
             if self.columnar:
-                payload = _decode_reply(payload)
+                payload = _decode_window_reply(msgs[shard][0], payload)
             results.append(payload)
             send_s = 0.0
             if extras is not None:
@@ -1337,6 +1662,7 @@ class _ShardedGroups:
             ws.serialize_seconds for ws in self._stats
         )
         overhead.finish(_time.perf_counter() - call_t0, num)
+        self.last_overhead = overhead
         self.flow.parallel_stats.overhead.merge(overhead)
         return results
 
@@ -1453,6 +1779,29 @@ def _chain_advance(chain, watermark: int):
     return task
 
 
+def _window_advance(chain, waves):
+    """A zero-arg task replaying one chain across a deferred window.
+
+    ``waves`` is ``[(watermark, events_or_None), ...]``: each wave
+    buffers its feeds (when any) and advances, recording exactly the
+    per-wave triple the serial merge reads. Waves where the chain is
+    idle early-return inside ``advance`` (watermark arithmetic only),
+    so one coarse task per chain reproduces the fine-grained schedule's
+    values verbatim.
+    """
+
+    def task():
+        recs = []
+        for w, events in waves:
+            if events:
+                chain.buffer(events)
+            outs = chain.advance(w)
+            recs.append((outs, chain.watermark, chain.idle_delta))
+        return recs
+
+    return task
+
+
 class Dataflow:
     """One CQ plan instantiated as a graph of live incremental operators.
 
@@ -1484,6 +1833,16 @@ class Dataflow:
             operators with ``supports_columnar`` consume them whole,
             with a row bridge everywhere else). Outputs are
             byte-identical across formats — see docs/BATCH_FORMAT.md.
+        waves_per_dispatch: scheduling granularity for parallel
+            GroupApply: how many watermark waves are batched into one
+            parallel dispatch. ``1`` (the default) is the fine-grained
+            schedule; larger values amortize dispatch overhead over
+            multiple waves; ``"auto"`` adapts from the overhead
+            attribution's dispatch/compute ratio; ``float("inf")``
+            dispatches once per drain. Wave *boundaries* (and therefore
+            outputs and deterministic stats) are identical for every
+            value — only the dispatch is deferred. See
+            docs/PARALLELISM.md, "Scheduling granularity".
     """
 
     def __init__(
@@ -1498,11 +1857,32 @@ class Dataflow:
         race_checker=None,
         tracer=None,
         batch_format: str = "row",
+        waves_per_dispatch=1,
     ):
         self.allow_unstreamable = allow_unstreamable
         self.timed = timed
         self.group_wave_events = group_wave_events
         self.race_checker = race_checker
+        if waves_per_dispatch == "auto":
+            #: adaptive controller: every GroupApply node reads the
+            #: current batch size at its wave boundaries and feeds the
+            #: dispatch overhead back after each coarse dispatch
+            self.wave_batcher = WaveBatcher()
+            self.waves_per_dispatch = "auto"
+        else:
+            self.wave_batcher = None
+            if not (
+                waves_per_dispatch == float("inf")
+                or (
+                    isinstance(waves_per_dispatch, int)
+                    and waves_per_dispatch >= 1
+                )
+            ):
+                raise ValueError(
+                    "waves_per_dispatch must be an int >= 1, 'auto', or "
+                    f"float('inf'); got {waves_per_dispatch!r}"
+                )
+            self.waves_per_dispatch = waves_per_dispatch
         if batch_format not in ("row", "columnar"):
             raise ValueError(
                 f"unknown batch format {batch_format!r}; "
@@ -1714,6 +2094,20 @@ class Dataflow:
                 getattr(chain, "key", i) for i, chain in enumerate(chains)
             ]
             return self.race_checker.run_wave(tasks, owners)
+        results = self.executor.run_tasks(tasks)
+        self.parallel_stats.add(self.executor.last_stats)
+        self.parallel_stats.recovery.merge(self.executor.last_recovery)
+        self.parallel_stats.overhead.merge(self.executor.last_overhead)
+        return results
+
+    def run_window_tasks(self, tasks) -> List[list]:
+        """Run deferred-window tasks (multi-wave chain replays) on the
+        executor, results in task order. Never reached in race-check
+        mode — the shadow checker pins waves_per_dispatch to 1."""
+        if not tasks:
+            return []
+        if len(tasks) == 1:
+            return [tasks[0]()]
         results = self.executor.run_tasks(tasks)
         self.parallel_stats.add(self.executor.last_stats)
         self.parallel_stats.recovery.merge(self.executor.last_recovery)

@@ -90,6 +90,7 @@ __all__ = [
     "SerialExecutor",
     "Supervision",
     "ThreadExecutor",
+    "WaveBatcher",
     "WorkerHandle",
     "WorkerLostError",
     "WorkerStats",
@@ -97,6 +98,7 @@ __all__ = [
     "resolve_batch_format",
     "resolve_executor",
     "resolve_retry_budget",
+    "resolve_waves_per_dispatch",
     "resolve_worker_timeout",
 ]
 
@@ -113,6 +115,11 @@ ENV_FORCE_PARALLEL = "REPRO_FORCE_PARALLEL"
 #: Supervision knobs, re-read at call time (see the resolvers below).
 ENV_WORKER_TIMEOUT = "REPRO_PARALLEL_TIMEOUT"
 ENV_RETRY_BUDGET = "REPRO_WORKER_RETRIES"
+
+#: Scheduling granularity: watermark waves batched per parallel
+#: dispatch (see resolve_waves_per_dispatch and docs/PARALLELISM.md,
+#: "Scheduling granularity").
+ENV_WAVE_BATCH = "REPRO_WAVE_BATCH"
 
 #: Seconds a driver waits on a worker before declaring it lost.
 #: Generous on purpose: this is a hang breaker, not a performance knob.
@@ -219,6 +226,91 @@ def resolve_retry_budget(override: Optional[int] = None) -> int:
                 f"{ENV_RETRY_BUDGET}={raw!r} is not an integer retry budget"
             ) from None
     return DEFAULT_RETRY_BUDGET
+
+
+def resolve_waves_per_dispatch(override=None):
+    """Watermark waves batched per parallel dispatch.
+
+    ``override`` (a ``RunContext.waves_per_dispatch`` value) wins;
+    otherwise ``REPRO_WAVE_BATCH`` is re-read on every call. Accepted
+    values: a positive integer (exactly that many waves per dispatch),
+    ``"auto"`` (returned verbatim — the dataflow then drives a
+    :class:`WaveBatcher` off the per-dispatch overhead attribution),
+    or ``"max"`` / ``"inf"`` / ``"all"`` (``float("inf")``: one
+    dispatch per drain). Default is ``1`` — the fine-grained schedule
+    every release before the knob existed ran, and the reference the
+    differential suite compares coarse schedules against.
+
+    The knob is a pure *scheduling* dimension: outputs and
+    deterministic ``EngineStats`` are byte-identical for every value
+    (see docs/PARALLELISM.md, "Scheduling granularity").
+    """
+    raw = override
+    if raw is None:
+        raw = os.environ.get(ENV_WAVE_BATCH)
+    if raw is None or (isinstance(raw, str) and not raw.strip()):
+        return 1
+    if isinstance(raw, str):
+        text = raw.strip().lower()
+        if text == "auto":
+            return "auto"
+        if text in ("max", "inf", "all"):
+            return float("inf")
+        try:
+            value = int(text)
+        except ValueError:
+            raise ValueError(
+                f"{ENV_WAVE_BATCH}={raw!r} is not a wave count, "
+                "'auto', or 'max'"
+            ) from None
+    elif isinstance(raw, float) and raw == float("inf"):
+        return raw
+    else:
+        value = int(raw)
+    if value < 1:
+        raise ValueError(
+            f"waves_per_dispatch must be >= 1, got {value}"
+        )
+    return value
+
+
+class WaveBatcher:
+    """Adaptive waves-per-dispatch controller (``"auto"`` mode).
+
+    Starts fine-grained and resizes the batch after every dispatch from
+    that dispatch's :class:`OverheadStats`: when dispatch + serialize
+    overhead exceeds :attr:`GROW_RATIO` of compute time the batch
+    doubles (dispatch cost is amortized over more waves); when it falls
+    below :attr:`SHRINK_RATIO` the batch halves (latency back for free).
+    The controller only ever changes *when* work is dispatched, never
+    what it computes — outputs are waves-per-dispatch-invariant by
+    construction — so the feedback loop may be timing-dependent without
+    threatening byte-identity.
+    """
+
+    #: overhead/compute ratio above which the batch doubles
+    GROW_RATIO = 0.2
+    #: overhead/compute ratio below which the batch halves
+    SHRINK_RATIO = 0.05
+    #: hard cap: beyond this the schedule is batch-per-drain anyway
+    MAX_WAVES = 64
+
+    def __init__(self, start: int = 1):
+        self.waves = max(1, int(start))
+        self.adjustments = 0
+
+    def observe(self, overhead: "OverheadStats") -> int:
+        """Feed one dispatch's overhead; returns the next batch size."""
+        compute = max(overhead.compute_seconds, 1e-9)
+        cost = overhead.dispatch_seconds + overhead.serialize_seconds
+        ratio = cost / compute
+        if ratio > self.GROW_RATIO and self.waves < self.MAX_WAVES:
+            self.waves = min(self.MAX_WAVES, self.waves * 2)
+            self.adjustments += 1
+        elif ratio < self.SHRINK_RATIO and self.waves > 1:
+            self.waves //= 2
+            self.adjustments += 1
+        return self.waves
 
 
 @dataclass
@@ -394,6 +486,12 @@ class ParallelStats:
     tasks: int = 0
     chunks: int = 0
     stolen_chunks: int = 0
+    #: scheduling granularity: watermark waves merged and parallel
+    #: dispatches issued by GroupApply nodes. ``waves / dispatches`` is
+    #: the realized batch size (1.0 = the fine-grained schedule);
+    #: deterministic — both depend only on the input and the knob.
+    dispatches: int = 0
+    waves: int = 0
     busy_seconds: float = 0.0
     per_worker: Dict[int, WorkerStats] = field(default_factory=dict)
     recovery: RecoveryStats = field(default_factory=RecoveryStats)
@@ -429,6 +527,8 @@ class ParallelStats:
         self.tasks += other.tasks
         self.chunks += other.chunks
         self.stolen_chunks += other.stolen_chunks
+        self.dispatches += other.dispatches
+        self.waves += other.waves
         self.busy_seconds += other.busy_seconds
         for wid, ws in other.per_worker.items():
             agg = self.per_worker.get(wid)
@@ -453,6 +553,8 @@ class ParallelStats:
             "tasks": self.tasks,
             "chunks": self.chunks,
             "stolen_chunks": self.stolen_chunks,
+            "dispatches": self.dispatches,
+            "waves": self.waves,
             "busy_seconds": round(self.busy_seconds, 6),
             "recovery": self.recovery.as_dict(),
             "overhead": self.overhead.as_dict(),
@@ -500,6 +602,25 @@ _UNSET = object()
 
 #: Degradation ladder order (None = the executor's native tier).
 _TIER_ORDER = {None: 0, "thread": 1, "serial": 2}
+
+#: Per-thread marker set while a pool worker (thread or forked child)
+#: executes tasks. Forked children inherit the spawning thread's False
+#: and set True at entry; worker threads set it in their own slot.
+_worker_state = threading.local()
+
+
+def in_parallel_worker() -> bool:
+    """True when the calling thread is a parallel executor's pool worker.
+
+    Nested :func:`resolve_executor` calls resolve to serial there: a
+    daemonic pool child cannot fork grandchildren, and the
+    coarse-grained schedule wants exactly one level of fan-out — an
+    embedded engine inside a parallelized reduce partition runs inline
+    on the worker instead of spawning a second tier of workers. Outputs
+    are byte-identical either way (the executor contract), so the only
+    observable difference is the absence of oversubscription.
+    """
+    return getattr(_worker_state, "active", False)
 
 
 class Executor:
@@ -799,6 +920,7 @@ class ThreadExecutor(Executor):
         def worker(wid: int) -> None:
             import traceback
 
+            _worker_state.active = True
             ws = stats[wid]
             recorder = recorders[wid]
             t0 = _time.perf_counter()
@@ -1032,6 +1154,7 @@ class ProcessExecutor(ThreadExecutor):
         def child(wid: int) -> None:  # pragma: no cover - runs in fork
             import traceback
 
+            _worker_state.active = True
             if wid in kill_plan:
                 # injected crash: claim one chunk if work remains, burn
                 # half of it, then die holding the claim with nothing
@@ -1318,6 +1441,7 @@ class ProcessExecutor(ThreadExecutor):
 
 
 def _shard_entry(main, conn, worker_id):  # pragma: no cover - runs in fork
+    _worker_state.active = True
     try:
         main(conn, worker_id)
     finally:
@@ -1357,7 +1481,13 @@ def resolve_executor(
     ``supervision`` (when given) is attached to the resolved executor —
     including a passed-through instance, so a context's fault policy and
     timeout/budget knobs always reach the executor that runs under it.
+
+    On a pool worker thread or forked child (a nested engine inside a
+    parallelized task) every spec resolves to serial: one level of
+    fan-out, no daemonic grandchildren. See :func:`in_parallel_worker`.
     """
+    if in_parallel_worker():
+        return SerialExecutor(supervision=supervision)
     if isinstance(spec, Executor):
         if supervision is not None:
             spec.supervision = supervision

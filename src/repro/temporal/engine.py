@@ -108,7 +108,14 @@ class EngineStats:
                 self.parallel = dict(other.parallel)
             else:
                 merged = dict(self.parallel)
-                for field in ("calls", "tasks", "chunks", "stolen_chunks"):
+                for field in (
+                    "calls",
+                    "tasks",
+                    "chunks",
+                    "stolen_chunks",
+                    "dispatches",
+                    "waves",
+                ):
                     merged[field] = merged.get(field, 0) + other.parallel.get(
                         field, 0
                     )
@@ -233,6 +240,7 @@ class Engine:
             race_checker=race_checker,
             tracer=tracer,
             batch_format=context.resolve_batch_format(),
+            waves_per_dispatch=context.resolve_waves_per_dispatch(),
         )
         for name in flow.source_names():
             if name not in sources:

@@ -1,10 +1,13 @@
-"""Doc-sync self-test: the rule registry and docs/LINTING.md must agree.
+"""Doc-sync self-tests: code registries and their docs must agree.
 
 Every rule id registered in ``repro.analysis.diagnostics.RULES`` must
 have a catalog section in docs/LINTING.md (headed ``### `rule.id`
 (severity)``), and every documented rule id must still be registered —
 so a renamed or removed rule cannot leave stale documentation behind,
-and a new rule cannot ship undocumented.
+and a new rule cannot ship undocumented. The same discipline covers the
+runtime's environment knobs: every ``ENV_*`` constant in
+``repro.runtime.parallel`` must appear in the docs, and the scheduling-
+granularity chapter the CLI help links to must actually exist.
 """
 
 import re
@@ -12,7 +15,8 @@ from pathlib import Path
 
 from repro.analysis import RULES
 
-DOC = Path(__file__).resolve().parents[2] / "docs" / "LINTING.md"
+DOCS_DIR = Path(__file__).resolve().parents[2] / "docs"
+DOC = DOCS_DIR / "LINTING.md"
 
 #: ### `rule.id` (severity)
 _HEADING = re.compile(r"^### `([a-z]+\.[a-z-]+)` \((error|warning)\)$", re.M)
@@ -49,3 +53,44 @@ class TestDocSync:
         assert not mismatched, (
             f"severity drift (documented, registered): {mismatched}"
         )
+
+
+class TestEnvKnobDocSync:
+    """Every runtime env knob must be documented; the knob-chapter
+    anchors the CLI help points at must exist."""
+
+    @staticmethod
+    def _env_constants():
+        import repro.runtime.parallel as parallel
+
+        return {
+            value
+            for name, value in vars(parallel).items()
+            if name.startswith("ENV_") and isinstance(value, str)
+        }
+
+    def test_every_env_knob_appears_in_docs(self):
+        corpus = "\n".join(
+            p.read_text() for p in sorted(DOCS_DIR.glob("*.md"))
+        )
+        missing = sorted(
+            knob for knob in self._env_constants() if knob not in corpus
+        )
+        assert not missing, (
+            f"env knobs defined in repro.runtime.parallel but absent "
+            f"from docs/*.md: {missing}"
+        )
+
+    def test_scheduling_granularity_chapter_exists(self):
+        # `repro --help` links docs/PARALLELISM.md#scheduling-granularity
+        text = (DOCS_DIR / "PARALLELISM.md").read_text()
+        assert "## Scheduling granularity" in text
+        assert "REPRO_WAVE_BATCH" in text
+        assert "waves_per_dispatch" in text
+
+    def test_scheduling_counters_documented(self):
+        # the deterministic dispatches/waves counters surfaced by
+        # ParallelStats must be explained where the attribution model is
+        text = (DOCS_DIR / "OBSERVABILITY.md").read_text()
+        assert "realized wave batch" in text.lower()
+        assert "`dispatches`" in text and "`waves`" in text

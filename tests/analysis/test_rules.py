@@ -148,7 +148,7 @@ class TestDeterminism:
         assert not report.errors
 
     def test_impure_udo(self):
-        q = src().udo_snapshot(lambda payloads: [{"t": time.time()}])
+        q = src().udo_snapshot(lambda payloads: [{"t": time.time()}])  # wallclock: ok (never called; the impurity IS what the analyzer must flag)
         assert "determinism.impure-call" in rule_ids(q)
 
 

@@ -1,9 +1,45 @@
 """Shared fixtures: one mid-size generated dataset reused across BT tests,
-plus a deterministic clock for wall-clock-sensitive assertions."""
+plus a deterministic clock for wall-clock-sensitive assertions — and a
+collection-time guard that keeps real-time reads out of the test suite."""
+
+import re
 
 import pytest
 
 from repro.data import GeneratorConfig, generate
+
+# Tests must not read the real clock: timing assertions flake on loaded
+# CI runners, and every wall-time-derived value in the runtime accepts
+# an injected clock (``RunContext(clock=TickingClock())``). The rare
+# legitimate read — a test that genuinely measures, or source the
+# analyzer must flag — carries a same-line ``# wallclock: ok (<reason>)``
+# allowlist comment.
+_WALLCLOCK_RE = re.compile(r"\btime\.(?:time|perf_counter|monotonic)\(\)")
+_ALLOW_RE = re.compile(r"#\s*wallclock:\s*ok\b")
+_scanned_wallclock_files = {}
+
+
+def _wallclock_violations(path):
+    if path not in _scanned_wallclock_files:
+        violations = []
+        with open(path, encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                if _WALLCLOCK_RE.search(line) and not _ALLOW_RE.search(line):
+                    violations.append(f"{path}:{lineno}: {line.strip()}")
+        _scanned_wallclock_files[path] = violations
+    return _scanned_wallclock_files[path]
+
+
+def pytest_collection_modifyitems(config, items):
+    offenses = []
+    for path in sorted({str(item.fspath) for item in items}):
+        offenses.extend(_wallclock_violations(path))
+    if offenses:
+        raise pytest.UsageError(
+            "test(s) read the real clock without a '# wallclock: ok' "
+            "allowlist comment — inject the ticking_clock fixture (or "
+            "RunContext(clock=...)) instead:\n  " + "\n  ".join(offenses)
+        )
 
 
 class TickingClock:

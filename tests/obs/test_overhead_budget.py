@@ -38,9 +38,9 @@ def _best_wall(tracer, rows, repeats=3):
     best = float("inf")
     for _ in range(repeats + 1):  # first iteration is warmup
         engine = Engine(context=RunContext(tracer=tracer, executor="serial"))
-        t0 = time.perf_counter()
+        t0 = time.perf_counter()  # wallclock: ok (this test MEASURES real overhead; best-of-N + ratio assertion absorb scheduler noise)
         engine.run(query, {"logs": rows})
-        best = min(best, time.perf_counter() - t0)
+        best = min(best, time.perf_counter() - t0)  # wallclock: ok (same measurement)
     return best
 
 

@@ -60,9 +60,13 @@ def raw_bytes(events) -> bytes:
     return json.dumps(rows, sort_keys=True, default=str).encode()
 
 
-def run_with(executor, query, rows, **kwargs):
+def run_with(executor, query, rows, waves_per_dispatch=None, **kwargs):
     """Run ``query`` under ``executor`` and return (events, EngineStats)."""
-    engine = Engine(context=RunContext(executor=executor))
+    engine = Engine(
+        context=RunContext(
+            executor=executor, waves_per_dispatch=waves_per_dispatch
+        )
+    )
     out = engine.run(query, {"logs": list(rows)}, validate=False, **kwargs)
     return out, engine.last_stats
 
@@ -103,6 +107,139 @@ def test_thread_batch_size_invariance(rows, plan_idx):
     for size in (1, 7):
         out, _ = run_with(THREAD, query, rows, batch_size=size)
         assert raw_bytes(out) == raw_bytes(reference)
+
+
+# ---------------------------------------------------------------------------
+# Wave-batching invariance (ISSUE 10): scheduling granularity — how many
+# watermark waves ride one parallel dispatch — must be unobservable in
+# the output bytes and every deterministic EngineStats counter.
+# ---------------------------------------------------------------------------
+
+WAVE_BATCH_VALUES = [1, 2, 7, float("inf")]
+
+
+def _det_counters(stats):
+    """The deterministic EngineStats fields (parallel fan-out shape —
+    calls, dispatches — legitimately varies with the knob)."""
+    return (
+        stats.input_events,
+        stats.output_events,
+        stats.operator_events,
+        stats.operator_labels,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    histories(),
+    st.integers(min_value=0, max_value=N_PLANS - 1),
+    st.sampled_from(WAVE_BATCH_VALUES + ["auto"]),
+)
+def test_wave_batch_invariance_over_generated_plans(rows, plan_idx, wpd):
+    """Property: for any generated plan and any waves_per_dispatch value,
+    the thread executor replays the serial fine-grained bytes."""
+    query = _portfolio()[plan_idx]
+    serial, serial_stats = run_with(SerialExecutor(), query, rows)
+    out, stats = run_with(
+        ThreadExecutor(max_workers=4), query, rows, waves_per_dispatch=wpd
+    )
+    assert raw_bytes(out) == raw_bytes(serial)
+    assert _det_counters(stats) == _det_counters(serial_stats)
+
+
+@pytest.fixture
+def no_ambient_race_check(monkeypatch):
+    """The shadow race checker pins waves_per_dispatch to 1 (it replays
+    waves one at a time), so tests asserting dispatches < waves must
+    shed an ambient REPRO_RACE_CHECK=1 — the assertion would be vacuous,
+    not wrong. Byte-identity tests run under the checker untouched."""
+    monkeypatch.delenv("REPRO_RACE_CHECK", raising=False)
+
+
+@pytest.fixture(scope="module")
+def wave_rows():
+    """Enough rows to cross the GroupApply wave threshold several times,
+    so deferred dispatch genuinely engages (not just the flush path)."""
+    return [
+        {"Time": i * 60, "UserId": i % 23, "Clicks": i % 3}
+        for i in range(12000)
+    ]
+
+
+def _wave_query():
+    from repro.temporal import Query
+    from repro.temporal.time import days
+
+    return Query.source("logs", ("Time", "UserId", "Clicks")).group_apply(
+        ("UserId",), lambda g: g.window(days(1)).count()
+    )
+
+
+@pytest.mark.parametrize("wpd", WAVE_BATCH_VALUES + ["auto"])
+def test_wave_batch_byte_identity_at_scale(wpd, wave_rows, no_ambient_race_check):
+    """Past the wave threshold — where waves actually defer and batch —
+    serial, thread, and process runs stay byte-identical for every
+    waves_per_dispatch value, and the deterministic counters match."""
+    query = _wave_query()
+    serial, serial_stats = run_with(SerialExecutor(), query, wave_rows)
+    executors = [ThreadExecutor(max_workers=4)]
+    if ProcessExecutor.can_fork:
+        executors.append(ProcessExecutor(max_workers=2))
+    for executor in executors:
+        out, stats = run_with(
+            executor, query, wave_rows, waves_per_dispatch=wpd
+        )
+        assert raw_bytes(out) == raw_bytes(serial), (executor.kind, wpd)
+        assert _det_counters(stats) == _det_counters(serial_stats)
+        # the run really scheduled waves, and coarse knobs really
+        # batched them: fewer dispatches than waves
+        parallel = stats.parallel
+        assert parallel["waves"] > 1
+        if wpd == 1:
+            assert parallel["dispatches"] == parallel["waves"]
+        elif wpd != "auto":
+            assert parallel["dispatches"] < parallel["waves"]
+
+
+def test_wave_counter_is_knob_invariant(wave_rows):
+    """The deterministic ``waves`` counter depends only on the data and
+    wave threshold — never on the dispatch granularity."""
+    query = _wave_query()
+    seen = set()
+    for wpd in WAVE_BATCH_VALUES:
+        _, stats = run_with(
+            ThreadExecutor(max_workers=4), query, wave_rows,
+            waves_per_dispatch=wpd,
+        )
+        seen.add(stats.parallel["waves"])
+    assert len(seen) == 1
+
+
+def test_wave_batch_env_knob(wave_rows, monkeypatch, no_ambient_race_check):
+    """REPRO_WAVE_BATCH steers the schedule exactly like the context
+    field, without touching the bytes."""
+    query = _wave_query()
+    serial, _ = run_with(SerialExecutor(), query, wave_rows)
+    monkeypatch.setenv("REPRO_WAVE_BATCH", "3")
+    out, stats = run_with(ThreadExecutor(max_workers=4), query, wave_rows)
+    assert raw_bytes(out) == raw_bytes(serial)
+    assert stats.parallel["dispatches"] < stats.parallel["waves"]
+    monkeypatch.setenv("REPRO_WAVE_BATCH", "not-a-number")
+    with pytest.raises(ValueError, match="REPRO_WAVE_BATCH"):
+        run_with(ThreadExecutor(max_workers=4), query, wave_rows)
+
+
+def test_wave_batch_validation(monkeypatch):
+    from repro.runtime import resolve_waves_per_dispatch
+
+    monkeypatch.delenv("REPRO_WAVE_BATCH", raising=False)
+    assert resolve_waves_per_dispatch(None) == 1
+    assert resolve_waves_per_dispatch("auto") == "auto"
+    assert resolve_waves_per_dispatch("max") == float("inf")
+    assert resolve_waves_per_dispatch(float("inf")) == float("inf")
+    assert resolve_waves_per_dispatch(7) == 7
+    with pytest.raises(ValueError, match=">= 1"):
+        resolve_waves_per_dispatch(0)
 
 
 # ---------------------------------------------------------------------------
